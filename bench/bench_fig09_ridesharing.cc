@@ -1,0 +1,107 @@
+// Figure 9 (a-d): HAMLET versus state-of-the-art approaches (Ridesharing).
+//
+// Latency and throughput, varying (a,c) events/minute and (b,d) the number
+// of queries, for HAMLET, GRETA, SHARON-style flattening and the MCEP-style
+// two-step baseline. The paper uses 10K-20K events/min and 5-25 queries in
+// this "low setting" chosen so that the slower baselines terminate; the fast
+// default scales rates down (HAMLET_BENCH_SCALE=full restores them) and
+// bounds burst lengths so two-step construction stays feasible, as the
+// paper's setting does.
+#include "src/benchlib/harness.h"
+
+namespace hamlet {
+namespace {
+
+using bench::Scale;
+
+RunConfig ConfigFor(EngineKind kind) {
+  RunConfig config;
+  config.kind = kind;
+  config.sharon_max_length = 48;
+  config.two_step_budget = 2'000'000;
+  return config;
+}
+
+GeneratorConfig GenFor(int events_per_min, uint64_t seed) {
+  GeneratorConfig gen;
+  gen.seed = seed;
+  gen.events_per_minute = events_per_min;
+  gen.duration_minutes = 1;
+  gen.num_groups = 4;
+  // Keep same-type runs short enough that two-step trend construction
+  // terminates (the paper's low setting plays the same role).
+  gen.burstiness = 0.9;
+  gen.max_burst = 40;
+  return gen;
+}
+
+void Run() {
+  const Timestamp window = 10 * kMillisPerSecond;
+  const EngineKind kinds[] = {EngineKind::kHamletDynamic,
+                              EngineKind::kGretaGraph, EngineKind::kTwoStep,
+                              EngineKind::kSharon};
+
+  // (a)+(c): vary events per minute at fixed workload size.
+  {
+    Table latency({"events/min", "hamlet", "greta", "mcep(two-step)",
+                   "sharon"});
+    Table throughput({"events/min", "hamlet", "greta", "mcep(two-step)",
+                      "sharon"});
+    const int rates[] = {Scale(3000, 10'000), Scale(4500, 15'000),
+                         Scale(6000, 20'000)};
+    for (int rate : rates) {
+      BenchWorkload bw = MakeWorkload1("ridesharing", 10, window, /*with_predicate=*/true);
+      std::vector<std::string> lat_row = {std::to_string(rate)};
+      std::vector<std::string> thr_row = {std::to_string(rate)};
+      for (EngineKind kind : kinds) {
+        RunMetrics m = bench::RunOnce(bw, GenFor(rate, 7), ConfigFor(kind));
+        lat_row.push_back(m.dnf_windows > 0 ? "DNF"
+                                            : bench::Seconds(
+                                                  m.avg_latency_seconds));
+        thr_row.push_back(m.dnf_windows > 0 ? "DNF"
+                                            : bench::Eps(m.throughput_eps));
+      }
+      latency.AddRow(lat_row);
+      throughput.AddRow(thr_row);
+    }
+    bench::PrintFigure("Figure 9(a)", "latency vs events/min (Ridesharing)",
+                       latency);
+    bench::PrintFigure("Figure 9(c)",
+                       "throughput vs events/min (Ridesharing)", throughput);
+  }
+
+  // (b)+(d): vary the number of queries at fixed rate.
+  {
+    Table latency({"queries", "hamlet", "greta", "mcep(two-step)", "sharon"});
+    Table throughput({"queries", "hamlet", "greta", "mcep(two-step)",
+                      "sharon"});
+    const int rate = Scale(4500, 15'000);
+    for (int k : {5, 10, 15, 20, 25}) {
+      BenchWorkload bw = MakeWorkload1("ridesharing", k, window, /*with_predicate=*/true);
+      std::vector<std::string> lat_row = {std::to_string(k)};
+      std::vector<std::string> thr_row = {std::to_string(k)};
+      for (EngineKind kind : kinds) {
+        RunMetrics m = bench::RunOnce(bw, GenFor(rate, 7), ConfigFor(kind));
+        lat_row.push_back(m.dnf_windows > 0 ? "DNF"
+                                            : bench::Seconds(
+                                                  m.avg_latency_seconds));
+        thr_row.push_back(m.dnf_windows > 0 ? "DNF"
+                                            : bench::Eps(m.throughput_eps));
+      }
+      latency.AddRow(lat_row);
+      throughput.AddRow(thr_row);
+    }
+    bench::PrintFigure("Figure 9(b)", "latency vs #queries (Ridesharing)",
+                       latency);
+    bench::PrintFigure("Figure 9(d)", "throughput vs #queries (Ridesharing)",
+                       throughput);
+  }
+}
+
+}  // namespace
+}  // namespace hamlet
+
+int main() {
+  hamlet::Run();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Figure 10 (a,b): peak memory versus events/min and #queries
+// (Ridesharing, all four approaches).
+//
+// The paper's finding: HAMLET, GRETA and MCEP are comparable, while SHARON
+// needs orders of magnitude more memory (flattened per-length aggregate
+// state across its expanded fixed-length query workload).
+#include "src/benchlib/harness.h"
+
+namespace hamlet {
+namespace {
+
+using bench::Scale;
+
+void Run() {
+  const Timestamp window = 10 * kMillisPerSecond;
+  const EngineKind kinds[] = {EngineKind::kHamletDynamic,
+                              EngineKind::kGretaGraph, EngineKind::kTwoStep,
+                              EngineKind::kSharon};
+  auto gen_for = [](int rate) {
+    GeneratorConfig gen;
+    gen.seed = 7;
+    gen.events_per_minute = rate;
+    gen.duration_minutes = 1;
+    gen.num_groups = 4;
+    gen.burstiness = 0.9;
+    gen.max_burst = 40;
+    return gen;
+  };
+  auto config_for = [](EngineKind kind) {
+    RunConfig config;
+    config.kind = kind;
+    // SHARON provisions for the longest possible match per the paper; the
+    // flattened state is what Figure 10 measures.
+    config.sharon_max_length = 64;
+    config.two_step_budget = 2'000'000;
+    return config;
+  };
+
+  {
+    Table table({"events/min", "hamlet", "greta", "mcep(two-step)", "sharon"});
+    for (int rate : {Scale(3000, 10'000), Scale(4500, 15'000),
+                     Scale(6000, 20'000)}) {
+      BenchWorkload bw = MakeWorkload1("ridesharing", 10, window, /*with_predicate=*/true);
+      std::vector<std::string> row = {std::to_string(rate)};
+      for (EngineKind kind : kinds) {
+        RunMetrics m = bench::RunOnce(bw, gen_for(rate), config_for(kind));
+        row.push_back(bench::Bytes(m.peak_memory_bytes));
+      }
+      table.AddRow(row);
+    }
+    bench::PrintFigure("Figure 10(a)", "peak memory vs events/min", table);
+  }
+  {
+    Table table({"queries", "hamlet", "greta", "mcep(two-step)", "sharon"});
+    const int rate = Scale(4500, 15'000);
+    for (int k : {5, 10, 15, 20, 25}) {
+      BenchWorkload bw = MakeWorkload1("ridesharing", k, window, /*with_predicate=*/true);
+      std::vector<std::string> row = {std::to_string(k)};
+      for (EngineKind kind : kinds) {
+        RunMetrics m = bench::RunOnce(bw, gen_for(rate), config_for(kind));
+        row.push_back(bench::Bytes(m.peak_memory_bytes));
+      }
+      table.AddRow(row);
+    }
+    bench::PrintFigure("Figure 10(b)", "peak memory vs #queries", table);
+  }
+}
+
+}  // namespace
+}  // namespace hamlet
+
+int main() {
+  hamlet::Run();
+  return 0;
+}

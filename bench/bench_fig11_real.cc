@@ -1,0 +1,101 @@
+// Figure 11 (a-h): HAMLET versus GRETA on the two real-data simulations
+// (NYC taxi and Smart Home): latency / throughput / memory vs events/min,
+// and latency / throughput vs #queries.
+//
+// This is the paper's "full potential" setting: long bursts, larger windows
+// and workloads, where GRETA's per-query replication and quadratic
+// predecessor scans dominate and HAMLET's shared propagation wins by orders
+// of magnitude.
+#include "src/benchlib/harness.h"
+
+namespace hamlet {
+namespace {
+
+using bench::Scale;
+
+struct DataSet {
+  const char* name;
+  const char* figure_suffix;
+};
+
+void Run() {
+  const Timestamp window = 1 * kMillisPerMinute;
+  const DataSet datasets[] = {{"nyc_taxi", "NYC"}, {"smart_home", "SH"}};
+  auto gen_for = [](int rate) {
+    GeneratorConfig gen;
+    gen.seed = 11;
+    gen.events_per_minute = rate;
+    gen.duration_minutes = 2;
+    gen.num_groups = 4;
+    gen.burstiness = 0.9;  // long GPS/measurement runs
+    gen.max_burst = 120;
+    return gen;
+  };
+  const int rates[] = {Scale(2000, 5'000), Scale(4000, 10'000),
+                       Scale(8000, 20'000)};
+  const int k_default = Scale(20, 50);
+
+  for (const DataSet& ds : datasets) {
+    Table latency({"events/min", "hamlet", "greta"});
+    Table throughput({"events/min", "hamlet", "greta"});
+    Table memory({"events/min", "hamlet", "greta"});
+    for (int rate : rates) {
+      BenchWorkload bw = MakeWorkload1(ds.name, k_default, window);
+      RunConfig hamlet_cfg;
+      hamlet_cfg.kind = EngineKind::kHamletDynamic;
+      RunConfig greta_cfg;
+      greta_cfg.kind = EngineKind::kGretaGraph;
+      RunMetrics h = bench::RunOnce(bw, gen_for(rate), hamlet_cfg);
+      RunMetrics g = bench::RunOnce(bw, gen_for(rate), greta_cfg);
+      latency.AddRow({std::to_string(rate),
+                      bench::Seconds(h.avg_latency_seconds),
+                      bench::Seconds(g.avg_latency_seconds)});
+      throughput.AddRow({std::to_string(rate), bench::Eps(h.throughput_eps),
+                         bench::Eps(g.throughput_eps)});
+      memory.AddRow({std::to_string(rate),
+                     bench::Bytes(h.peak_memory_bytes),
+                     bench::Bytes(g.peak_memory_bytes)});
+    }
+    bench::PrintFigure(std::string("Figure 11(latency ") + ds.figure_suffix +
+                           ")",
+                       "latency vs events/min", latency);
+    bench::PrintFigure(std::string("Figure 11(throughput ") +
+                           ds.figure_suffix + ")",
+                       "throughput vs events/min", throughput);
+    bench::PrintFigure(std::string("Figure 11(memory ") + ds.figure_suffix +
+                           ")",
+                       "peak memory vs events/min", memory);
+  }
+
+  // (g,h): vary the number of queries on NYC at a fixed rate.
+  {
+    Table latency({"queries", "hamlet", "greta"});
+    Table throughput({"queries", "hamlet", "greta"});
+    const int rate = Scale(4000, 10'000);
+    for (int k : {10, 20, 30, Scale(40, 50)}) {
+      BenchWorkload bw = MakeWorkload1("nyc_taxi", k, window);
+      RunConfig hamlet_cfg;
+      hamlet_cfg.kind = EngineKind::kHamletDynamic;
+      RunConfig greta_cfg;
+      greta_cfg.kind = EngineKind::kGretaGraph;
+      RunMetrics h = bench::RunOnce(bw, gen_for(rate), hamlet_cfg);
+      RunMetrics g = bench::RunOnce(bw, gen_for(rate), greta_cfg);
+      latency.AddRow({std::to_string(k),
+                      bench::Seconds(h.avg_latency_seconds),
+                      bench::Seconds(g.avg_latency_seconds)});
+      throughput.AddRow({std::to_string(k), bench::Eps(h.throughput_eps),
+                         bench::Eps(g.throughput_eps)});
+    }
+    bench::PrintFigure("Figure 11(g)", "latency vs #queries (NYC)", latency);
+    bench::PrintFigure("Figure 11(h)", "throughput vs #queries (NYC)",
+                       throughput);
+  }
+}
+
+}  // namespace
+}  // namespace hamlet
+
+int main() {
+  hamlet::Run();
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Figure 12 (a-d): dynamic versus static sharing decisions (Stock data).
+//
+// Workload 2 is diverse (windows 5-20 min, mixed aggregates, predicates on
+// several types, ~120-event bursts). The static optimizer decides at compile
+// time to share everything; under predicate-driven snapshot churn this
+// "does more harm than good" (paper §6.2). HAMLET's dynamic optimizer
+// re-decides per burst, sharing only when the Eq. 8 benefit is positive —
+// the paper reports 21-34% latency speed-up and 27-52% throughput gain, and
+// ~90% of bursts shared.
+#include "src/benchlib/harness.h"
+
+namespace hamlet {
+namespace {
+
+using bench::Scale;
+
+GeneratorConfig GenFor(int rate) {
+  GeneratorConfig gen;
+  gen.seed = 13;
+  gen.events_per_minute = rate;
+  gen.duration_minutes = 20;  // one full cycle of the largest window
+  gen.num_groups = 4;
+  gen.burstiness = 0.992;  // ~120-event average bursts as in the paper
+  gen.max_burst = 400;
+  return gen;
+}
+
+void Run() {
+  // (a)+(c): vary events per minute (paper: 2K-4K).
+  {
+    Table latency({"events/min", "dynamic", "static", "no-share",
+                   "shared_bursts%", "snapshots_dyn", "snapshots_static"});
+    Table throughput({"events/min", "dynamic", "static", "no-share"});
+    for (int rate :
+         {Scale(200, 2000), Scale(300, 3000), Scale(400, 4000)}) {
+      BenchWorkload bw = MakeWorkload2(Scale(20, 50));
+      RunConfig dyn_cfg;
+      dyn_cfg.kind = EngineKind::kHamletDynamic;
+      RunConfig stat_cfg;
+      stat_cfg.kind = EngineKind::kHamletStatic;
+      RunConfig solo_cfg;
+      solo_cfg.kind = EngineKind::kHamletNoShare;
+      RunMetrics d = bench::RunOnce(bw, GenFor(rate), dyn_cfg);
+      RunMetrics s = bench::RunOnce(bw, GenFor(rate), stat_cfg);
+      RunMetrics n = bench::RunOnce(bw, GenFor(rate), solo_cfg);
+      const double shared_pct =
+          d.hamlet.bursts_total == 0
+              ? 0
+              : 100.0 * static_cast<double>(d.hamlet.bursts_shared) /
+                    static_cast<double>(d.hamlet.bursts_total);
+      latency.AddRow({std::to_string(rate),
+                      bench::Seconds(d.avg_latency_seconds),
+                      bench::Seconds(s.avg_latency_seconds),
+                      bench::Seconds(n.avg_latency_seconds),
+                      Table::Num(shared_pct, 1),
+                      std::to_string(d.hamlet.snapshots_created),
+                      std::to_string(s.hamlet.snapshots_created)});
+      throughput.AddRow({std::to_string(rate), bench::Eps(d.throughput_eps),
+                         bench::Eps(s.throughput_eps),
+                         bench::Eps(n.throughput_eps)});
+    }
+    bench::PrintFigure("Figure 12(a)",
+                       "latency vs events/min (dynamic vs static, Stock)",
+                       latency);
+    bench::PrintFigure("Figure 12(c)",
+                       "throughput vs events/min (dynamic vs static, Stock)",
+                       throughput);
+  }
+
+  // (b)+(d): vary the number of queries (paper: 20-100).
+  {
+    Table latency({"queries", "dynamic", "static", "no-share"});
+    Table throughput({"queries", "dynamic", "static", "no-share"});
+    const int rate = Scale(300, 3000);
+    for (int k : {20, Scale(40, 60), Scale(60, 100)}) {
+      BenchWorkload bw = MakeWorkload2(k);
+      RunConfig dyn_cfg;
+      dyn_cfg.kind = EngineKind::kHamletDynamic;
+      RunConfig stat_cfg;
+      stat_cfg.kind = EngineKind::kHamletStatic;
+      RunConfig solo_cfg;
+      solo_cfg.kind = EngineKind::kHamletNoShare;
+      RunMetrics d = bench::RunOnce(bw, GenFor(rate), dyn_cfg);
+      RunMetrics s = bench::RunOnce(bw, GenFor(rate), stat_cfg);
+      RunMetrics n = bench::RunOnce(bw, GenFor(rate), solo_cfg);
+      latency.AddRow({std::to_string(k),
+                      bench::Seconds(d.avg_latency_seconds),
+                      bench::Seconds(s.avg_latency_seconds),
+                      bench::Seconds(n.avg_latency_seconds)});
+      throughput.AddRow({std::to_string(k), bench::Eps(d.throughput_eps),
+                         bench::Eps(s.throughput_eps),
+                         bench::Eps(n.throughput_eps)});
+    }
+    bench::PrintFigure("Figure 12(b)",
+                       "latency vs #queries (dynamic vs static, Stock)",
+                       latency);
+    bench::PrintFigure("Figure 12(d)",
+                       "throughput vs #queries (dynamic vs static, Stock)",
+                       throughput);
+  }
+}
+
+}  // namespace
+}  // namespace hamlet
+
+int main() {
+  hamlet::Run();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 13 (a,b): peak memory, dynamic versus static sharing (Stock).
+//
+// The paper reports ~25% lower memory for dynamic decisions because far
+// fewer snapshots are materialised than under static always-share.
+#include "src/benchlib/harness.h"
+
+namespace hamlet {
+namespace {
+
+using bench::Scale;
+
+GeneratorConfig GenFor(int rate) {
+  GeneratorConfig gen;
+  gen.seed = 13;
+  gen.events_per_minute = rate;
+  gen.duration_minutes = 20;
+  gen.num_groups = 4;
+  gen.burstiness = 0.992;
+  gen.max_burst = 400;
+  return gen;
+}
+
+void Run() {
+  {
+    Table table({"events/min", "dynamic", "static", "snapshots_dyn",
+                 "snapshots_static"});
+    for (int rate :
+         {Scale(200, 2000), Scale(300, 3000), Scale(400, 4000)}) {
+      BenchWorkload bw = MakeWorkload2(Scale(20, 50));
+      RunConfig dyn_cfg;
+      dyn_cfg.kind = EngineKind::kHamletDynamic;
+      RunConfig stat_cfg;
+      stat_cfg.kind = EngineKind::kHamletStatic;
+      RunMetrics d = bench::RunOnce(bw, GenFor(rate), dyn_cfg);
+      RunMetrics s = bench::RunOnce(bw, GenFor(rate), stat_cfg);
+      table.AddRow({std::to_string(rate), bench::Bytes(d.peak_memory_bytes),
+                    bench::Bytes(s.peak_memory_bytes),
+                    std::to_string(d.hamlet.snapshots_created),
+                    std::to_string(s.hamlet.snapshots_created)});
+    }
+    bench::PrintFigure("Figure 13(a)",
+                       "peak memory vs events/min (dynamic vs static)",
+                       table);
+  }
+  {
+    Table table({"queries", "dynamic", "static"});
+    const int rate = Scale(300, 3000);
+    for (int k : {20, Scale(40, 60), Scale(60, 100)}) {
+      BenchWorkload bw = MakeWorkload2(k);
+      RunConfig dyn_cfg;
+      dyn_cfg.kind = EngineKind::kHamletDynamic;
+      RunConfig stat_cfg;
+      stat_cfg.kind = EngineKind::kHamletStatic;
+      RunMetrics d = bench::RunOnce(bw, GenFor(rate), dyn_cfg);
+      RunMetrics s = bench::RunOnce(bw, GenFor(rate), stat_cfg);
+      table.AddRow({std::to_string(k), bench::Bytes(d.peak_memory_bytes),
+                    bench::Bytes(s.peak_memory_bytes)});
+    }
+    bench::PrintFigure("Figure 13(b)",
+                       "peak memory vs #queries (dynamic vs static)", table);
+  }
+}
+
+}  // namespace
+}  // namespace hamlet
+
+int main() {
+  hamlet::Run();
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Google-benchmark micro-kernels for the hot paths: expression algebra,
+// snapshot store access, GRETA per-event propagation, HAMLET shared
+// propagation. These are the constants behind the paper's cost model terms.
+#include <benchmark/benchmark.h>
+
+#include "src/greta/greta_engine.h"
+#include "src/hamlet/batch_eval.h"
+#include "src/optimizer/policies.h"
+#include "src/query/parser.h"
+#include "src/stream/stream_builder.h"
+
+namespace hamlet {
+namespace {
+
+void BM_ExprAddExpr(benchmark::State& state) {
+  SnapshotStore store;
+  Expr running;
+  std::vector<SnapshotId> vars;
+  for (int i = 0; i < state.range(0); ++i) vars.push_back(store.Create());
+  for (SnapshotId v : vars) running.AddVar(v, 1.0);
+  for (auto _ : state) {
+    Expr node = Expr::Var(vars[0]);
+    node.AddExpr(running);
+    benchmark::DoNotOptimize(node.num_terms());
+  }
+}
+BENCHMARK(BM_ExprAddExpr)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_ExprEval(benchmark::State& state) {
+  SnapshotStore store;
+  Expr e;
+  for (int i = 0; i < state.range(0); ++i) {
+    SnapshotId v = store.Create();
+    store.Set(v, 0, LinAgg{.count = 1.0, .sum = 2.0, .count_e = 3.0});
+    e.AddVar(v, 1.5);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e.Eval(store, 0).count);
+  }
+}
+BENCHMARK(BM_ExprEval)->Arg(2)->Arg(8)->Arg(32);
+
+struct EngineSetup {
+  Schema schema;
+  std::unique_ptr<Workload> workload;
+  std::unique_ptr<WorkloadPlan> plan;
+  EventVector events;
+
+  explicit EngineSetup(int num_events) {
+    workload = std::make_unique<Workload>(&schema);
+    for (const char* text :
+         {"RETURN COUNT(*) PATTERN SEQ(A, B+) WITHIN 1 min",
+          "RETURN COUNT(*) PATTERN SEQ(C, B+) WITHIN 1 min"}) {
+      HAMLET_CHECK(workload->Add(ParseQuery(text).value()).ok());
+    }
+    plan = std::make_unique<WorkloadPlan>(
+        AnalyzeWorkload(*workload).value());
+    StreamBuilder sb(&schema);
+    for (int i = 0; i < num_events / 10; ++i) {
+      sb.Add("A").Add("C").AddRun(8, "B");
+    }
+    events = sb.Take();
+  }
+};
+
+void BM_GretaGraphWindow(benchmark::State& state) {
+  EngineSetup setup(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    GretaEngine engine(setup.plan->exec_queries[0], GretaMode::kGraph);
+    for (const Event& e : setup.events) engine.OnEvent(e);
+    benchmark::DoNotOptimize(engine.Value());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(setup.events.size()));
+}
+BENCHMARK(BM_GretaGraphWindow)->Arg(100)->Arg(1000);
+
+void BM_GretaPrefixWindow(benchmark::State& state) {
+  EngineSetup setup(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    GretaEngine engine(setup.plan->exec_queries[0], GretaMode::kPrefixSum);
+    for (const Event& e : setup.events) engine.OnEvent(e);
+    benchmark::DoNotOptimize(engine.Value());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(setup.events.size()));
+}
+BENCHMARK(BM_GretaPrefixWindow)->Arg(100)->Arg(1000);
+
+void BM_HamletSharedWindow(benchmark::State& state) {
+  EngineSetup setup(static_cast<int>(state.range(0)));
+  AlwaysSharePolicy policy;
+  for (auto _ : state) {
+    BatchResult r = EvalHamletBatch(*setup.plan, setup.events, &policy);
+    benchmark::DoNotOptimize(r.exec_values[0]);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(setup.events.size()));
+}
+BENCHMARK(BM_HamletSharedWindow)->Arg(100)->Arg(1000);
+
+}  // namespace
+}  // namespace hamlet
+
+BENCHMARK_MAIN();

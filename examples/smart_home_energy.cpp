@@ -1,0 +1,71 @@
+// Smart-home energy analytics: AVG-family sharing (paper §3.1).
+//
+// AVG(Load.value) decomposes into SUM and COUNT, so queries computing
+// AVG / SUM / COUNT over the same Kleene sub-pattern Load+ form one share
+// group even though their RETURN clauses differ. The example prints the
+// share groups the analyzer derives and a per-house result sample.
+#include <cstdio>
+
+#include "src/query/parser.h"
+#include "src/runtime/executor.h"
+#include "src/stream/generators.h"
+
+int main() {
+  using namespace hamlet;
+
+  SmartHomeGenerator generator;
+  Schema* schema = const_cast<Schema*>(&generator.schema());
+  Workload workload(schema);
+  const char* queries[] = {
+      // One share group: the AVG family over Load.value.
+      "RETURN AVG(Load.value) PATTERN SEQ(Switch, Load+) GROUPBY house "
+      "WITHIN 1 min",
+      "RETURN SUM(Load.value) PATTERN SEQ(Work, Load+) GROUPBY house "
+      "WITHIN 1 min",
+      "RETURN COUNT(Load) PATTERN SEQ(Spike, Load+) GROUPBY house WITHIN 1 "
+      "min",
+      // A separate group: MAX shares only with identical functions.
+      "RETURN MAX(Load.value) PATTERN SEQ(Idle, Load+) GROUPBY house WITHIN "
+      "1 min",
+      "RETURN MAX(Load.value) PATTERN SEQ(Work, Load+, Spike) GROUPBY house "
+      "WITHIN 1 min",
+  };
+  for (const char* text : queries) {
+    Result<Query> q = ParseQuery(text);
+    HAMLET_CHECK(q.ok());
+    HAMLET_CHECK(workload.Add(q.value()).ok());
+  }
+  Result<WorkloadPlan> plan = AnalyzeWorkload(workload);
+  HAMLET_CHECK(plan.ok());
+  std::printf("%s\n", plan->Describe().c_str());
+
+  GeneratorConfig gen;
+  gen.seed = 14;
+  gen.events_per_minute = 3000;
+  gen.duration_minutes = 2;
+  gen.num_groups = 3;  // houses
+  EventVector events = generator.Generate(gen);
+
+  RunConfig config;
+  config.kind = EngineKind::kHamletDynamic;
+  StreamExecutor executor(*plan, config);
+  RunOutput out = executor.Run(events);
+
+  std::printf("sample results (first window per house):\n");
+  int printed = 0;
+  for (const Emission& e : out.emissions) {
+    if (e.window_start > 0) break;
+    std::printf("  %s house=%lld -> %.2f\n",
+                workload.query(e.query).name.c_str(),
+                static_cast<long long>(e.group_key), e.value);
+    if (++printed >= 15) break;
+  }
+  std::printf(
+      "\n%lld emissions, %lld/%lld bursts shared, throughput %.0f "
+      "events/s\n",
+      static_cast<long long>(out.metrics.emissions),
+      static_cast<long long>(out.metrics.hamlet.bursts_shared),
+      static_cast<long long>(out.metrics.hamlet.bursts_total),
+      out.metrics.throughput_eps);
+  return 0;
+}

@@ -1,0 +1,214 @@
+#include "src/baselines/sharon_engine.h"
+
+#include <algorithm>
+
+namespace hamlet {
+
+SharonEngine::SharonEngine(const WorkloadPlan& plan, QuerySet members,
+                           int max_kleene_length)
+    : plan_(&plan), members_(members), max_len_(max_kleene_length) {
+  supported_.assign(static_cast<size_t>(plan.num_exec()), false);
+  profiles_.resize(static_cast<size_t>(plan.num_exec()));
+  members_.ForEach([&](QueryId q) {
+    const ExecQuery& eq = plan_->exec_queries[static_cast<size_t>(q)];
+    profiles_[static_cast<size_t>(q)] = AggProfile::For(eq.aggregate);
+    if (eq.tmpl.pattern.group_kleene) return;
+    for (const EdgePredicate& p : eq.edge_predicates) {
+      if (p.op != CmpOp::kEq) return;  // only equality partitions supported
+    }
+    ExpandQuery(q, eq);
+    supported_[static_cast<size_t>(q)] = true;
+  });
+}
+
+SharonEngine::PartitionState& SharonEngine::PartitionFor(Expanded& ex,
+                                                         const ExecQuery& eq,
+                                                         const Event& e) {
+  std::vector<double> key;
+  key.reserve(eq.edge_predicates.size());
+  for (const EdgePredicate& p : eq.edge_predicates) key.push_back(e.attr(p.attr));
+  PartitionState& state = ex.partitions[key];
+  if (state.prefix.empty()) {
+    state.prefix.assign(ex.types.size() + 1, AggValue());
+    state.prefix[0].count = 1.0;  // the empty prefix
+    state.avail.assign(ex.types.size() + 2, AggValue());
+  }
+  return state;
+}
+
+void SharonEngine::ExpandQuery(int exec_id, const ExecQuery& eq) {
+  const LinearPattern& pat = eq.tmpl.pattern;
+  const int m = pat.num_positions();
+  // Enumerate per-Kleene-position lengths 1..l (non-Kleene positions have
+  // length exactly 1), capped to keep pathological multi-Kleene patterns
+  // bounded.
+  constexpr int kMaxExpansions = 4096;
+  std::vector<int> lengths(static_cast<size_t>(m), 1);
+  std::vector<int> kleene_positions;
+  for (int i = 0; i < m; ++i) {
+    if (pat.elements[static_cast<size_t>(i)].kleene)
+      kleene_positions.push_back(i);
+  }
+  // Recursive length assignment.
+  std::vector<std::vector<int>> assignments;
+  std::vector<int> current(kleene_positions.size(), 1);
+  auto emit = [&]() {
+    if (static_cast<int>(assignments.size()) < kMaxExpansions)
+      assignments.push_back(current);
+  };
+  if (kleene_positions.empty()) {
+    assignments.push_back({});
+  } else {
+    // Odometer over lengths.
+    for (;;) {
+      emit();
+      size_t d = 0;
+      while (d < current.size()) {
+        if (current[d] < max_len_) {
+          ++current[d];
+          break;
+        }
+        current[d] = 1;
+        ++d;
+      }
+      if (d == current.size() ||
+          static_cast<int>(assignments.size()) >= kMaxExpansions)
+        break;
+    }
+  }
+
+  for (const std::vector<int>& assign : assignments) {
+    Expanded ex;
+    ex.exec_id = exec_id;
+    for (size_t ki = 0; ki < kleene_positions.size(); ++ki)
+      lengths[static_cast<size_t>(kleene_positions[ki])] = assign[ki];
+    // Build the expanded type sequence and map negation boundaries.
+    std::vector<int> block_end(static_cast<size_t>(m), 0);
+    for (int i = 0; i < m; ++i) {
+      for (int r = 0; r < lengths[static_cast<size_t>(i)]; ++r)
+        ex.types.push_back(pat.elements[static_cast<size_t>(i)].type);
+      block_end[static_cast<size_t>(i)] = static_cast<int>(ex.types.size());
+    }
+    // negs[j] = negated types blocking the edge used when an event fills
+    // prefix length j (between the (j-1)-th and j-th matched events).
+    ex.negs.assign(ex.types.size() + 2, {});
+    for (const NegationMark& n : pat.negations) {
+      if (n.after_position < 0) {
+        ex.leading_negs.push_back(n.type);
+      } else if (n.after_position >= m - 1) {
+        ex.trailing_negs.push_back(n.type);
+      } else {
+        // The first slot of block ap+1 fills prefix length block_end[ap]+1.
+        int j = block_end[static_cast<size_t>(n.after_position)] + 1;
+        ex.negs[static_cast<size_t>(j)].push_back(n.type);
+      }
+    }
+    expanded_.push_back(std::move(ex));
+    ++expanded_count_;
+  }
+}
+
+void SharonEngine::OnEvent(const Event& e) {
+  for (Expanded& ex : expanded_) {
+    const ExecQuery& eq =
+        plan_->exec_queries[static_cast<size_t>(ex.exec_id)];
+    const AggProfile& prof = profiles_[static_cast<size_t>(ex.exec_id)];
+    const bool passes = PassesEventPredicates(eq.event_predicates, e);
+    if (!passes) continue;
+    // Negation effects first: a negated match blocks boundaries across all
+    // partitions (negated events are not trend events, so edge-equality
+    // keys do not apply to them).
+    bool negated = false;
+    for (TypeId t : ex.leading_negs) {
+      if (t == e.type) {
+        ex.leading_blocked = true;
+        negated = true;
+      }
+    }
+    for (TypeId t : ex.trailing_negs) {
+      if (t == e.type) {
+        for (auto& [key, state] : ex.partitions) state.final_acc = AggValue();
+        negated = true;
+      }
+    }
+    for (size_t j = 1; j <= ex.types.size(); ++j) {
+      for (TypeId t : ex.negs[j]) {
+        if (t == e.type) {
+          for (auto& [key, state] : ex.partitions) state.avail[j] = AggValue();
+          negated = true;
+        }
+      }
+    }
+    if (negated) continue;
+    bool in_types = false;
+    for (TypeId t : ex.types) in_types |= (t == e.type);
+    if (!in_types) continue;
+    const int mlen = static_cast<int>(ex.types.size());
+    const bool is_target = e.type == prof.target_type;
+    const double val =
+        prof.target_attr == Schema::kInvalidId ? 0.0 : e.attr(prof.target_attr);
+    PartitionState& st = PartitionFor(ex, eq, e);
+    // Descending j so one event never extends a prefix it just created.
+    for (int j = mlen; j >= 1; --j) {
+      ++ops_;
+      if (ex.types[static_cast<size_t>(j - 1)] != e.type) continue;
+      AggValue base;
+      if (j == 1) {
+        if (!ex.leading_blocked) base = st.prefix[0];
+      } else {
+        base = ex.negs[static_cast<size_t>(j)].empty()
+                   ? st.prefix[static_cast<size_t>(j - 1)]
+                   : st.avail[static_cast<size_t>(j)];
+      }
+      if (base.count == 0.0) continue;
+      AggValue delta = base;
+      if (is_target) {
+        delta.count_e = base.count_e + base.count;
+        delta.sum = base.sum + val * base.count;
+        if (val < delta.min) delta.min = val;
+        if (val > delta.max) delta.max = val;
+      }
+      st.prefix[static_cast<size_t>(j)].Accumulate(delta);
+      // avail[j+1] shadows prefix[j] under boundary negation.
+      if (j + 1 <= mlen && !ex.negs[static_cast<size_t>(j + 1)].empty())
+        st.avail[static_cast<size_t>(j + 1)].Accumulate(delta);
+      if (j == mlen) st.final_acc.Accumulate(delta);
+    }
+  }
+}
+
+bool SharonEngine::Supported(int exec_id) const {
+  return supported_[static_cast<size_t>(exec_id)];
+}
+
+AggValue SharonEngine::Agg(int exec_id) const {
+  AggValue out;
+  for (const Expanded& ex : expanded_) {
+    if (ex.exec_id != exec_id) continue;
+    for (const auto& [key, state] : ex.partitions)
+      out.Accumulate(state.final_acc);
+  }
+  return out;
+}
+
+double SharonEngine::Value(int exec_id) const {
+  return ExtractResult(
+      Agg(exec_id),
+      plan_->exec_queries[static_cast<size_t>(exec_id)].aggregate.kind);
+}
+
+int64_t SharonEngine::MemoryBytes() const {
+  int64_t bytes = 0;
+  for (const Expanded& ex : expanded_) {
+    bytes += static_cast<int64_t>(ex.types.size() * sizeof(TypeId)) +
+             static_cast<int64_t>(sizeof(Expanded));
+    for (const auto& [key, state] : ex.partitions) {
+      bytes += static_cast<int64_t>(
+          (state.prefix.size() + state.avail.size()) * sizeof(AggValue) +
+          key.size() * sizeof(double));
+    }
+  }
+  return bytes;
+}
+
+}  // namespace hamlet

@@ -1,0 +1,89 @@
+// SHARON-style flattening baseline (paper §6.1 "Methodology").
+//
+// SHARON computes online *fixed-length* sequence aggregation and does not
+// support Kleene closure. Exactly as the paper describes, each Kleene
+// sub-pattern E+ is flattened into fixed-length sequence queries covering
+// every length 1..l, each evaluated by an A-Seq-style online DP over prefix
+// states. The per-event cost is O(sum of expanded positions) and the state
+// is O(l^2) payloads per Kleene query — the overheads the paper measures.
+//
+// Scope (documented): event predicates, negation, and *equality* edge
+// predicates (e.g. [driver, rider]) are supported — the latter by
+// partitioning the DP state per joint attribute value, which is exactly
+// what they mean semantically. Non-equality edge predicates and group
+// Kleene are not supported (SHARON predates both); affected queries report
+// unsupported.
+#ifndef HAMLET_BASELINES_SHARON_ENGINE_H_
+#define HAMLET_BASELINES_SHARON_ENGINE_H_
+
+#include <map>
+#include <vector>
+
+#include "src/plan/workload_plan.h"
+#include "src/query/agg_value.h"
+
+namespace hamlet {
+
+/// Per-window, per-group flattened evaluator for a set of exec queries.
+class SharonEngine {
+ public:
+  /// `max_kleene_length` is the paper's l: the provisioned longest match.
+  /// Streams whose same-type runs exceed it undercount (as real SHARON
+  /// deployments would); correctness tests keep runs below it.
+  SharonEngine(const WorkloadPlan& plan, QuerySet members,
+               int max_kleene_length = 64);
+
+  void OnEvent(const Event& e);
+
+  /// True when the exec query could be flattened.
+  bool Supported(int exec_id) const;
+  double Value(int exec_id) const;
+  AggValue Agg(int exec_id) const;
+
+  /// Prefix-state payloads across all expanded queries (the paper's
+  /// "aggregates for SHARON" memory model).
+  int64_t MemoryBytes() const;
+  int64_t ops() const { return ops_; }
+  /// Number of expanded fixed-length queries.
+  int64_t expanded_queries() const { return expanded_count_; }
+
+ private:
+  /// DP state of one equality-partition of one flattened query.
+  struct PartitionState {
+    /// Prefix payloads S_0..S_m; S_0 is the unit prefix.
+    std::vector<AggValue> prefix;
+    /// Negation-guarded availability shadow of S_{j-1} per boundary j.
+    std::vector<AggValue> avail;
+    AggValue final_acc;
+  };
+
+  /// One flattened fixed-length sequence query.
+  struct Expanded {
+    int exec_id = -1;
+    std::vector<TypeId> types;              ///< expanded positions
+    std::vector<std::vector<TypeId>> negs;  ///< boundary negations per pos
+    std::vector<TypeId> leading_negs;
+    std::vector<TypeId> trailing_negs;
+    /// Keyed by the joint value of the query's equality edge attributes
+    /// (one empty-key partition when the query has none).
+    std::map<std::vector<double>, PartitionState> partitions;
+    bool leading_blocked = false;
+  };
+
+  void ExpandQuery(int exec_id, const ExecQuery& eq);
+  PartitionState& PartitionFor(Expanded& ex, const ExecQuery& eq,
+                               const Event& e);
+
+  const WorkloadPlan* plan_;
+  QuerySet members_;
+  int max_len_;
+  std::vector<Expanded> expanded_;
+  std::vector<bool> supported_;
+  std::vector<AggProfile> profiles_;
+  int64_t ops_ = 0;
+  int64_t expanded_count_ = 0;
+};
+
+}  // namespace hamlet
+
+#endif  // HAMLET_BASELINES_SHARON_ENGINE_H_

@@ -1,0 +1,121 @@
+#include "src/baselines/two_step_engine.h"
+
+#include <algorithm>
+
+#include "src/brute/enumerator.h"
+
+namespace hamlet {
+
+namespace {
+
+/// Two exec queries share construction when their trends are guaranteed
+/// identical: same pattern and same predicates.
+bool SameSignature(const ExecQuery& a, const ExecQuery& b) {
+  if (!(a.tmpl.pattern.group_kleene == b.tmpl.pattern.group_kleene)) return false;
+  if (a.tmpl.pattern.elements.size() != b.tmpl.pattern.elements.size())
+    return false;
+  for (size_t i = 0; i < a.tmpl.pattern.elements.size(); ++i) {
+    if (a.tmpl.pattern.elements[i].type != b.tmpl.pattern.elements[i].type ||
+        a.tmpl.pattern.elements[i].kleene != b.tmpl.pattern.elements[i].kleene)
+      return false;
+  }
+  if (a.tmpl.pattern.negations.size() != b.tmpl.pattern.negations.size())
+    return false;
+  for (size_t i = 0; i < a.tmpl.pattern.negations.size(); ++i) {
+    if (a.tmpl.pattern.negations[i].type != b.tmpl.pattern.negations[i].type ||
+        a.tmpl.pattern.negations[i].after_position !=
+            b.tmpl.pattern.negations[i].after_position)
+      return false;
+  }
+  return a.event_predicates == b.event_predicates &&
+         a.edge_predicates == b.edge_predicates;
+}
+
+}  // namespace
+
+TwoStepEngine::TwoStepEngine(const WorkloadPlan& plan, QuerySet members,
+                             int64_t max_trends)
+    : plan_(&plan), members_(members), max_trends_(max_trends) {
+  aggs_.resize(static_cast<size_t>(plan.num_exec()));
+  values_.assign(static_cast<size_t>(plan.num_exec()), 0.0);
+  valid_.assign(static_cast<size_t>(plan.num_exec()), false);
+}
+
+Status TwoStepEngine::Finish() {
+  finished_ = true;
+  // Group members by construction signature (the sharing step).
+  std::vector<std::vector<int>> groups;
+  members_.ForEach([&](QueryId q) {
+    for (auto& g : groups) {
+      if (SameSignature(plan_->exec_queries[static_cast<size_t>(g[0])],
+                        plan_->exec_queries[static_cast<size_t>(q)])) {
+        g.push_back(q);
+        return;
+      }
+    }
+    groups.push_back({q});
+  });
+
+  for (const auto& group : groups) {
+    const ExecQuery& rep = plan_->exec_queries[static_cast<size_t>(group[0])];
+    // Profiles of every member, folded per constructed trend.
+    std::vector<AggProfile> profiles;
+    for (int q : group)
+      profiles.push_back(AggProfile::For(
+          plan_->exec_queries[static_cast<size_t>(q)].aggregate));
+
+    BruteOptions options;
+    options.max_trends = max_trends_ - trends_;
+    std::vector<AggValue> folded(group.size());
+    options.on_trend = [&](const std::vector<int>& trend) {
+      ++trends_;
+      peak_trend_len_ =
+          std::max(peak_trend_len_, static_cast<int64_t>(trend.size()));
+      for (size_t m = 0; m < group.size(); ++m) {
+        const AggProfile& prof = profiles[m];
+        AggValue v;
+        v.count = 1.0;
+        for (int idx : trend) {
+          const Event& e = buffer_[static_cast<size_t>(idx)];
+          if (e.type != prof.target_type) continue;
+          v.count_e += 1.0;
+          const double val = prof.target_attr == Schema::kInvalidId
+                                 ? 0.0
+                                 : e.attr(prof.target_attr);
+          v.sum += val;
+          if (val < v.min) v.min = val;
+          if (val > v.max) v.max = val;
+        }
+        folded[m].Accumulate(v);
+      }
+    };
+    Result<BruteResult> r = BruteForceEval(rep, buffer_, options);
+    if (!r.ok()) return r.status();
+    for (size_t m = 0; m < group.size(); ++m) {
+      const int q = group[m];
+      aggs_[static_cast<size_t>(q)] = folded[m];
+      values_[static_cast<size_t>(q)] = ExtractResult(
+          folded[m], plan_->exec_queries[static_cast<size_t>(q)].aggregate.kind);
+      valid_[static_cast<size_t>(q)] = true;
+    }
+  }
+  return Status::Ok();
+}
+
+double TwoStepEngine::Value(int exec_id) const {
+  HAMLET_CHECK(finished_ && valid_[static_cast<size_t>(exec_id)]);
+  return values_[static_cast<size_t>(exec_id)];
+}
+
+const AggValue& TwoStepEngine::Agg(int exec_id) const {
+  HAMLET_CHECK(finished_ && valid_[static_cast<size_t>(exec_id)]);
+  return aggs_[static_cast<size_t>(exec_id)];
+}
+
+int64_t TwoStepEngine::MemoryBytes() const {
+  return static_cast<int64_t>(buffer_.size() * sizeof(Event)) +
+         peak_trend_len_ * static_cast<int64_t>(sizeof(int)) +
+         static_cast<int64_t>(aggs_.size() * sizeof(AggValue));
+}
+
+}  // namespace hamlet

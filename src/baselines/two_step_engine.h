@@ -1,0 +1,59 @@
+// MCEP-style shared two-step baseline (paper §6.1 "Methodology").
+//
+// The defining properties reproduced here (see DESIGN.md §2 for the
+// substitution note): trends are *constructed* before aggregation (so the
+// per-window cost is proportional to the number of trends — exponential in
+// matched events), and construction is *shared*: queries with identical
+// (pattern, predicates) signatures reuse one enumeration, with all their
+// aggregates folded in a single pass. An enumeration budget guards runaway
+// windows; exceeding it is reported, mirroring how two-step systems fail to
+// keep up in the paper's high-rate settings.
+#ifndef HAMLET_BASELINES_TWO_STEP_ENGINE_H_
+#define HAMLET_BASELINES_TWO_STEP_ENGINE_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/plan/workload_plan.h"
+#include "src/query/agg_value.h"
+
+namespace hamlet {
+
+/// Per-window, per-group two-step evaluator for a set of exec queries.
+class TwoStepEngine {
+ public:
+  TwoStepEngine(const WorkloadPlan& plan, QuerySet members,
+                int64_t max_trends = 20'000'000);
+
+  /// Buffers the event (step 0: no online work beyond matching).
+  void OnEvent(const Event& e) { buffer_.push_back(e); }
+
+  /// Step 1+2: constructs all trends per signature group and folds every
+  /// member's aggregate. Returns kResourceExhausted past the trend budget.
+  Status Finish();
+
+  /// Valid after Finish().
+  double Value(int exec_id) const;
+  const AggValue& Agg(int exec_id) const;
+
+  /// Buffered events + the in-flight trend (the paper's MCEP memory model).
+  int64_t MemoryBytes() const;
+
+  int64_t trends_constructed() const { return trends_; }
+
+ private:
+  const WorkloadPlan* plan_;
+  QuerySet members_;
+  int64_t max_trends_;
+  EventVector buffer_;
+  std::vector<AggValue> aggs_;
+  std::vector<double> values_;
+  std::vector<bool> valid_;
+  int64_t trends_ = 0;
+  int64_t peak_trend_len_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace hamlet
+
+#endif  // HAMLET_BASELINES_TWO_STEP_ENGINE_H_

@@ -1,0 +1,70 @@
+#include "src/benchlib/harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hamlet {
+namespace bench {
+
+bool FullScale() {
+  const char* env = std::getenv("HAMLET_BENCH_SCALE");
+  return env != nullptr && std::string(env) == "full";
+}
+
+int Scale(int fast, int full) { return FullScale() ? full : fast; }
+
+RunMetrics RunOnce(const BenchWorkload& bw, const GeneratorConfig& gen_config,
+                   RunConfig run_config) {
+  EventVector events = bw.generator->Generate(gen_config);
+  run_config.collect_emissions = false;
+  StreamExecutor executor(*bw.plan, run_config);
+  return executor.Run(events).metrics;
+}
+
+void PrintFigure(const std::string& figure, const std::string& caption,
+                 const Table& table) {
+  std::printf("\n=== %s — %s ===\n%s\nCSV:\n%s", figure.c_str(),
+              caption.c_str(), table.ToAligned().c_str(),
+              table.ToCsv().c_str());
+  std::fflush(stdout);
+}
+
+std::string Seconds(double s) {
+  char buf[64];
+  if (s < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", s * 1e6);
+  } else if (s < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", s);
+  }
+  return buf;
+}
+
+std::string Bytes(int64_t b) {
+  char buf[64];
+  if (b < 1024) {
+    std::snprintf(buf, sizeof(buf), "%lldB", static_cast<long long>(b));
+  } else if (b < 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1fKB", static_cast<double>(b) / 1024);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fMB",
+                  static_cast<double>(b) / (1024 * 1024));
+  }
+  return buf;
+}
+
+std::string Eps(double eps) {
+  char buf[64];
+  if (eps >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fM/s", eps / 1e6);
+  } else if (eps >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fK/s", eps / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f/s", eps);
+  }
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace hamlet

@@ -1,0 +1,44 @@
+// Shared bench harness: scaling, single-run helper, table output.
+//
+// Every bench binary regenerates one paper table/figure: it sweeps the
+// figure's x-axis, runs the relevant engines and prints the series as an
+// aligned table plus CSV. Absolute numbers differ from the paper's testbed
+// (see DESIGN.md §2); the reproduced quantity is the *shape*.
+//
+// Default parameters finish the full suite in minutes on a small machine;
+// set HAMLET_BENCH_SCALE=full for paper-scale rates.
+#ifndef HAMLET_BENCHLIB_HARNESS_H_
+#define HAMLET_BENCHLIB_HARNESS_H_
+
+#include <string>
+
+#include "src/benchlib/workloads.h"
+#include "src/common/table.h"
+#include "src/runtime/executor.h"
+
+namespace hamlet {
+namespace bench {
+
+/// True when HAMLET_BENCH_SCALE=full.
+bool FullScale();
+
+/// Picks the fast or full value of a parameter.
+int Scale(int fast, int full);
+
+/// Generates the stream and runs one engine over it.
+RunMetrics RunOnce(const BenchWorkload& bw, const GeneratorConfig& gen_config,
+                   RunConfig run_config);
+
+/// Prints a figure header, the aligned table and its CSV form.
+void PrintFigure(const std::string& figure, const std::string& caption,
+                 const Table& table);
+
+/// Formats seconds/bytes/eps compactly for table cells.
+std::string Seconds(double s);
+std::string Bytes(int64_t b);
+std::string Eps(double eps);
+
+}  // namespace bench
+}  // namespace hamlet
+
+#endif  // HAMLET_BENCHLIB_HARNESS_H_

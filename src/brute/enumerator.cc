@@ -1,0 +1,203 @@
+#include "src/brute/enumerator.h"
+
+#include <algorithm>
+
+namespace hamlet {
+namespace {
+
+// DFS enumeration state over one window of events.
+class Enumerator {
+ public:
+  Enumerator(const ExecQuery& eq, const EventVector& events,
+             const BruteOptions& options)
+      : eq_(eq), tmpl_(eq.tmpl), events_(events), options_(options) {
+    profile_ = AggProfile::For(eq.aggregate);
+    // Force-fold every field so mismatches in any payload slot surface in
+    // equivalence tests.
+    profile_.need_sum |= profile_.target_attr != Schema::kInvalidId;
+    profile_.need_count_e |= profile_.target_type != Schema::kInvalidId;
+    matched_.resize(events.size());
+    for (size_t i = 0; i < events.size(); ++i) {
+      matched_[i] = PassesEventPredicates(eq.event_predicates, events[i]);
+    }
+  }
+
+  Status Run(BruteResult* out) {
+    const int m = tmpl_.pattern.num_positions();
+    for (int i = 0; i < static_cast<int>(events_.size()); ++i) {
+      const Event& e = events_[static_cast<size_t>(i)];
+      if (e.type != tmpl_.pattern.elements[0].type) continue;
+      if (!matched_[static_cast<size_t>(i)]) continue;
+      if (LeadingNegationBlocks(i)) continue;
+      trend_.push_back(i);
+      Status s = Extend(i, /*position=*/0, m);
+      trend_.pop_back();
+      if (!s.ok()) return s;
+    }
+    out->agg = final_;
+    out->value = ExtractResult(final_, eq_.aggregate.kind);
+    out->num_trends = num_trends_;
+    return Status::Ok();
+  }
+
+ private:
+  bool LeadingNegationBlocks(int first_index) const {
+    if (tmpl_.leading_negations.empty()) return false;
+    for (int j = 0; j < first_index; ++j) {
+      const Event& n = events_[static_cast<size_t>(j)];
+      for (TypeId t : tmpl_.leading_negations) {
+        if (n.type == t && matched_[static_cast<size_t>(j)]) return true;
+      }
+    }
+    return false;
+  }
+
+  bool TrailingNegationBlocks(int last_index) const {
+    if (tmpl_.trailing_negations.empty()) return false;
+    for (int j = last_index + 1; j < static_cast<int>(events_.size()); ++j) {
+      const Event& n = events_[static_cast<size_t>(j)];
+      for (TypeId t : tmpl_.trailing_negations) {
+        if (n.type == t && matched_[static_cast<size_t>(j)]) return true;
+      }
+    }
+    return false;
+  }
+
+  // Is there a blocked negated event strictly between indices a and b for the
+  // boundary entering `position`?
+  bool BoundaryNegationBlocks(int a, int b, int position) const {
+    const auto& negs =
+        tmpl_.boundary_negations[static_cast<size_t>(position)];
+    if (negs.empty()) return false;
+    for (int j = a + 1; j < b; ++j) {
+      const Event& n = events_[static_cast<size_t>(j)];
+      if (!matched_[static_cast<size_t>(j)]) continue;
+      for (TypeId t : negs) {
+        if (n.type == t) return true;
+      }
+    }
+    return false;
+  }
+
+  Status RecordTrend(int last_index) {
+    if (TrailingNegationBlocks(last_index)) return Status::Ok();
+    if (++num_trends_ > options_.max_trends)
+      return Status::ResourceExhausted("brute-force trend budget exceeded");
+    AggValue v;
+    v.count = 1.0;
+    v.min = std::numeric_limits<double>::infinity();
+    v.max = -std::numeric_limits<double>::infinity();
+    for (int idx : trend_) {
+      const Event& e = events_[static_cast<size_t>(idx)];
+      if (e.type == profile_.target_type) {
+        v.count_e += 1.0;
+        const double val = profile_.target_attr == Schema::kInvalidId
+                               ? 0.0
+                               : e.attr(profile_.target_attr);
+        v.sum += val;
+        if (val < v.min) v.min = val;
+        if (val > v.max) v.max = val;
+      }
+    }
+    final_.Accumulate(v);
+    if (options_.on_trend) options_.on_trend(trend_);
+    return Status::Ok();
+  }
+
+  // `last` is the index of the trend's current last event, matched at
+  // `position`. Records completion and tries every extension.
+  Status Extend(int last, int position, int m) {
+    if (position == m - 1) {
+      Status s = RecordTrend(last);
+      if (!s.ok()) return s;
+    }
+    // Candidate next positions, mirroring TemplateInfo::pred_positions in
+    // the forward direction.
+    for (int next_pos = 0; next_pos < m; ++next_pos) {
+      bool reachable = false;
+      for (int pred : tmpl_.pred_positions[static_cast<size_t>(next_pos)]) {
+        if (pred == position) reachable = true;
+      }
+      if (!reachable) continue;
+      TypeId want = tmpl_.pattern.elements[static_cast<size_t>(next_pos)].type;
+      for (int j = last + 1; j < static_cast<int>(events_.size()); ++j) {
+        const Event& e = events_[static_cast<size_t>(j)];
+        if (e.type != want) continue;
+        if (!matched_[static_cast<size_t>(j)]) continue;
+        if (!PassesEdgePredicates(eq_.edge_predicates,
+                                  events_[static_cast<size_t>(last)], e))
+          continue;
+        // Chain edges respect boundary negation; self-loops and the group
+        // loop are never negation-guarded (checked at compile time).
+        if (next_pos == position + 1 &&
+            BoundaryNegationBlocks(last, j, next_pos))
+          continue;
+        trend_.push_back(j);
+        Status s = Extend(j, next_pos, m);
+        trend_.pop_back();
+        if (!s.ok()) return s;
+      }
+    }
+    return Status::Ok();
+  }
+
+  const ExecQuery& eq_;
+  const TemplateInfo& tmpl_;
+  const EventVector& events_;
+  const BruteOptions& options_;
+  AggProfile profile_;
+  std::vector<bool> matched_;
+  std::vector<int> trend_;
+  AggValue final_;
+  int64_t num_trends_ = 0;
+};
+
+}  // namespace
+
+Result<BruteResult> BruteForceEval(const ExecQuery& eq,
+                                   const EventVector& events,
+                                   const BruteOptions& options) {
+  BruteResult out;
+  Enumerator en(eq, events, options);
+  Status s = en.Run(&out);
+  if (!s.ok()) return s;
+  return out;
+}
+
+Result<double> BruteForceQueryValue(const WorkloadPlan& plan, QueryId query,
+                                    const EventVector& events,
+                                    const BruteOptions& options) {
+  const CompositionRule& rule =
+      plan.compositions[static_cast<size_t>(query)];
+  std::vector<BruteResult> branch_results;
+  for (int exec_id : rule.exec_ids) {
+    Result<BruteResult> r = BruteForceEval(
+        plan.exec_queries[static_cast<size_t>(exec_id)], events, options);
+    if (!r.ok()) return r.status();
+    branch_results.push_back(r.value());
+  }
+  switch (rule.kind) {
+    case CompositionKind::kSingle:
+      return branch_results[0].value;
+    case CompositionKind::kOr: {
+      // COUNT(P1 v P2) = C1' + C2' + C12 (paper §5). Identical branches:
+      // C12 = C1; disjoint type sets: C12 = 0.
+      double c1 = branch_results[0].value;
+      double c2 = branch_results[1].value;
+      if (rule.branches_identical) return c1;
+      return c1 + c2;
+    }
+    case CompositionKind::kAnd: {
+      double c1 = branch_results[0].value;
+      double c2 = branch_results[1].value;
+      if (rule.branches_identical) {
+        // All trends are shared: C(C12, 2) unordered distinct pairs.
+        return c1 * (c1 - 1.0) / 2.0;
+      }
+      return c1 * c2;  // disjoint branches: C12 = 0
+    }
+  }
+  return Status::Internal("unreachable composition kind");
+}
+
+}  // namespace hamlet

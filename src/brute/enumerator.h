@@ -1,0 +1,52 @@
+// Reference brute-force trend enumerator: the correctness ground truth.
+//
+// Explicitly enumerates every trend (paper Definition 3) of a linear pattern
+// over a finite event sequence under skip-till-any-match semantics, applying
+// predicates and negations, and folds the aggregate per trend. Exponential by
+// design (that is the point of the paper); a trend budget guards tests.
+#ifndef HAMLET_BRUTE_ENUMERATOR_H_
+#define HAMLET_BRUTE_ENUMERATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/plan/workload_plan.h"
+#include "src/query/agg_value.h"
+
+namespace hamlet {
+
+/// Result of a brute-force evaluation of one exec query.
+struct BruteResult {
+  /// Folded end-of-trend payload (count = number of trends).
+  AggValue agg;
+  /// Final value per the query's aggregate kind.
+  double value = 0.0;
+  /// Trends visited (== agg.count, kept as exact integer).
+  int64_t num_trends = 0;
+};
+
+/// Options for enumeration.
+struct BruteOptions {
+  /// Abort with kResourceExhausted beyond this many trends.
+  int64_t max_trends = 5'000'000;
+  /// Optional callback invoked per complete trend with the event indices.
+  std::function<void(const std::vector<int>&)> on_trend;
+};
+
+/// Enumerates all trends of `eq` over `events` (one window, one group;
+/// events must be strictly increasing in time).
+Result<BruteResult> BruteForceEval(const ExecQuery& eq,
+                                   const EventVector& events,
+                                   const BruteOptions& options = {});
+
+/// Evaluates a full source query (composing OR/AND branches per §5) over one
+/// window of events.
+Result<double> BruteForceQueryValue(const WorkloadPlan& plan, QueryId query,
+                                    const EventVector& events,
+                                    const BruteOptions& options = {});
+
+}  // namespace hamlet
+
+#endif  // HAMLET_BRUTE_ENUMERATOR_H_

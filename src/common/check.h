@@ -1,0 +1,42 @@
+// Invariant-checking macros used across the HAMLET library.
+//
+// Library code does not use exceptions (see DESIGN.md §7); programming errors
+// abort with a diagnostic, recoverable errors travel through Status/Result.
+#ifndef HAMLET_COMMON_CHECK_H_
+#define HAMLET_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hamlet {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "HAMLET_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace hamlet
+
+/// Aborts the process when `cond` is false. Active in all build types: the
+/// invariants guarded by this macro are cheap relative to the work they guard
+/// and catching them in release benchmarks is worth the branch.
+#define HAMLET_CHECK(cond)                                         \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      ::hamlet::internal::CheckFailed(__FILE__, __LINE__, #cond);  \
+    }                                                              \
+  } while (0)
+
+/// Debug-only variant for hot loops.
+#ifndef NDEBUG
+#define HAMLET_DCHECK(cond) HAMLET_CHECK(cond)
+#else
+#define HAMLET_DCHECK(cond) \
+  do {                      \
+  } while (0)
+#endif
+
+#endif  // HAMLET_COMMON_CHECK_H_

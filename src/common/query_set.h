@@ -1,0 +1,139 @@
+// Fixed-capacity bitset over query ids.
+//
+// The merged workload template labels every transition with the set of
+// queries it holds for (paper Section 3.1); graphlets record which queries
+// share them (Definition 7). Workloads in the paper's evaluation reach 100
+// queries; we support up to kMaxQueries = 256.
+#ifndef HAMLET_COMMON_QUERY_SET_H_
+#define HAMLET_COMMON_QUERY_SET_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "src/common/check.h"
+
+namespace hamlet {
+
+/// Dense id of a query within a workload (index into Workload::queries()).
+using QueryId = int;
+
+/// A set of query ids, stored as a 256-bit mask.
+class QuerySet {
+ public:
+  static constexpr int kMaxQueries = 256;
+
+  QuerySet() : words_{} {}
+
+  /// Returns the set {q}.
+  static QuerySet Single(QueryId q) {
+    QuerySet s;
+    s.Insert(q);
+    return s;
+  }
+
+  /// Returns {0, 1, ..., n-1}.
+  static QuerySet FirstN(int n) {
+    QuerySet s;
+    for (QueryId q = 0; q < n; ++q) s.Insert(q);
+    return s;
+  }
+
+  void Insert(QueryId q) {
+    HAMLET_DCHECK(q >= 0 && q < kMaxQueries);
+    words_[q >> 6] |= uint64_t{1} << (q & 63);
+  }
+
+  void Erase(QueryId q) {
+    HAMLET_DCHECK(q >= 0 && q < kMaxQueries);
+    words_[q >> 6] &= ~(uint64_t{1} << (q & 63));
+  }
+
+  bool Contains(QueryId q) const {
+    HAMLET_DCHECK(q >= 0 && q < kMaxQueries);
+    return (words_[q >> 6] >> (q & 63)) & 1;
+  }
+
+  bool Empty() const {
+    for (uint64_t w : words_)
+      if (w != 0) return false;
+    return true;
+  }
+
+  int Count() const {
+    int c = 0;
+    for (uint64_t w : words_) c += __builtin_popcountll(w);
+    return c;
+  }
+
+  QuerySet Union(const QuerySet& o) const {
+    QuerySet r;
+    for (int i = 0; i < kWords; ++i) r.words_[i] = words_[i] | o.words_[i];
+    return r;
+  }
+
+  QuerySet Intersect(const QuerySet& o) const {
+    QuerySet r;
+    for (int i = 0; i < kWords; ++i) r.words_[i] = words_[i] & o.words_[i];
+    return r;
+  }
+
+  QuerySet Minus(const QuerySet& o) const {
+    QuerySet r;
+    for (int i = 0; i < kWords; ++i) r.words_[i] = words_[i] & ~o.words_[i];
+    return r;
+  }
+
+  bool IsSubsetOf(const QuerySet& o) const {
+    for (int i = 0; i < kWords; ++i)
+      if ((words_[i] & ~o.words_[i]) != 0) return false;
+    return true;
+  }
+
+  bool operator==(const QuerySet& o) const { return words_ == o.words_; }
+  bool operator!=(const QuerySet& o) const { return !(*this == o); }
+
+  /// Calls `fn(QueryId)` for every member, in increasing id order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (int i = 0; i < kWords; ++i) {
+      uint64_t w = words_[i];
+      while (w != 0) {
+        int bit = __builtin_ctzll(w);
+        fn(static_cast<QueryId>(i * 64 + bit));
+        w &= w - 1;
+      }
+    }
+  }
+
+  /// Smallest member; the set must be non-empty.
+  QueryId First() const {
+    for (int i = 0; i < kWords; ++i) {
+      if (words_[i] != 0)
+        return static_cast<QueryId>(i * 64 + __builtin_ctzll(words_[i]));
+    }
+    HAMLET_CHECK(false && "First() on empty QuerySet");
+    return -1;
+  }
+
+  /// Formats as "{0,3,7}" for diagnostics.
+  std::string ToString() const {
+    std::string out = "{";
+    bool first = true;
+    ForEach([&](QueryId q) {
+      if (!first) out += ',';
+      out += std::to_string(q);
+      first = false;
+    });
+    out += '}';
+    return out;
+  }
+
+ private:
+  static constexpr int kWords = kMaxQueries / 64;
+  std::array<uint64_t, kWords> words_;
+};
+
+}  // namespace hamlet
+
+#endif  // HAMLET_COMMON_QUERY_SET_H_

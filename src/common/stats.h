@@ -1,0 +1,62 @@
+// Lightweight running statistics used by the metrics layer and benches.
+#ifndef HAMLET_COMMON_STATS_H_
+#define HAMLET_COMMON_STATS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace hamlet {
+
+/// Accumulates count/sum/min/max/mean of a double-valued series.
+class RunningStats {
+ public:
+  void Add(double v) {
+    ++count_;
+    sum_ += v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+
+  int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  void Reset() { *this = RunningStats(); }
+
+ private:
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Stores samples to answer percentile queries; used for latency reporting.
+class Percentiles {
+ public:
+  void Add(double v) { samples_.push_back(v); }
+
+  /// p in [0,100]. Returns 0 when no samples were recorded.
+  double Percentile(double p) const {
+    if (samples_.empty()) return 0.0;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    double idx = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+    auto lo = static_cast<size_t>(idx);
+    size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = idx - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  }
+
+  size_t count() const { return samples_.size(); }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace hamlet
+
+#endif  // HAMLET_COMMON_STATS_H_

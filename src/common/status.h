@@ -1,0 +1,125 @@
+// Minimal Status/Result error-propagation types (absl::StatusOr-like).
+//
+// The library avoids exceptions; fallible public entry points (e.g. the query
+// parser, workload analysis) return Status or Result<T>.
+#ifndef HAMLET_COMMON_STATUS_H_
+#define HAMLET_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace hamlet {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kUnsupported,
+  kResourceExhausted,
+  kInternal,
+};
+
+/// Returns a short human-readable name for `code` ("ok", "invalid_argument"…).
+const char* StatusCodeName(StatusCode code);
+
+/// Success-or-error result of an operation, carrying a message on failure.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Formats as "code: message" for diagnostics.
+  std::string ToString() const {
+    if (ok()) return "ok";
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-Status. `value()` aborts if the result holds an error; callers
+/// must test `ok()` first (or use `value_or`-style access patterns).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+  /// Implicit from error status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    HAMLET_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    HAMLET_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    HAMLET_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    HAMLET_CHECK(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kUnsupported:
+      return "unsupported";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+}  // namespace hamlet
+
+#endif  // HAMLET_COMMON_STATUS_H_

@@ -1,0 +1,71 @@
+#include "src/common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/common/check.h"
+
+namespace hamlet {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  HAMLET_CHECK(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::Num(double v, int precision) {
+  char buf[64];
+  if (v != 0 && (v >= 1e7 || v < 1e-3)) {
+    std::snprintf(buf, sizeof(buf), "%.*e", precision, v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  }
+  return buf;
+}
+
+std::string Table::ToAligned() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += ' ';
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+      line += " |";
+    }
+    line += '\n';
+    return line;
+  };
+  std::string out = render_row(header_);
+  std::string rule = "|";
+  for (size_t c = 0; c < header_.size(); ++c) {
+    rule.append(widths[c] + 2, '-');
+    rule += '|';
+  }
+  out += rule + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string Table::ToCsv() const {
+  auto join = [](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c) line += ',';
+      line += row[c];
+    }
+    line += '\n';
+    return line;
+  };
+  std::string out = join(header_);
+  for (const auto& row : rows_) out += join(row);
+  return out;
+}
+
+}  // namespace hamlet

@@ -1,0 +1,39 @@
+// Aligned-table / CSV printer for bench output.
+//
+// Every bench binary prints the series a paper figure reports, both as an
+// aligned human-readable table and as CSV (for plotting).
+#ifndef HAMLET_COMMON_TABLE_H_
+#define HAMLET_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace hamlet {
+
+/// Collects rows of string cells and renders them.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Formats a double with `precision` significant decimal digits.
+  static std::string Num(double v, int precision = 3);
+
+  /// Renders with padded columns, `|` separators and a header rule.
+  std::string ToAligned() const;
+
+  /// Renders as CSV (header first).
+  std::string ToCsv() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hamlet
+
+#endif  // HAMLET_COMMON_TABLE_H_

@@ -1,0 +1,112 @@
+#include "src/greta/greta_engine.h"
+
+namespace hamlet {
+
+GretaEngine::GretaEngine(const ExecQuery& eq, GretaMode mode)
+    : eq_(&eq),
+      mode_(mode),
+      profile_(AggProfile::For(eq.aggregate)),
+      num_positions_(eq.tmpl.pattern.num_positions()) {
+  // Prefix sums cannot apply per-edge predicates; fall back to the graph.
+  if (mode_ == GretaMode::kPrefixSum && eq.has_edge_predicates())
+    mode_ = GretaMode::kGraph;
+  nodes_.resize(static_cast<size_t>(num_positions_));
+  totals_.resize(static_cast<size_t>(num_positions_));
+  boundary_totals_.resize(static_cast<size_t>(num_positions_));
+  last_negation_.resize(static_cast<size_t>(num_positions_), -1);
+}
+
+void GretaEngine::OnEvent(const Event& e) {
+  HAMLET_DCHECK(e.time > last_time_);
+  last_time_ = e.time;
+  const LinearPattern& pattern = eq_->tmpl.pattern;
+  int position = pattern.PositionOf(e.type);
+  if (position >= 0) {
+    if (!PassesEventPredicates(eq_->event_predicates, e)) return;
+    OnPositiveEvent(e, position);
+    return;
+  }
+  if (pattern.IsNegated(e.type)) {
+    if (!PassesEventPredicates(eq_->event_predicates, e)) return;
+    OnNegativeEvent(e);
+  }
+}
+
+void GretaEngine::OnNegativeEvent(const Event& e) {
+  const TemplateInfo& tmpl = eq_->tmpl;
+  for (TypeId t : tmpl.leading_negations) {
+    if (t == e.type) leading_blocked_ = true;
+  }
+  for (TypeId t : tmpl.trailing_negations) {
+    if (t == e.type) final_ = AggValue::Zero();
+  }
+  for (int p = 1; p < num_positions_; ++p) {
+    if (tmpl.BoundaryBlockedBy(p, e.type)) {
+      last_negation_[static_cast<size_t>(p)] = e.time;
+      boundary_totals_[static_cast<size_t>(p)] = AggValue::Zero();
+    }
+  }
+}
+
+AggValue GretaEngine::AccumulateGraph(const Event& e, int position) {
+  AggValue acc;
+  for (int pred : eq_->tmpl.pred_positions[static_cast<size_t>(position)]) {
+    const bool chain = pred == position - 1;
+    const Timestamp blocked_until =
+        chain ? last_negation_[static_cast<size_t>(position)] : -1;
+    for (const Node& node : nodes_[static_cast<size_t>(pred)]) {
+      ++ops_;
+      if (node.event.time <= blocked_until) continue;
+      if (!PassesEdgePredicates(eq_->edge_predicates, node.event, e)) continue;
+      acc.Accumulate(node.agg);
+    }
+  }
+  return acc;
+}
+
+AggValue GretaEngine::AccumulatePrefix(const Event& e, int position) {
+  (void)e;
+  AggValue acc;
+  const TemplateInfo& tmpl = eq_->tmpl;
+  for (int pred : tmpl.pred_positions[static_cast<size_t>(position)]) {
+    ++ops_;
+    if (pred == position - 1 &&
+        !tmpl.boundary_negations[static_cast<size_t>(position)].empty()) {
+      acc.Accumulate(boundary_totals_[static_cast<size_t>(position)]);
+    } else {
+      acc.Accumulate(totals_[static_cast<size_t>(pred)]);
+    }
+  }
+  return acc;
+}
+
+void GretaEngine::OnPositiveEvent(const Event& e, int position) {
+  AggValue acc = mode_ == GretaMode::kGraph ? AccumulateGraph(e, position)
+                                            : AccumulatePrefix(e, position);
+  const bool is_start = position == 0 && !leading_blocked_;
+  AggValue agg = FinishNode(acc, is_start, e, profile_);
+  if (mode_ == GretaMode::kGraph) {
+    nodes_[static_cast<size_t>(position)].push_back({e, agg});
+  } else {
+    totals_[static_cast<size_t>(position)].Accumulate(agg);
+    // Feed chain-boundary accumulators of the next position when negated.
+    int next = position + 1;
+    if (next < num_positions_ &&
+        !eq_->tmpl.boundary_negations[static_cast<size_t>(next)].empty()) {
+      boundary_totals_[static_cast<size_t>(next)].Accumulate(agg);
+    }
+  }
+  ++num_nodes_;
+  if (position == eq_->tmpl.end_position()) final_.Accumulate(agg);
+}
+
+int64_t GretaEngine::MemoryBytes() const {
+  if (mode_ == GretaMode::kGraph) {
+    return num_nodes_ * static_cast<int64_t>(sizeof(Node)) +
+           static_cast<int64_t>(sizeof(AggValue));
+  }
+  return static_cast<int64_t>(totals_.size() + boundary_totals_.size() + 1) *
+         static_cast<int64_t>(sizeof(AggValue));
+}
+
+}  // namespace hamlet

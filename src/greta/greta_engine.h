@@ -1,0 +1,96 @@
+// GRETA-style non-shared online trend aggregation (paper §3.2, [33]).
+//
+// One engine instance evaluates ONE exec query over ONE window of ONE
+// group's events. Trend aggregates propagate along the (implicit) event
+// graph without trend construction:
+//   count(e) = start(e) + sum_{e' in pe(e,q)} count(e')        (Eq. 2)
+//   fcount   = sum over end-type events                        (Eq. 3)
+//
+// Two execution modes:
+//  * kGraph     — faithful to the paper's cost model: stores every matched
+//                 event and scans all predecessor events per new event
+//                 (O(n^2) per window). Required when edge predicates are
+//                 present; used by default in benches for baseline fidelity.
+//  * kPrefixSum — maintains per-position running payload totals, O(p) per
+//                 event. Only valid without edge predicates (negation is
+//                 handled via resettable boundary accumulators). Provided as
+//                 the tuned-baseline ablation (DESIGN.md §6.2).
+#ifndef HAMLET_GRETA_GRETA_ENGINE_H_
+#define HAMLET_GRETA_GRETA_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/plan/workload_plan.h"
+#include "src/query/agg_value.h"
+
+namespace hamlet {
+
+enum class GretaMode {
+  kGraph,
+  kPrefixSum,
+};
+
+/// Per-window, per-group evaluator for one exec query.
+class GretaEngine {
+ public:
+  /// `eq` must outlive the engine. kPrefixSum with edge predicates falls
+  /// back to kGraph (checked, documented).
+  GretaEngine(const ExecQuery& eq, GretaMode mode);
+
+  /// Feeds the next event (strictly increasing time). Events of types
+  /// foreign to the query are ignored.
+  void OnEvent(const Event& e);
+
+  /// Folded end-type payload so far (trailing negation applied).
+  const AggValue& final_agg() const { return final_; }
+
+  /// Final value per the query's aggregate kind.
+  double Value() const { return ExtractResult(final_, eq_->aggregate.kind); }
+
+  /// Logical memory footprint in bytes (paper's memory metric).
+  int64_t MemoryBytes() const;
+
+  /// Predecessor visits / accumulator reads — the unit of the paper's cost
+  /// model (used by cost-model validation tests).
+  int64_t ops() const { return ops_; }
+
+  GretaMode mode() const { return mode_; }
+
+ private:
+  struct Node {
+    Event event;
+    AggValue agg;
+  };
+
+  void OnNegativeEvent(const Event& e);
+  void OnPositiveEvent(const Event& e, int position);
+  AggValue AccumulateGraph(const Event& e, int position);
+  AggValue AccumulatePrefix(const Event& e, int position);
+
+  const ExecQuery* eq_;
+  GretaMode mode_;
+  AggProfile profile_;
+  int num_positions_;
+
+  /// kGraph: stored nodes per position.
+  std::vector<std::vector<Node>> nodes_;
+  /// kPrefixSum: per-position payload totals.
+  std::vector<AggValue> totals_;
+  /// Per-position chain-boundary accumulator, reset when a boundary-negated
+  /// event arrives (equals totals_[pos-1] when the boundary has no negation).
+  std::vector<AggValue> boundary_totals_;
+  /// kGraph: last arrival time of a negated event per boundary position
+  /// (edges from events at or before this time are blocked).
+  std::vector<Timestamp> last_negation_;
+
+  bool leading_blocked_ = false;
+  AggValue final_;
+  Timestamp last_time_ = -1;
+  int64_t ops_ = 0;
+  int64_t num_nodes_ = 0;
+};
+
+}  // namespace hamlet
+
+#endif  // HAMLET_GRETA_GRETA_ENGINE_H_

@@ -1,0 +1,42 @@
+#include "src/hamlet/batch_eval.h"
+
+namespace hamlet {
+
+BatchResult EvalHamletBatch(const WorkloadPlan& plan,
+                            const EventVector& events, SharingPolicy* policy) {
+  return EvalHamletBatch(plan, events, policy, HamletEngine::Options());
+}
+
+BatchResult EvalHamletBatch(const WorkloadPlan& plan,
+                            const EventVector& events, SharingPolicy* policy,
+                            HamletEngine::Options options) {
+  BatchResult out;
+  HamletEngine engine(plan, QuerySet::FirstN(plan.num_exec()), policy,
+                      options);
+  const Timestamp start = events.empty() ? 0 : events.front().time;
+  const Timestamp end = events.empty() ? 1 : events.back().time + 1;
+  std::vector<ContextId> ctxs;
+  for (int e = 0; e < plan.num_exec(); ++e)
+    ctxs.push_back(engine.OpenContext(e, start, end));
+  engine.OnPaneStart(start);
+  for (const Event& ev : events) engine.OnEvent(ev);
+  engine.OnPaneEnd();
+  out.memory_bytes = engine.MemoryBytes();
+  out.exec_values.resize(static_cast<size_t>(plan.num_exec()));
+  out.exec_aggs.resize(static_cast<size_t>(plan.num_exec()));
+  for (int e = 0; e < plan.num_exec(); ++e) {
+    ContextResult r = engine.CloseContext(ctxs[static_cast<size_t>(e)]);
+    out.exec_values[static_cast<size_t>(e)] = r.value;
+    out.exec_aggs[static_cast<size_t>(e)] = r.agg;
+  }
+  for (const CompositionRule& rule : plan.compositions) {
+    std::vector<double> branch_values;
+    for (int id : rule.exec_ids)
+      branch_values.push_back(out.exec_values[static_cast<size_t>(id)]);
+    out.query_values.push_back(ComposeQueryValue(rule, branch_values));
+  }
+  out.stats = engine.stats();
+  return out;
+}
+
+}  // namespace hamlet

@@ -1,0 +1,71 @@
+// Small flat map keyed by ContextId.
+//
+// The number of simultaneously open contexts is small (one per open window
+// instance per exec query), so linear probing over a flat vector beats
+// hashing for every table in the HAMLET engine.
+#ifndef HAMLET_HAMLET_CTX_MAP_H_
+#define HAMLET_HAMLET_CTX_MAP_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/hamlet/expr.h"
+
+namespace hamlet {
+
+template <typename T>
+class CtxMap {
+ public:
+  /// Value for `ctx`, default-constructed and inserted when absent.
+  T& Mut(ContextId ctx) {
+    for (auto& [c, v] : entries_) {
+      if (c == ctx) return v;
+    }
+    entries_.emplace_back(ctx, T());
+    return entries_.back().second;
+  }
+
+  /// Value for `ctx`, or `fallback` when absent.
+  const T& Get(ContextId ctx, const T& fallback) const {
+    for (const auto& [c, v] : entries_) {
+      if (c == ctx) return v;
+    }
+    return fallback;
+  }
+
+  bool Contains(ContextId ctx) const {
+    for (const auto& [c, v] : entries_) {
+      if (c == ctx) return true;
+    }
+    return false;
+  }
+
+  void Erase(ContextId ctx) {
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].first == ctx) {
+        entries_[i] = entries_.back();
+        entries_.pop_back();
+        return;
+      }
+    }
+  }
+
+  void Clear() { entries_.clear(); }
+  size_t size() const { return entries_.size(); }
+  auto begin() { return entries_.begin(); }
+  auto end() { return entries_.end(); }
+  auto begin() const { return entries_.begin(); }
+  auto end() const { return entries_.end(); }
+
+  int64_t MemoryBytes() const {
+    return static_cast<int64_t>(entries_.capacity() * sizeof(entries_[0]));
+  }
+
+ private:
+  std::vector<std::pair<ContextId, T>> entries_;
+};
+
+}  // namespace hamlet
+
+#endif  // HAMLET_HAMLET_CTX_MAP_H_

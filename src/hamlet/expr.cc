@@ -1,0 +1,99 @@
+#include "src/hamlet/expr.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/hamlet/snapshot_store.h"
+
+namespace hamlet {
+
+Expr Expr::Var(SnapshotId var) {
+  Expr e;
+  e.AddVar(var, 1.0);
+  return e;
+}
+
+void Expr::AddVar(SnapshotId var, double alpha) {
+  auto it = std::lower_bound(
+      terms_.begin(), terms_.end(), var,
+      [](const ExprTerm& t, SnapshotId v) { return t.var < v; });
+  if (it != terms_.end() && it->var == var) {
+    it->alpha += alpha;
+    return;
+  }
+  ExprTerm t;
+  t.var = var;
+  t.alpha = alpha;
+  terms_.insert(it, t);
+}
+
+void Expr::AddExpr(const Expr& other) {
+  c0_.Add(other.c0_);
+  if (other.terms_.empty()) return;
+  // Merge two sorted term lists.
+  std::vector<ExprTerm> merged;
+  merged.reserve(terms_.size() + other.terms_.size());
+  size_t i = 0, j = 0;
+  while (i < terms_.size() || j < other.terms_.size()) {
+    if (j >= other.terms_.size() ||
+        (i < terms_.size() && terms_[i].var < other.terms_[j].var)) {
+      merged.push_back(terms_[i++]);
+    } else if (i >= terms_.size() || other.terms_[j].var < terms_[i].var) {
+      merged.push_back(other.terms_[j++]);
+    } else {
+      ExprTerm t = terms_[i];
+      t.alpha += other.terms_[j].alpha;
+      t.gamma += other.terms_[j].gamma;
+      t.delta += other.terms_[j].delta;
+      merged.push_back(t);
+      ++i;
+      ++j;
+    }
+  }
+  terms_ = std::move(merged);
+}
+
+void Expr::ApplyTargetEvent(double val, bool need_sum, bool need_count_e) {
+  // count(this) = c0.count + sum alpha_i * V_i.count. Folding
+  // sum += val * count and count_e += count therefore shifts the constant
+  // and the cross coefficients.
+  if (need_sum) {
+    c0_.sum += val * c0_.count;
+    for (ExprTerm& t : terms_) t.gamma += val * t.alpha;
+  }
+  if (need_count_e) {
+    c0_.count_e += c0_.count;
+    for (ExprTerm& t : terms_) t.delta += t.alpha;
+  }
+}
+
+LinAgg Expr::Eval(const SnapshotStore& store, ContextId ctx) const {
+  LinAgg out = c0_;
+  for (const ExprTerm& t : terms_) {
+    LinAgg v = store.Get(t.var, ctx);
+    out.count += t.alpha * v.count;
+    out.sum += t.alpha * v.sum + t.gamma * v.count;
+    out.count_e += t.alpha * v.count_e + t.delta * v.count;
+  }
+  return out;
+}
+
+double Expr::EvalCount(const SnapshotStore& store, ContextId ctx) const {
+  double count = c0_.count;
+  for (const ExprTerm& t : terms_)
+    count += t.alpha * store.Get(t.var, ctx).count;
+  return count;
+}
+
+std::string Expr::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", c0_.count);
+  std::string out = buf;
+  for (const ExprTerm& t : terms_) {
+    std::snprintf(buf, sizeof(buf), " + %g*x%d", t.alpha, t.var);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace hamlet

@@ -1,0 +1,117 @@
+// Symbolic intermediate aggregates: linear expressions over snapshots.
+//
+// HAMLET decouples the *shared* propagation structure from *per-query,
+// per-window* values by writing every intermediate aggregate as a linear
+// expression over snapshot variables (paper §3.3, data structure (2): the
+// per-event hash table of snapshot coefficients — e.g. count(b6) = 4x + z).
+//
+// The linear payload components (count / sum / count_e) propagate with two
+// twists relative to plain scaling:
+//   sum(e)     gains val(e) * count(e)  -> a count->sum cross coefficient
+//   count_e(e) gains count(e)           -> a count->count_e cross coefficient
+// so a term carries three coefficients (alpha, gamma, delta). MIN/MAX do not
+// linearise; they are folded numerically per context by the engine.
+#ifndef HAMLET_HAMLET_EXPR_H_
+#define HAMLET_HAMLET_EXPR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/query/agg_value.h"
+
+namespace hamlet {
+
+/// Snapshot variable id (paper's x, y, z...).
+using SnapshotId = int32_t;
+
+/// Dense id of an open (exec query, window instance) pair. Snapshot *values*
+/// are per context: the paper stores value(x, q) per query; contexts refine
+/// that to per (query, window instance), which is what makes panes sharable
+/// across overlapping and differing windows.
+using ContextId = int32_t;
+
+/// The linear payload components.
+struct LinAgg {
+  double count = 0.0;
+  double sum = 0.0;
+  double count_e = 0.0;
+
+  void Add(const LinAgg& o) {
+    count += o.count;
+    sum += o.sum;
+    count_e += o.count_e;
+  }
+  bool IsZero() const { return count == 0 && sum == 0 && count_e == 0; }
+  bool operator==(const LinAgg& o) const {
+    return count == o.count && sum == o.sum && count_e == o.count_e;
+  }
+};
+
+/// One term of an expression: coefficients applied to a snapshot's value V.
+///   count   += alpha * V.count
+///   sum     += alpha * V.sum + gamma * V.count
+///   count_e += alpha * V.count_e + delta * V.count
+struct ExprTerm {
+  SnapshotId var = -1;
+  double alpha = 0.0;
+  double gamma = 0.0;
+  double delta = 0.0;
+};
+
+class SnapshotStore;
+
+/// c0 + sum of terms. Terms are kept sorted by var id.
+class Expr {
+ public:
+  Expr() = default;
+
+  /// The expression that is just one snapshot variable.
+  static Expr Var(SnapshotId var);
+
+  void Clear() {
+    c0_ = LinAgg();
+    terms_.clear();
+  }
+
+  /// this += other.
+  void AddExpr(const Expr& other);
+
+  /// this += coefficient alpha on `var`.
+  void AddVar(SnapshotId var, double alpha);
+
+  /// this += constant payload.
+  void AddConst(const LinAgg& c) { c0_.Add(c); }
+
+  /// Applies FinishNode's target-event folds symbolically:
+  ///   if need_count_e: count_e += count(this)
+  ///   if need_sum:     sum     += val * count(this)
+  void ApplyTargetEvent(double val, bool need_sum, bool need_count_e);
+
+  /// Evaluates against the snapshot values of `ctx`.
+  LinAgg Eval(const SnapshotStore& store, ContextId ctx) const;
+
+  /// Evaluates only the trend count (used by MIN/MAX guards).
+  double EvalCount(const SnapshotStore& store, ContextId ctx) const;
+
+  const LinAgg& const_term() const { return c0_; }
+  const std::vector<ExprTerm>& terms() const { return terms_; }
+  int num_terms() const { return static_cast<int>(terms_.size()); }
+
+  /// Logical size for the memory metric.
+  int64_t MemoryBytes() const {
+    return static_cast<int64_t>(sizeof(Expr)) +
+           static_cast<int64_t>(terms_.capacity() * sizeof(ExprTerm));
+  }
+
+  /// "2 + 4*x3 + 1*x7" (coefficients on count only, for diagnostics).
+  std::string ToString() const;
+
+ private:
+  LinAgg c0_;
+  std::vector<ExprTerm> terms_;
+};
+
+}  // namespace hamlet
+
+#endif  // HAMLET_HAMLET_EXPR_H_

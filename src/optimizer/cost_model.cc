@@ -1,0 +1,38 @@
+#include "src/optimizer/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hamlet {
+
+namespace {
+double Log2G(double g) { return std::log2(std::max(2.0, g)); }
+}  // namespace
+
+double SharedCost(const CostInputs& in, CostModelVariant variant) {
+  if (variant == CostModelVariant::kSimple) {
+    return in.b * in.n * in.sp + in.sc * in.k * in.g * in.t;
+  }
+  return in.sc * in.k * in.g * in.p + in.b * (Log2G(in.g) + in.n * in.sp);
+}
+
+double NonSharedCost(const CostInputs& in, CostModelVariant variant) {
+  if (variant == CostModelVariant::kSimple) {
+    return static_cast<double>(in.k) * in.b * in.n;
+  }
+  return static_cast<double>(in.k) * in.b * (Log2G(in.g) + in.n);
+}
+
+double SharingBenefit(const CostInputs& in, CostModelVariant variant) {
+  return NonSharedCost(in, variant) - SharedCost(in, variant);
+}
+
+bool MarginalShareWins(double sc_q, const CostInputs& in,
+                       CostModelVariant variant) {
+  if (variant == CostModelVariant::kSimple) {
+    return sc_q * in.g * in.t <= in.b * in.n;
+  }
+  return sc_q * in.g * in.p <= in.b * (Log2G(in.g) + in.n);
+}
+
+}  // namespace hamlet

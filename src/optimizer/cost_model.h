@@ -1,0 +1,54 @@
+// The dynamic sharing benefit model (paper §4.1).
+//
+// The paper presents two variants of the per-burst cost model:
+//  * the simple form used in the worked examples Eq. 9-11 (Definition 11):
+//      Shared    = b*n*sp + sc*k*g*t
+//      NonShared = k*b*n
+//  * the refined form with lookup costs (Definition 12 / Eq. 8):
+//      Shared    = sc*k*g*p + b*(log2(g) + n*sp)
+//      NonShared = k*b*(log2(g) + n)
+// Benefit = NonShared - Shared; share when positive.
+//
+// Notation (Table 2): b events per burst, n events per window, g events per
+// graphlet, k queries, p predecessor types per type per query, t types per
+// query, sc snapshots created per burst, sp snapshots propagated.
+#ifndef HAMLET_OPTIMIZER_COST_MODEL_H_
+#define HAMLET_OPTIMIZER_COST_MODEL_H_
+
+namespace hamlet {
+
+enum class CostModelVariant {
+  kSimple,   ///< Definition 11 (worked examples Eq. 9-11)
+  kRefined,  ///< Definition 12 / Eq. 8
+};
+
+/// Cost-model inputs for one burst decision.
+struct CostInputs {
+  int k = 1;
+  double b = 1.0;
+  double n = 1.0;
+  double g = 1.0;
+  int p = 1;
+  int t = 1;
+  double sc = 1.0;
+  double sp = 1.0;
+};
+
+/// Cost of processing the burst in one shared graphlet.
+double SharedCost(const CostInputs& in, CostModelVariant variant);
+
+/// Cost of processing the burst in k per-query graphlets.
+double NonSharedCost(const CostInputs& in, CostModelVariant variant);
+
+/// NonShared - Shared (Definition 12: share when > 0).
+double SharingBenefit(const CostInputs& in, CostModelVariant variant);
+
+/// Theorem 4.1/4.2 marginal test: keeping query q in the shared set trades
+/// the additive factor sc_q*g*p (its snapshot maintenance) against
+/// b*(log2(g)+n) (its re-computation). Returns true when sharing q wins.
+bool MarginalShareWins(double sc_q, const CostInputs& in,
+                       CostModelVariant variant);
+
+}  // namespace hamlet
+
+#endif  // HAMLET_OPTIMIZER_COST_MODEL_H_

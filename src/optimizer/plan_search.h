@@ -1,0 +1,46 @@
+// Choice of query set (paper §4.3, Figure 7).
+//
+// The search space of sharing plans for one Kleene sub-pattern contains one
+// shared subset S (|S| >= 2 or empty) with all remaining queries processed
+// separately — 12 plans for 4 queries as in Figure 7. ExhaustivePlanSearch
+// scores every plan; PrunedPlanSearch applies the snapshot-driven
+// (Theorem 4.1) and benefit-driven (Theorem 4.2) pruning principles and
+// runs in O(m) for m snapshot-introducing queries. The optimality tests
+// assert both return equally cheap plans.
+#ifndef HAMLET_OPTIMIZER_PLAN_SEARCH_H_
+#define HAMLET_OPTIMIZER_PLAN_SEARCH_H_
+
+#include <vector>
+
+#include "src/common/query_set.h"
+#include "src/optimizer/cost_model.h"
+
+namespace hamlet {
+
+/// One scored plan: the shared subset (empty = fully non-shared) and its
+/// total execution cost Shared(S) + sum of NonShared per solo query.
+struct SharingPlan {
+  QuerySet shared;
+  double cost = 0.0;
+};
+
+/// Per-query snapshot attributions sc_q; shared-set cost uses
+/// sc(S) = 1 + sum_{q in S} sc_q.
+struct PlanSearchInputs {
+  CostInputs base;            ///< k ignored; derived from subsets
+  std::vector<double> sc_q;   ///< per query, indexed 0..k-1
+  CostModelVariant variant = CostModelVariant::kRefined;
+};
+
+/// Cost of the plan sharing exactly `shared` (other queries solo).
+double PlanCost(const PlanSearchInputs& in, const QuerySet& shared);
+
+/// Scores all subsets (exponential; k <= 16 enforced).
+SharingPlan ExhaustivePlanSearch(const PlanSearchInputs& in, int k);
+
+/// Theorem 4.1/4.2-pruned search: O(m).
+SharingPlan PrunedPlanSearch(const PlanSearchInputs& in, int k);
+
+}  // namespace hamlet
+
+#endif  // HAMLET_OPTIMIZER_PLAN_SEARCH_H_

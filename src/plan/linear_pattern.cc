@@ -1,0 +1,189 @@
+#include "src/plan/linear_pattern.h"
+
+#include <algorithm>
+
+namespace hamlet {
+
+int LinearPattern::PositionOf(TypeId type) const {
+  for (int i = 0; i < num_positions(); ++i) {
+    if (elements[static_cast<size_t>(i)].type == type) return i;
+  }
+  return -1;
+}
+
+bool LinearPattern::IsNegated(TypeId type) const {
+  return std::any_of(negations.begin(), negations.end(),
+                     [&](const NegationMark& n) { return n.type == type; });
+}
+
+std::vector<TypeId> LinearPattern::AllTypes() const {
+  std::vector<TypeId> out;
+  for (const SeqElement& e : elements) out.push_back(e.type);
+  for (const NegationMark& n : negations) {
+    if (std::find(out.begin(), out.end(), n.type) == out.end())
+      out.push_back(n.type);
+  }
+  return out;
+}
+
+std::string LinearPattern::ToString(const Schema& schema) const {
+  std::string out;
+  if (group_kleene) out += "(";
+  out += "SEQ(";
+  // Interleave negations at their boundaries.
+  auto emit_negs = [&](int boundary, bool* first) {
+    for (const NegationMark& n : negations) {
+      if (n.after_position == boundary) {
+        if (!*first) out += ", ";
+        out += "NOT " + schema.TypeName(n.type);
+        *first = false;
+      }
+    }
+  };
+  bool first = true;
+  emit_negs(-1, &first);
+  for (int i = 0; i < num_positions(); ++i) {
+    if (!first) out += ", ";
+    first = false;
+    const SeqElement& e = elements[static_cast<size_t>(i)];
+    out += schema.TypeName(e.type);
+    if (e.kleene) out += "+";
+    emit_negs(i, &first);
+  }
+  out += ")";
+  if (group_kleene) out += ")+";
+  return out;
+}
+
+namespace {
+
+// Flattens `p` (which must be below any top-level OR/AND) into `out`.
+// `boundary` tracks the index of the last emitted positive position.
+Status FlattenInto(const Pattern& p, LinearPattern* out) {
+  switch (p.kind) {
+    case PatternKind::kType:
+      out->elements.push_back({p.type, /*kleene=*/false});
+      return Status::Ok();
+    case PatternKind::kKleene: {
+      const Pattern& inner = p.children[0];
+      if (inner.kind == PatternKind::kType) {
+        out->elements.push_back({inner.type, /*kleene=*/true});
+        return Status::Ok();
+      }
+      return Status::Unsupported(
+          "nested Kleene is only supported at the top level: " + p.ToString());
+    }
+    case PatternKind::kNot: {
+      const Pattern& inner = p.children[0];
+      if (inner.kind != PatternKind::kType)
+        return Status::Unsupported("NOT applies to a single event type");
+      out->negations.push_back(
+          {inner.type, static_cast<int>(out->elements.size()) - 1});
+      return Status::Ok();
+    }
+    case PatternKind::kSeq: {
+      for (const Pattern& c : p.children) {
+        Status s = FlattenInto(c, out);
+        if (!s.ok()) return s;
+      }
+      return Status::Ok();
+    }
+    case PatternKind::kOr:
+    case PatternKind::kAnd:
+      return Status::Unsupported(
+          "OR/AND are only supported at the top level of a pattern");
+  }
+  return Status::Internal("unreachable pattern kind");
+}
+
+Result<LinearPattern> CompileBranch(const Pattern& p) {
+  LinearPattern out;
+  const Pattern* body = &p;
+  // Top-level group Kleene: (SEQ(...))+ or (E)+ — the latter is just E+.
+  if (p.kind == PatternKind::kKleene &&
+      p.children[0].kind != PatternKind::kType) {
+    out.group_kleene = true;
+    body = &p.children[0];
+  }
+  Status s = FlattenInto(*body, &out);
+  if (!s.ok()) return s;
+  if (out.elements.empty())
+    return Status::InvalidArgument("pattern has no positive positions");
+  // Paper assumption: each event type occurs once per pattern (merged
+  // templates represent each type by a single state).
+  std::vector<TypeId> seen = out.AllTypes();
+  std::sort(seen.begin(), seen.end());
+  if (std::adjacent_find(seen.begin(), seen.end()) != seen.end())
+    return Status::Unsupported(
+        "each event type may occur at most once per pattern");
+  if (out.group_kleene && !out.negations.empty())
+    return Status::Unsupported("negation inside a group Kleene");
+  return out;
+}
+
+bool SameTypeSetDisjoint(const LinearPattern& a, const LinearPattern& b,
+                         bool* disjoint) {
+  std::vector<TypeId> ta = a.AllTypes();
+  std::vector<TypeId> tb = b.AllTypes();
+  *disjoint = true;
+  for (TypeId t : ta) {
+    if (std::find(tb.begin(), tb.end(), t) != tb.end()) {
+      *disjoint = false;
+      break;
+    }
+  }
+  return true;
+}
+
+bool BranchesIdentical(const LinearPattern& a, const LinearPattern& b) {
+  if (a.group_kleene != b.group_kleene) return false;
+  if (a.elements.size() != b.elements.size()) return false;
+  for (size_t i = 0; i < a.elements.size(); ++i) {
+    if (a.elements[i].type != b.elements[i].type ||
+        a.elements[i].kleene != b.elements[i].kleene)
+      return false;
+  }
+  if (a.negations.size() != b.negations.size()) return false;
+  for (size_t i = 0; i < a.negations.size(); ++i) {
+    if (a.negations[i].type != b.negations[i].type ||
+        a.negations[i].after_position != b.negations[i].after_position)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<CompiledPattern> CompilePattern(const Pattern& pattern,
+                                       const Schema& schema) {
+  (void)schema;
+  CompiledPattern out;
+  if (pattern.kind == PatternKind::kOr || pattern.kind == PatternKind::kAnd) {
+    out.composition = pattern.kind == PatternKind::kOr ? CompositionKind::kOr
+                                                       : CompositionKind::kAnd;
+    for (const Pattern& child : pattern.children) {
+      if (child.kind == PatternKind::kOr || child.kind == PatternKind::kAnd)
+        return Status::Unsupported("nested OR/AND composition");
+      Result<LinearPattern> branch = CompileBranch(child);
+      if (!branch.ok()) return branch.status();
+      out.branches.push_back(branch.value());
+    }
+    out.branches_identical =
+        BranchesIdentical(out.branches[0], out.branches[1]);
+    if (!out.branches_identical) {
+      bool disjoint = false;
+      SameTypeSetDisjoint(out.branches[0], out.branches[1], &disjoint);
+      if (!disjoint)
+        return Status::Unsupported(
+            "OR/AND branches must have disjoint type sets or be identical "
+            "(general trend overlap C1,2 is not computable compositionally)");
+    }
+    return out;
+  }
+  Result<LinearPattern> branch = CompileBranch(pattern);
+  if (!branch.ok()) return branch.status();
+  out.branches.push_back(branch.value());
+  return out;
+}
+
+}  // namespace hamlet

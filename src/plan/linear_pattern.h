@@ -1,0 +1,87 @@
+// Normalization of Pattern ASTs into the linear form the engines execute.
+//
+// Engines evaluate *linear* Kleene patterns: an ordered list of positive
+// positions (each a type, optionally Kleene-starred), negation marks between
+// positions, and an optional whole-pattern Kleene loop (paper §5, nested
+// Kleene). OR/AND composition is handled above the engines by count
+// composition (§5), so a general query compiles into one or more linear
+// branches plus a composition rule.
+#ifndef HAMLET_PLAN_LINEAR_PATTERN_H_
+#define HAMLET_PLAN_LINEAR_PATTERN_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/query/pattern.h"
+
+namespace hamlet {
+
+/// One positive position of a linear pattern.
+struct SeqElement {
+  TypeId type = Schema::kInvalidId;
+  bool kleene = false;  ///< E+
+};
+
+/// A negation: "no event of `type` may occur strictly between the trend
+/// events adjacent to this boundary".
+/// `after_position == -1`  -> leading NOT (no N before the trend's first
+///                            event, from window start);
+/// `after_position == m-1` -> trailing NOT (no N after the trend's last
+///                            event, to window end);
+/// otherwise the boundary between positions after_position and
+/// after_position+1.
+struct NegationMark {
+  TypeId type = Schema::kInvalidId;
+  int after_position = -1;
+};
+
+/// SEQ-normal form of a (branch of a) Kleene pattern.
+struct LinearPattern {
+  std::vector<SeqElement> elements;     ///< positive positions, in order
+  std::vector<NegationMark> negations;  ///< between-position negations
+  /// Whole-sequence Kleene: (SEQ(...))+ adds the loop last->first
+  /// (paper Example 10).
+  bool group_kleene = false;
+
+  int num_positions() const { return static_cast<int>(elements.size()); }
+
+  /// Position of `type` among the positive elements, or -1.
+  int PositionOf(TypeId type) const;
+
+  /// True when `type` occurs negated.
+  bool IsNegated(TypeId type) const;
+
+  /// All types (positive then negated), each once.
+  std::vector<TypeId> AllTypes() const;
+
+  std::string ToString(const Schema& schema) const;
+};
+
+/// How a query combines its linear branches (paper §5).
+enum class CompositionKind {
+  kSingle,  ///< one branch
+  kOr,      ///< COUNT(P1 OR P2) = C1 + C2 + C1,2
+  kAnd,     ///< COUNT(P1 AND P2) = C1*C2 + C1*C12 + C2*C12 + C(C12,2)
+};
+
+/// A compiled pattern: branches plus composition. The supported OR/AND
+/// composition requires branches over disjoint type sets (then C1,2 = 0) or
+/// identical branches (then C1,2 = C1 = C2); the general overlap case is
+/// rejected as unsupported (documented in DESIGN.md).
+struct CompiledPattern {
+  CompositionKind composition = CompositionKind::kSingle;
+  std::vector<LinearPattern> branches;
+  /// True when the two branches match exactly the same trends.
+  bool branches_identical = false;
+};
+
+/// Lowers a resolved Pattern into CompiledPattern. Enforces the paper's
+/// structural assumptions: every event type occurs at most once per branch,
+/// at least one positive position, OR/AND only at the top level.
+Result<CompiledPattern> CompilePattern(const Pattern& pattern,
+                                       const Schema& schema);
+
+}  // namespace hamlet
+
+#endif  // HAMLET_PLAN_LINEAR_PATTERN_H_

@@ -1,0 +1,54 @@
+#include "src/plan/merged_template.h"
+
+namespace hamlet {
+
+void MergedTemplate::AddQuery(int exec_id, const TemplateInfo& info) {
+  const LinearPattern& p = info.pattern;
+  for (int i = 0; i < p.num_positions(); ++i) {
+    TypeId to = p.elements[static_cast<size_t>(i)].type;
+    for (int pred : info.pred_positions[static_cast<size_t>(i)]) {
+      TypeId from = p.elements[static_cast<size_t>(pred)].type;
+      transitions_[{from, to}].Insert(exec_id);
+    }
+  }
+}
+
+QuerySet MergedTemplate::TransitionLabel(TypeId from, TypeId to) const {
+  auto it = transitions_.find({from, to});
+  return it == transitions_.end() ? QuerySet() : it->second;
+}
+
+QuerySet MergedTemplate::KleeneQueriesOf(TypeId type) const {
+  return TransitionLabel(type, type);
+}
+
+std::vector<TypeId> MergedTemplate::ShareableKleeneTypes() const {
+  std::vector<TypeId> out;
+  for (const auto& [edge, label] : transitions_) {
+    if (edge.first == edge.second && label.Count() >= 2)
+      out.push_back(edge.first);
+  }
+  return out;
+}
+
+std::string MergedTemplate::ToString(const Schema& schema) const {
+  std::string out;
+  for (const auto& [edge, label] : transitions_) {
+    out += schema.TypeName(edge.first) + " -> " + schema.TypeName(edge.second) +
+           " " + label.ToString() + "\n";
+  }
+  return out;
+}
+
+std::string MergedTemplate::ToDot(const Schema& schema) const {
+  std::string out = "digraph merged_template {\n  rankdir=LR;\n";
+  for (const auto& [edge, label] : transitions_) {
+    out += "  \"" + schema.TypeName(edge.first) + "\" -> \"" +
+           schema.TypeName(edge.second) + "\" [label=\"" + label.ToString() +
+           "\"];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace hamlet

@@ -1,0 +1,53 @@
+// Merged workload template (paper §3.1, Fig. 3(b) and Fig. 8).
+//
+// One state per event type across the whole workload; each transition is
+// labeled with the set of (exec-)queries it holds for. Kleene self-loop
+// transitions shared by more than one query are the shareable Kleene
+// sub-patterns (Definition 4).
+#ifndef HAMLET_PLAN_MERGED_TEMPLATE_H_
+#define HAMLET_PLAN_MERGED_TEMPLATE_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/query_set.h"
+#include "src/plan/template_info.h"
+
+namespace hamlet {
+
+/// The merged FSA over all exec queries of a workload.
+class MergedTemplate {
+ public:
+  /// Adds one query's template under id `exec_id`.
+  void AddQuery(int exec_id, const TemplateInfo& info);
+
+  /// Queries whose trends may step from `from` to `to`.
+  QuerySet TransitionLabel(TypeId from, TypeId to) const;
+
+  /// Queries containing the Kleene sub-pattern E+ (the self-loop label).
+  QuerySet KleeneQueriesOf(TypeId type) const;
+
+  /// All types with a Kleene self-loop labeled by >= 2 queries
+  /// (Definition 4's shareable Kleene sub-patterns).
+  std::vector<TypeId> ShareableKleeneTypes() const;
+
+  /// All (from, to) transitions.
+  const std::map<std::pair<TypeId, TypeId>, QuerySet>& transitions() const {
+    return transitions_;
+  }
+
+  /// Human-readable dump, one transition per line.
+  std::string ToString(const Schema& schema) const;
+
+  /// Graphviz rendering (used by examples/docs).
+  std::string ToDot(const Schema& schema) const;
+
+ private:
+  std::map<std::pair<TypeId, TypeId>, QuerySet> transitions_;
+};
+
+}  // namespace hamlet
+
+#endif  // HAMLET_PLAN_MERGED_TEMPLATE_H_

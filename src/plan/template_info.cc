@@ -1,0 +1,68 @@
+#include "src/plan/template_info.h"
+
+#include <algorithm>
+
+namespace hamlet {
+
+TemplateInfo BuildTemplate(const LinearPattern& pattern) {
+  TemplateInfo info;
+  info.pattern = pattern;
+  const int m = pattern.num_positions();
+  info.pred_positions.resize(static_cast<size_t>(m));
+  info.boundary_negations.resize(static_cast<size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    auto& preds = info.pred_positions[static_cast<size_t>(i)];
+    if (i > 0) preds.push_back(i - 1);
+    if (pattern.elements[static_cast<size_t>(i)].kleene) preds.push_back(i);
+    if (i == 0 && pattern.group_kleene && m > 1) preds.push_back(m - 1);
+    // Degenerate single-position group Kleene (SEQ(A))+ == A+ semantics.
+    if (i == 0 && pattern.group_kleene && m == 1 &&
+        !pattern.elements[0].kleene)
+      preds.push_back(0);
+  }
+  for (const NegationMark& n : pattern.negations) {
+    if (n.after_position < 0) {
+      info.leading_negations.push_back(n.type);
+    } else if (n.after_position >= m - 1) {
+      info.trailing_negations.push_back(n.type);
+    } else {
+      info.boundary_negations[static_cast<size_t>(n.after_position + 1)]
+          .push_back(n.type);
+    }
+  }
+  return info;
+}
+
+std::vector<TypeId> TemplateInfo::PredTypesOf(int position) const {
+  std::vector<TypeId> out;
+  for (int p : pred_positions[static_cast<size_t>(position)]) {
+    TypeId t = pattern.elements[static_cast<size_t>(p)].type;
+    if (std::find(out.begin(), out.end(), t) == out.end()) out.push_back(t);
+  }
+  return out;
+}
+
+bool TemplateInfo::BoundaryBlockedBy(int position, TypeId neg) const {
+  const auto& negs = boundary_negations[static_cast<size_t>(position)];
+  return std::find(negs.begin(), negs.end(), neg) != negs.end();
+}
+
+std::string TemplateInfo::ToString(const Schema& schema) const {
+  std::string out = pattern.ToString(schema) + " [";
+  for (int i = 0; i < pattern.num_positions(); ++i) {
+    if (i) out += "; ";
+    out += schema.TypeName(pattern.elements[static_cast<size_t>(i)].type);
+    out += " <- {";
+    bool first = true;
+    for (TypeId t : PredTypesOf(i)) {
+      if (!first) out += ",";
+      out += schema.TypeName(t);
+      first = false;
+    }
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace hamlet

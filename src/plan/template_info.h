@@ -1,0 +1,59 @@
+// Per-query template (paper §3.1, Fig. 3): the FSA view of a linear pattern.
+//
+// States are event types; transitions say which types may precede which in a
+// trend. The engines consume the derived navigation tables: predecessor
+// positions `pred_positions`, predecessor types `pt(E,q)`, start/end types,
+// and negation boundary marks.
+#ifndef HAMLET_PLAN_TEMPLATE_INFO_H_
+#define HAMLET_PLAN_TEMPLATE_INFO_H_
+
+#include <string>
+#include <vector>
+
+#include "src/plan/linear_pattern.h"
+
+namespace hamlet {
+
+/// Navigation tables derived from a LinearPattern.
+struct TemplateInfo {
+  LinearPattern pattern;
+
+  /// pred_positions[i] = positions whose events may directly precede an
+  /// event at position i (paper's pt(E,q) in position space): i-1 (chain),
+  /// i (Kleene self-loop), and m-1 for i==0 under a group Kleene.
+  std::vector<std::vector<int>> pred_positions;
+
+  /// boundary_negations[i] = negated types that block the chain edge
+  /// (i-1 -> i); empty for i==0.
+  std::vector<std::vector<TypeId>> boundary_negations;
+
+  /// Leading NOT types: no such event may precede the trend's first event
+  /// (from window start).
+  std::vector<TypeId> leading_negations;
+  /// Trailing NOT types: no such event may follow the trend's last event
+  /// (to window end).
+  std::vector<TypeId> trailing_negations;
+
+  /// Start position is always 0 and end position m-1 for linear patterns.
+  int start_position() const { return 0; }
+  int end_position() const { return pattern.num_positions() - 1; }
+
+  TypeId start_type() const { return pattern.elements.front().type; }
+  TypeId end_type() const { return pattern.elements.back().type; }
+
+  /// pt(E,q) as type ids for the type at position i.
+  std::vector<TypeId> PredTypesOf(int position) const;
+
+  /// True when the chain edge into `position` is blocked by negated type
+  /// `neg` (used by engines when a negative match arrives).
+  bool BoundaryBlockedBy(int position, TypeId neg) const;
+
+  std::string ToString(const Schema& schema) const;
+};
+
+/// Builds the navigation tables for a linear pattern.
+TemplateInfo BuildTemplate(const LinearPattern& pattern);
+
+}  // namespace hamlet
+
+#endif  // HAMLET_PLAN_TEMPLATE_INFO_H_

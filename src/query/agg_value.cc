@@ -1,0 +1,87 @@
+#include "src/query/agg_value.h"
+
+#include "src/common/check.h"
+
+namespace hamlet {
+
+AggProfile AggProfile::For(const AggregateSpec& agg) {
+  AggProfile p;
+  p.target_type = agg.type;
+  p.target_attr = agg.attr;
+  switch (agg.kind) {
+    case AggKind::kCountTrends:
+      break;
+    case AggKind::kCountEvents:
+      p.need_count_e = true;
+      break;
+    case AggKind::kSum:
+      p.need_sum = true;
+      break;
+    case AggKind::kAvg:
+      p.need_sum = true;
+      p.need_count_e = true;
+      break;
+    case AggKind::kMin:
+      p.need_min = true;
+      break;
+    case AggKind::kMax:
+      p.need_max = true;
+      break;
+  }
+  return p;
+}
+
+void AggProfile::MergeWith(const AggProfile& other) {
+  if (target_type == Schema::kInvalidId) {
+    target_type = other.target_type;
+  } else if (other.target_type != Schema::kInvalidId) {
+    HAMLET_CHECK(target_type == other.target_type);
+  }
+  if (target_attr == Schema::kInvalidId) {
+    target_attr = other.target_attr;
+  } else if (other.target_attr != Schema::kInvalidId) {
+    HAMLET_CHECK(target_attr == other.target_attr);
+  }
+  need_sum |= other.need_sum;
+  need_count_e |= other.need_count_e;
+  need_min |= other.need_min;
+  need_max |= other.need_max;
+}
+
+AggValue FinishNode(const AggValue& acc, bool is_start, const Event& e,
+                    const AggProfile& profile) {
+  AggValue out = acc;
+  out.count = acc.count + (is_start ? 1.0 : 0.0);
+  if (e.type == profile.target_type) {
+    if (profile.need_count_e) out.count_e = acc.count_e + out.count;
+    const double val =
+        profile.target_attr == Schema::kInvalidId ? 0.0 : e.attr(
+            profile.target_attr);
+    if (profile.need_sum) out.sum = acc.sum + val * out.count;
+    if (out.count > 0.0) {
+      if (profile.need_min && val < out.min) out.min = val;
+      if (profile.need_max && val > out.max) out.max = val;
+    }
+  }
+  return out;
+}
+
+double ExtractResult(const AggValue& final_acc, AggKind kind) {
+  switch (kind) {
+    case AggKind::kCountTrends:
+      return final_acc.count;
+    case AggKind::kCountEvents:
+      return final_acc.count_e;
+    case AggKind::kSum:
+      return final_acc.sum;
+    case AggKind::kAvg:
+      return final_acc.count_e == 0.0 ? 0.0 : final_acc.sum / final_acc.count_e;
+    case AggKind::kMin:
+      return final_acc.min;
+    case AggKind::kMax:
+      return final_acc.max;
+  }
+  return 0.0;
+}
+
+}  // namespace hamlet

@@ -1,0 +1,91 @@
+// Aggregate payload propagated through the GRETA/HAMLET graphs.
+//
+// All supported aggregates (COUNT(*), COUNT(E), SUM, AVG, MIN, MAX) ride on
+// the same trend-count propagation (paper Eq. 1-3), extended per target
+// event:
+//   count(e)   = start(e) + sum_{e' in pe(e)} count(e')
+//   count_e(e) = sum count_e(e') + [e.type==E] * count(e)
+//   sum(e)     = sum sum(e')    + [e.type==E] * val(e) * count(e)
+//   min(e)     = min(min over e' min(e'), [e.type==E && count(e)>0] val(e))
+// Final values fold the payloads of end-type events (Eq. 3); AVG divides
+// SUM by COUNT(E) at emission.
+#ifndef HAMLET_QUERY_AGG_VALUE_H_
+#define HAMLET_QUERY_AGG_VALUE_H_
+
+#include <limits>
+
+#include "src/query/aggregate.h"
+#include "src/stream/event.h"
+
+namespace hamlet {
+
+/// Which payload fields a query (or share group) maintains, and the target
+/// type/attribute for the per-event folds.
+struct AggProfile {
+  bool need_sum = false;
+  bool need_count_e = false;
+  bool need_min = false;
+  bool need_max = false;
+  TypeId target_type = Schema::kInvalidId;
+  AttrId target_attr = Schema::kInvalidId;
+
+  /// Profile for one aggregate.
+  static AggProfile For(const AggregateSpec& agg);
+
+  /// Union profile for a share group. All aggregates in a group are mutually
+  /// shareable (Definition 5), hence target the same event type.
+  void MergeWith(const AggProfile& other);
+};
+
+/// The propagated payload. Unused fields stay at their identities.
+struct AggValue {
+  double count = 0.0;
+  double sum = 0.0;
+  double count_e = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  static AggValue Zero() { return AggValue(); }
+
+  /// Linear parts add; min/max fold. Used both for predecessor accumulation
+  /// (Eq. 2's sum over pe(e)) and for summing events of a graphlet (Eq. 5).
+  void Accumulate(const AggValue& v) {
+    count += v.count;
+    sum += v.sum;
+    count_e += v.count_e;
+    if (v.min < min) min = v.min;
+    if (v.max > max) max = v.max;
+  }
+
+  /// Scales the linear parts (used by snapshot coefficient evaluation);
+  /// min/max are coefficient-free, so a positive coefficient keeps them and
+  /// a zero coefficient is never emitted.
+  void AddScaled(const AggValue& v, double coeff) {
+    count += coeff * v.count;
+    sum += coeff * v.sum;
+    count_e += coeff * v.count_e;
+    if (coeff > 0.0) {
+      if (v.min < min) min = v.min;
+      if (v.max > max) max = v.max;
+    }
+  }
+
+  bool operator==(const AggValue& o) const {
+    return count == o.count && sum == o.sum && count_e == o.count_e &&
+           min == o.min && max == o.max;
+  }
+};
+
+/// Completes a node's payload from its predecessor accumulation `acc`
+/// (per the recurrences above).
+AggValue FinishNode(const AggValue& acc, bool is_start, const Event& e,
+                    const AggProfile& profile);
+
+/// Extracts the final result value for `kind` from the folded end-node
+/// payload. Empty MIN/MAX yield +/-infinity; AVG with no target events
+/// yields 0.
+double ExtractResult(const AggValue& final_acc, AggKind kind);
+
+}  // namespace hamlet
+
+#endif  // HAMLET_QUERY_AGG_VALUE_H_

@@ -1,0 +1,92 @@
+#include "src/query/aggregate.h"
+
+namespace hamlet {
+
+const char* AggKindName(AggKind kind) {
+  switch (kind) {
+    case AggKind::kCountTrends:
+      return "COUNT";
+    case AggKind::kCountEvents:
+      return "COUNT";
+    case AggKind::kSum:
+      return "SUM";
+    case AggKind::kAvg:
+      return "AVG";
+    case AggKind::kMin:
+      return "MIN";
+    case AggKind::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+AggregateSpec AggregateSpec::CountEvents(std::string type) {
+  AggregateSpec a;
+  a.kind = AggKind::kCountEvents;
+  a.type_name = std::move(type);
+  return a;
+}
+
+namespace {
+AggregateSpec MakeAttrAgg(AggKind kind, std::string type, std::string attr) {
+  AggregateSpec a;
+  a.kind = kind;
+  a.type_name = std::move(type);
+  a.attr_name = std::move(attr);
+  return a;
+}
+}  // namespace
+
+AggregateSpec AggregateSpec::Sum(std::string type, std::string attr) {
+  return MakeAttrAgg(AggKind::kSum, std::move(type), std::move(attr));
+}
+AggregateSpec AggregateSpec::Avg(std::string type, std::string attr) {
+  return MakeAttrAgg(AggKind::kAvg, std::move(type), std::move(attr));
+}
+AggregateSpec AggregateSpec::Min(std::string type, std::string attr) {
+  return MakeAttrAgg(AggKind::kMin, std::move(type), std::move(attr));
+}
+AggregateSpec AggregateSpec::Max(std::string type, std::string attr) {
+  return MakeAttrAgg(AggKind::kMax, std::move(type), std::move(attr));
+}
+
+Status AggregateSpec::Resolve(Schema* schema, bool register_missing) {
+  if (kind == AggKind::kCountTrends) return Status::Ok();
+  type = register_missing ? schema->AddType(type_name)
+                          : schema->FindType(type_name);
+  if (type == Schema::kInvalidId)
+    return Status::NotFound("unknown aggregate type: " + type_name);
+  if (kind == AggKind::kCountEvents) return Status::Ok();
+  attr = register_missing ? schema->AddAttr(attr_name)
+                          : schema->FindAttr(attr_name);
+  if (attr == Schema::kInvalidId)
+    return Status::NotFound("unknown aggregate attribute: " + attr_name);
+  return Status::Ok();
+}
+
+std::string AggregateSpec::ToString() const {
+  if (kind == AggKind::kCountTrends) return "COUNT(*)";
+  if (kind == AggKind::kCountEvents)
+    return std::string(AggKindName(kind)) + "(" + type_name + ")";
+  return std::string(AggKindName(kind)) + "(" + type_name + "." + attr_name +
+         ")";
+}
+
+bool AggregatesShareable(const AggregateSpec& a, const AggregateSpec& b) {
+  if (a == b) return true;
+  // AVG(E.attr) decomposes into SUM(E.attr) and COUNT(E), so it shares with
+  // either over the same target (paper §3.1).
+  auto is_avg_family = [](const AggregateSpec& x) {
+    return x.kind == AggKind::kAvg || x.kind == AggKind::kSum ||
+           x.kind == AggKind::kCountEvents;
+  };
+  if (is_avg_family(a) && is_avg_family(b) && a.type_name == b.type_name) {
+    // COUNT(E) carries no attribute; SUM/AVG must agree on the attribute.
+    if (a.kind == AggKind::kCountEvents || b.kind == AggKind::kCountEvents)
+      return true;
+    return a.attr_name == b.attr_name;
+  }
+  return false;
+}
+
+}  // namespace hamlet

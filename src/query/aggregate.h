@@ -1,0 +1,61 @@
+// Aggregation functions over event trends (paper §2.1).
+//
+// COUNT(*) counts trends per group; COUNT(E)/SUM/AVG/MIN/MAX fold over the
+// events of type E inside all trends. All are distributive/algebraic, so they
+// propagate incrementally through the GRETA/HAMLET graphs.
+#ifndef HAMLET_QUERY_AGGREGATE_H_
+#define HAMLET_QUERY_AGGREGATE_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/stream/schema.h"
+
+namespace hamlet {
+
+enum class AggKind {
+  kCountTrends,  ///< COUNT(*)
+  kCountEvents,  ///< COUNT(E)
+  kSum,          ///< SUM(E.attr)
+  kAvg,          ///< AVG(E.attr) = SUM(E.attr) / COUNT(E)
+  kMin,          ///< MIN(E.attr)
+  kMax,          ///< MAX(E.attr)
+};
+
+const char* AggKindName(AggKind kind);
+
+/// One aggregation function, possibly over a target type/attribute.
+struct AggregateSpec {
+  AggKind kind = AggKind::kCountTrends;
+  std::string type_name;  ///< target E (empty for COUNT(*))
+  std::string attr_name;  ///< target attribute (empty for COUNT(*)/COUNT(E))
+  TypeId type = Schema::kInvalidId;
+  AttrId attr = Schema::kInvalidId;
+
+  static AggregateSpec CountTrends() { return {}; }
+  static AggregateSpec CountEvents(std::string type);
+  static AggregateSpec Sum(std::string type, std::string attr);
+  static AggregateSpec Avg(std::string type, std::string attr);
+  static AggregateSpec Min(std::string type, std::string attr);
+  static AggregateSpec Max(std::string type, std::string attr);
+
+  /// Binds type/attr names against the schema.
+  Status Resolve(Schema* schema, bool register_missing = true);
+
+  /// "COUNT(*)", "SUM(T.price)", ...
+  std::string ToString() const;
+
+  bool operator==(const AggregateSpec& o) const {
+    return kind == o.kind && type_name == o.type_name &&
+           attr_name == o.attr_name;
+  }
+};
+
+/// Definition 5's aggregate-compatibility: COUNT(*)/MIN/MAX share only with
+/// identical functions; AVG shares with SUM and COUNT(E) over the same
+/// type/attribute (AVG = SUM / COUNT).
+bool AggregatesShareable(const AggregateSpec& a, const AggregateSpec& b);
+
+}  // namespace hamlet
+
+#endif  // HAMLET_QUERY_AGGREGATE_H_

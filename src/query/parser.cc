@@ -1,0 +1,382 @@
+#include "src/query/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <vector>
+
+namespace hamlet {
+namespace {
+
+enum class TokKind { kIdent, kNumber, kSymbol, kEnd };
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;   // ident (upper-cased copy in `upper`), symbol, number
+  std::string upper;  // case-folded ident for keyword matching
+  double number = 0.0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Status Run(std::vector<Token>* out) {
+    size_t i = 0;
+    while (i < text_.size()) {
+      char c = text_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t j = i;
+        while (j < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[j])) ||
+                text_[j] == '_'))
+          ++j;
+        Token t;
+        t.kind = TokKind::kIdent;
+        t.text = text_.substr(i, j - i);
+        t.upper = t.text;
+        for (char& ch : t.upper)
+          ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+        out->push_back(std::move(t));
+        i = j;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '-' && i + 1 < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[i + 1])))) {
+        size_t j = i + 1;
+        while (j < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[j])) ||
+                text_[j] == '.' || text_[j] == 'e' || text_[j] == 'E' ||
+                ((text_[j] == '+' || text_[j] == '-') &&
+                 (text_[j - 1] == 'e' || text_[j - 1] == 'E'))))
+          ++j;
+        Token t;
+        t.kind = TokKind::kNumber;
+        t.text = text_.substr(i, j - i);
+        t.number = std::strtod(t.text.c_str(), nullptr);
+        out->push_back(std::move(t));
+        i = j;
+        continue;
+      }
+      // Multi-char symbols first.
+      auto two = text_.substr(i, 2);
+      if (two == "<=" || two == ">=" || two == "==" || two == "!=") {
+        out->push_back({TokKind::kSymbol, two, "", 0.0});
+        i += 2;
+        continue;
+      }
+      std::string one(1, c);
+      if (one == "(" || one == ")" || one == "[" || one == "]" || one == "," ||
+          one == "." || one == "+" || one == "*" || one == "<" || one == ">" ||
+          one == "=") {
+        out->push_back({TokKind::kSymbol, one, "", 0.0});
+        ++i;
+        continue;
+      }
+      return Status::InvalidArgument(std::string("unexpected character '") +
+                                     c + "' in query");
+    }
+    out->push_back({TokKind::kEnd, "", "", 0.0});
+    return Status::Ok();
+  }
+
+ private:
+  const std::string& text_;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  Result<Query> ParseQueryText() {
+    Query q;
+    if (!EatKeyword("RETURN"))
+      return Status::InvalidArgument("expected RETURN");
+    Result<AggregateSpec> agg = ParseAggregate();
+    if (!agg.ok()) return agg.status();
+    q.aggregate = agg.value();
+    if (!EatKeyword("PATTERN"))
+      return Status::InvalidArgument("expected PATTERN");
+    Result<Pattern> pat = ParsePatternExpr();
+    if (!pat.ok()) return pat.status();
+    q.pattern = pat.value();
+    if (EatKeyword("WHERE")) {
+      Status s = ParseConditions(&q);
+      if (!s.ok()) return s;
+    }
+    if (EatKeyword("GROUPBY")) {
+      if (Cur().kind != TokKind::kIdent)
+        return Status::InvalidArgument("expected attribute after GROUPBY");
+      q.group_by_name = Cur().text;
+      Advance();
+    }
+    if (!EatKeyword("WITHIN"))
+      return Status::InvalidArgument("expected WITHIN");
+    Result<Timestamp> within = ParseDuration();
+    if (!within.ok()) return within.status();
+    Timestamp slide = within.value();
+    if (EatKeyword("SLIDE")) {
+      Result<Timestamp> s = ParseDuration();
+      if (!s.ok()) return s.status();
+      slide = s.value();
+    }
+    q.window = {within.value(), slide};
+    if (Cur().kind != TokKind::kEnd)
+      return Status::InvalidArgument("trailing tokens after query: " +
+                                     Cur().text);
+    return q;
+  }
+
+  Result<Pattern> ParsePatternOnly() {
+    Result<Pattern> p = ParsePatternExpr();
+    if (!p.ok()) return p;
+    if (Cur().kind != TokKind::kEnd)
+      return Status::InvalidArgument("trailing tokens after pattern");
+    return p;
+  }
+
+ private:
+  const Token& Cur() const { return toks_[pos_]; }
+  void Advance() {
+    if (pos_ + 1 < toks_.size()) ++pos_;
+  }
+
+  bool EatSymbol(const std::string& sym) {
+    if (Cur().kind == TokKind::kSymbol && Cur().text == sym) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  bool PeekKeyword(const std::string& kw) const {
+    return Cur().kind == TokKind::kIdent && Cur().upper == kw;
+  }
+
+  bool EatKeyword(const std::string& kw) {
+    if (PeekKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Result<AggregateSpec> ParseAggregate() {
+    if (Cur().kind != TokKind::kIdent)
+      return Status::InvalidArgument("expected aggregate function");
+    std::string fn = Cur().upper;
+    Advance();
+    if (!EatSymbol("("))
+      return Status::InvalidArgument("expected ( after aggregate function");
+    AggregateSpec spec;
+    if (fn == "COUNT" && EatSymbol("*")) {
+      spec = AggregateSpec::CountTrends();
+    } else {
+      if (Cur().kind != TokKind::kIdent)
+        return Status::InvalidArgument("expected type in aggregate");
+      std::string type = Cur().text;
+      Advance();
+      std::string attr;
+      if (EatSymbol(".")) {
+        if (Cur().kind != TokKind::kIdent)
+          return Status::InvalidArgument("expected attribute in aggregate");
+        attr = Cur().text;
+        Advance();
+      }
+      if (fn == "COUNT") {
+        if (!attr.empty())
+          return Status::InvalidArgument("COUNT takes * or a type");
+        spec = AggregateSpec::CountEvents(type);
+      } else if (attr.empty()) {
+        return Status::InvalidArgument(fn + " requires type.attribute");
+      } else if (fn == "SUM") {
+        spec = AggregateSpec::Sum(type, attr);
+      } else if (fn == "AVG") {
+        spec = AggregateSpec::Avg(type, attr);
+      } else if (fn == "MIN") {
+        spec = AggregateSpec::Min(type, attr);
+      } else if (fn == "MAX") {
+        spec = AggregateSpec::Max(type, attr);
+      } else {
+        return Status::InvalidArgument("unknown aggregate function: " + fn);
+      }
+    }
+    if (!EatSymbol(")"))
+      return Status::InvalidArgument("expected ) after aggregate");
+    return spec;
+  }
+
+  // pattern := element ( (OR|AND) element )*
+  Result<Pattern> ParsePatternExpr() {
+    Result<Pattern> lhs = ParseElement();
+    if (!lhs.ok()) return lhs;
+    Pattern out = lhs.value();
+    while (PeekKeyword("OR") || PeekKeyword("AND")) {
+      bool is_or = PeekKeyword("OR");
+      Advance();
+      Result<Pattern> rhs = ParseElement();
+      if (!rhs.ok()) return rhs;
+      out = is_or ? Pattern::Or(std::move(out), rhs.value())
+                  : Pattern::And(std::move(out), rhs.value());
+    }
+    return out;
+  }
+
+  Result<Pattern> ParseElement() {
+    if (EatKeyword("NOT")) {
+      Result<Pattern> inner = ParseElement();
+      if (!inner.ok()) return inner;
+      return Pattern::Not(inner.value());
+    }
+    if (PeekKeyword("SEQ")) {
+      Advance();
+      if (!EatSymbol("(")) return Status::InvalidArgument("expected ( in SEQ");
+      std::vector<Pattern> parts;
+      for (;;) {
+        Result<Pattern> part = ParsePatternExpr();
+        if (!part.ok()) return part;
+        parts.push_back(part.value());
+        if (EatSymbol(",")) continue;
+        break;
+      }
+      if (!EatSymbol(")"))
+        return Status::InvalidArgument("expected ) closing SEQ");
+      Pattern seq = Pattern::Seq(std::move(parts));
+      if (EatSymbol("+")) return Pattern::Kleene(std::move(seq));
+      return seq;
+    }
+    if (EatSymbol("(")) {
+      Result<Pattern> inner = ParsePatternExpr();
+      if (!inner.ok()) return inner;
+      if (!EatSymbol(")")) return Status::InvalidArgument("expected )");
+      Pattern p = inner.value();
+      if (EatSymbol("+")) return Pattern::Kleene(std::move(p));
+      return p;
+    }
+    if (Cur().kind != TokKind::kIdent)
+      return Status::InvalidArgument("expected event type, found: " +
+                                     Cur().text);
+    Pattern p = Pattern::Type(Cur().text);
+    Advance();
+    if (EatSymbol("+")) return Pattern::Kleene(std::move(p));
+    return p;
+  }
+
+  Result<CmpOp> ParseCmpOp() {
+    if (Cur().kind != TokKind::kSymbol)
+      return Status::InvalidArgument("expected comparison operator");
+    std::string s = Cur().text;
+    Advance();
+    if (s == "<") return CmpOp::kLt;
+    if (s == "<=") return CmpOp::kLe;
+    if (s == ">") return CmpOp::kGt;
+    if (s == ">=") return CmpOp::kGe;
+    if (s == "=" || s == "==") return CmpOp::kEq;
+    if (s == "!=") return CmpOp::kNe;
+    return Status::InvalidArgument("unknown comparison operator: " + s);
+  }
+
+  Status ParseConditions(Query* q) {
+    for (;;) {
+      // `[attr, attr, ...]` — equality edge predicates.
+      if (EatSymbol("[")) {
+        for (;;) {
+          if (Cur().kind != TokKind::kIdent)
+            return Status::InvalidArgument("expected attribute in [..]");
+          q->edge_predicates.emplace_back(Cur().text, CmpOp::kEq);
+          Advance();
+          if (EatSymbol(",")) continue;
+          break;
+        }
+        if (!EatSymbol("]")) return Status::InvalidArgument("expected ]");
+      } else if (PeekKeyword("PREV")) {
+        // prev.attr OP next.attr
+        Advance();
+        if (!EatSymbol("."))
+          return Status::InvalidArgument("expected . after prev");
+        if (Cur().kind != TokKind::kIdent)
+          return Status::InvalidArgument("expected attribute after prev.");
+        std::string attr = Cur().text;
+        Advance();
+        Result<CmpOp> op = ParseCmpOp();
+        if (!op.ok()) return op.status();
+        if (!EatKeyword("NEXT"))
+          return Status::InvalidArgument("expected next in edge predicate");
+        if (!EatSymbol("."))
+          return Status::InvalidArgument("expected . after next");
+        if (Cur().kind != TokKind::kIdent || Cur().text != attr)
+          return Status::InvalidArgument(
+              "edge predicate must compare the same attribute");
+        Advance();
+        q->edge_predicates.emplace_back(attr, op.value());
+      } else {
+        // Type.attr OP constant
+        if (Cur().kind != TokKind::kIdent)
+          return Status::InvalidArgument("expected predicate");
+        std::string type = Cur().text;
+        Advance();
+        if (!EatSymbol("."))
+          return Status::InvalidArgument("expected . in event predicate");
+        if (Cur().kind != TokKind::kIdent)
+          return Status::InvalidArgument("expected attribute name");
+        std::string attr = Cur().text;
+        Advance();
+        Result<CmpOp> op = ParseCmpOp();
+        if (!op.ok()) return op.status();
+        if (Cur().kind != TokKind::kNumber)
+          return Status::InvalidArgument("expected numeric constant");
+        q->event_predicates.emplace_back(type, attr, op.value(), Cur().number);
+        Advance();
+      }
+      if (EatKeyword("AND")) continue;
+      return Status::Ok();
+    }
+  }
+
+  Result<Timestamp> ParseDuration() {
+    if (Cur().kind != TokKind::kNumber)
+      return Status::InvalidArgument("expected duration value");
+    double v = Cur().number;
+    Advance();
+    Timestamp unit = 1;
+    if (Cur().kind == TokKind::kIdent) {
+      std::string u = Cur().upper;
+      if (u == "MS") {
+        unit = 1;
+        Advance();
+      } else if (u == "S" || u == "SEC") {
+        unit = kMillisPerSecond;
+        Advance();
+      } else if (u == "MIN") {
+        unit = kMillisPerMinute;
+        Advance();
+      }
+    }
+    return static_cast<Timestamp>(v * static_cast<double>(unit));
+  }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Query> ParseQuery(const std::string& text) {
+  std::vector<Token> tokens;
+  Status s = Lexer(text).Run(&tokens);
+  if (!s.ok()) return s;
+  return Parser(std::move(tokens)).ParseQueryText();
+}
+
+Result<Pattern> ParsePattern(const std::string& text) {
+  std::vector<Token> tokens;
+  Status s = Lexer(text).Run(&tokens);
+  if (!s.ok()) return s;
+  return Parser(std::move(tokens)).ParsePatternOnly();
+}
+
+}  // namespace hamlet

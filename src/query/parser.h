@@ -1,0 +1,30 @@
+// SASE-style text syntax for trend aggregation queries.
+//
+//   RETURN COUNT(*) PATTERN SEQ(R, T+, NOT P, D)
+//   WHERE T.speed < 10 AND [driver, rider] AND prev.price <= next.price
+//   GROUPBY district WITHIN 10 min SLIDE 5 min
+//
+// Pattern grammar: event types, `E+`, `NOT E`, `SEQ(...)`, parenthesised
+// groups, group Kleene `(SEQ(A,B+))+`, and binary OR/AND composition.
+// Keywords are case-insensitive. Queries printed by Query::ToString() parse
+// back to an equivalent query (round-trip property, tested).
+#ifndef HAMLET_QUERY_PARSER_H_
+#define HAMLET_QUERY_PARSER_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/query/query.h"
+
+namespace hamlet {
+
+/// Parses one query. Names are not resolved against a schema; callers
+/// resolve via Workload::Add / Query::Resolve.
+Result<Query> ParseQuery(const std::string& text);
+
+/// Parses a pattern expression alone (handy in tests).
+Result<Pattern> ParsePattern(const std::string& text);
+
+}  // namespace hamlet
+
+#endif  // HAMLET_QUERY_PARSER_H_

@@ -1,0 +1,144 @@
+#include "src/query/pattern.h"
+
+#include <algorithm>
+
+namespace hamlet {
+
+Pattern Pattern::Type(std::string name) {
+  Pattern p;
+  p.kind = PatternKind::kType;
+  p.type_name = std::move(name);
+  return p;
+}
+
+Pattern Pattern::Kleene(Pattern inner) {
+  Pattern p;
+  p.kind = PatternKind::kKleene;
+  p.children.push_back(std::move(inner));
+  return p;
+}
+
+Pattern Pattern::KleeneType(std::string name) {
+  return Kleene(Type(std::move(name)));
+}
+
+Pattern Pattern::Seq(std::vector<Pattern> parts) {
+  Pattern p;
+  p.kind = PatternKind::kSeq;
+  p.children = std::move(parts);
+  return p;
+}
+
+Pattern Pattern::Not(Pattern inner) {
+  Pattern p;
+  p.kind = PatternKind::kNot;
+  p.children.push_back(std::move(inner));
+  return p;
+}
+
+Pattern Pattern::Or(Pattern lhs, Pattern rhs) {
+  Pattern p;
+  p.kind = PatternKind::kOr;
+  p.children.push_back(std::move(lhs));
+  p.children.push_back(std::move(rhs));
+  return p;
+}
+
+Pattern Pattern::And(Pattern lhs, Pattern rhs) {
+  Pattern p;
+  p.kind = PatternKind::kAnd;
+  p.children.push_back(std::move(lhs));
+  p.children.push_back(std::move(rhs));
+  return p;
+}
+
+Status Pattern::Resolve(Schema* schema, bool register_missing) {
+  switch (kind) {
+    case PatternKind::kType: {
+      if (type_name.empty())
+        return Status::InvalidArgument("pattern type with empty name");
+      type = register_missing ? schema->AddType(type_name)
+                              : schema->FindType(type_name);
+      if (type == Schema::kInvalidId)
+        return Status::NotFound("unknown event type: " + type_name);
+      return Status::Ok();
+    }
+    case PatternKind::kSeq:
+      if (children.empty())
+        return Status::InvalidArgument("SEQ with no sub-patterns");
+      break;
+    case PatternKind::kKleene:
+    case PatternKind::kNot:
+      if (children.size() != 1)
+        return Status::InvalidArgument("unary pattern operator arity != 1");
+      break;
+    case PatternKind::kOr:
+    case PatternKind::kAnd:
+      if (children.size() != 2)
+        return Status::InvalidArgument("binary pattern operator arity != 2");
+      break;
+  }
+  for (Pattern& c : children) {
+    Status s = c.Resolve(schema, register_missing);
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+bool Pattern::ContainsKleene() const {
+  if (kind == PatternKind::kKleene) return true;
+  return std::any_of(children.begin(), children.end(),
+                     [](const Pattern& c) { return c.ContainsKleene(); });
+}
+
+namespace {
+void CollectTypesInto(const Pattern& p, std::vector<TypeId>* out) {
+  if (p.kind == PatternKind::kType) {
+    if (std::find(out->begin(), out->end(), p.type) == out->end())
+      out->push_back(p.type);
+  }
+  for (const Pattern& c : p.children) CollectTypesInto(c, out);
+}
+}  // namespace
+
+std::vector<TypeId> Pattern::CollectTypes() const {
+  std::vector<TypeId> out;
+  CollectTypesInto(*this, &out);
+  return out;
+}
+
+std::string Pattern::ToString() const {
+  switch (kind) {
+    case PatternKind::kType:
+      return type_name;
+    case PatternKind::kKleene: {
+      const Pattern& inner = children[0];
+      if (inner.kind == PatternKind::kType) return inner.ToString() + "+";
+      return "(" + inner.ToString() + ")+";
+    }
+    case PatternKind::kNot:
+      return "NOT " + children[0].ToString();
+    case PatternKind::kSeq: {
+      std::string out = "SEQ(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i) out += ", ";
+        out += children[i].ToString();
+      }
+      return out + ")";
+    }
+    case PatternKind::kOr:
+      return "(" + children[0].ToString() + " OR " + children[1].ToString() +
+             ")";
+    case PatternKind::kAnd:
+      return "(" + children[0].ToString() + " AND " + children[1].ToString() +
+             ")";
+  }
+  return "?";
+}
+
+bool Pattern::operator==(const Pattern& other) const {
+  return kind == other.kind && type_name == other.type_name &&
+         children == other.children;
+}
+
+}  // namespace hamlet

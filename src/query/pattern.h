@@ -1,0 +1,66 @@
+// Kleene pattern AST (paper Definition 1).
+//
+//   P := E | P+ | NOT P | SEQ(P1,...,Pn) | P1 OR P2 | P1 AND P2
+//
+// Patterns are built by factory functions (or the text parser) with type
+// *names*, then resolved against a Schema to dense TypeIds.
+#ifndef HAMLET_QUERY_PATTERN_H_
+#define HAMLET_QUERY_PATTERN_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/stream/schema.h"
+
+namespace hamlet {
+
+/// AST node kind.
+enum class PatternKind {
+  kType,    ///< a single event type E
+  kKleene,  ///< P+ (one or more)
+  kSeq,     ///< SEQ(P1, ..., Pn)
+  kNot,     ///< NOT P (only valid inside SEQ, between positions)
+  kOr,      ///< P1 OR P2
+  kAnd,     ///< P1 AND P2
+};
+
+/// Value-type pattern tree.
+struct Pattern {
+  PatternKind kind = PatternKind::kType;
+  /// For kType: the event type (name pre-resolution, id post-resolution).
+  std::string type_name;
+  TypeId type = Schema::kInvalidId;
+  std::vector<Pattern> children;
+
+  /// --- factories ---
+  static Pattern Type(std::string name);
+  static Pattern Kleene(Pattern inner);
+  /// Convenience: E+ for a type name.
+  static Pattern KleeneType(std::string name);
+  static Pattern Seq(std::vector<Pattern> parts);
+  static Pattern Not(Pattern inner);
+  static Pattern Or(Pattern lhs, Pattern rhs);
+  static Pattern And(Pattern lhs, Pattern rhs);
+
+  /// Binds every type name to its Schema id (registering unseen names when
+  /// `register_missing`). Fails on empty SEQs and malformed NOT placement.
+  Status Resolve(Schema* schema, bool register_missing = true);
+
+  /// True if any node below (incl. this) is a Kleene plus (=> Kleene query,
+  /// Definition 1).
+  bool ContainsKleene() const;
+
+  /// Collects every distinct event type id in the pattern (positive and
+  /// negative positions).
+  std::vector<TypeId> CollectTypes() const;
+
+  /// Canonical text form, e.g. "SEQ(A, B+, NOT C, D)".
+  std::string ToString() const;
+
+  bool operator==(const Pattern& other) const;
+};
+
+}  // namespace hamlet
+
+#endif  // HAMLET_QUERY_PATTERN_H_

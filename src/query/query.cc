@@ -1,0 +1,80 @@
+#include "src/query/query.h"
+
+namespace hamlet {
+
+namespace {
+std::string FormatDuration(Timestamp ms) {
+  if (ms % kMillisPerMinute == 0)
+    return std::to_string(ms / kMillisPerMinute) + " min";
+  if (ms % kMillisPerSecond == 0)
+    return std::to_string(ms / kMillisPerSecond) + " sec";
+  return std::to_string(ms) + " ms";
+}
+}  // namespace
+
+std::string WindowSpec::ToString() const {
+  std::string out = "WITHIN " + FormatDuration(within);
+  if (!tumbling()) out += " SLIDE " + FormatDuration(slide);
+  return out;
+}
+
+Status Query::Resolve(Schema* schema, bool register_missing) {
+  Status s = pattern.Resolve(schema, register_missing);
+  if (!s.ok()) return s;
+  s = aggregate.Resolve(schema, register_missing);
+  if (!s.ok()) return s;
+  for (EventPredicate& p : event_predicates) {
+    s = p.Resolve(schema, register_missing);
+    if (!s.ok()) return s;
+  }
+  for (EdgePredicate& p : edge_predicates) {
+    s = p.Resolve(schema, register_missing);
+    if (!s.ok()) return s;
+  }
+  if (!group_by_name.empty()) {
+    group_by = register_missing ? schema->AddAttr(group_by_name)
+                                : schema->FindAttr(group_by_name);
+    if (group_by == Schema::kInvalidId)
+      return Status::NotFound("unknown group-by attribute: " + group_by_name);
+  }
+  if (window.within <= 0 || window.slide <= 0)
+    return Status::InvalidArgument("window sizes must be positive");
+  if (window.within % window.slide != 0)
+    return Status::Unsupported(
+        "WITHIN must be a multiple of SLIDE (pane-aligned windows)");
+  return Status::Ok();
+}
+
+std::string Query::ToString() const {
+  std::string out = "RETURN " + aggregate.ToString() + " PATTERN " +
+                    pattern.ToString();
+  if (!event_predicates.empty() || !edge_predicates.empty()) {
+    out += " WHERE ";
+    bool first = true;
+    for (const EventPredicate& p : event_predicates) {
+      if (!first) out += " AND ";
+      out += p.ToString();
+      first = false;
+    }
+    for (const EdgePredicate& p : edge_predicates) {
+      if (!first) out += " AND ";
+      out += p.ToString();
+      first = false;
+    }
+  }
+  if (!group_by_name.empty()) out += " GROUPBY " + group_by_name;
+  out += " " + window.ToString();
+  return out;
+}
+
+Result<QueryId> Workload::Add(Query query) {
+  if (size() >= QuerySet::kMaxQueries)
+    return Status::ResourceExhausted("workload exceeds max query count");
+  Status s = query.Resolve(schema_);
+  if (!s.ok()) return s;
+  if (query.name.empty()) query.name = "q" + std::to_string(size() + 1);
+  queries_.push_back(std::move(query));
+  return static_cast<QueryId>(size() - 1);
+}
+
+}  // namespace hamlet

@@ -1,0 +1,81 @@
+// Event trend aggregation query (paper Definition 2) and workload.
+#ifndef HAMLET_QUERY_QUERY_H_
+#define HAMLET_QUERY_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/query_set.h"
+#include "src/common/status.h"
+#include "src/query/aggregate.h"
+#include "src/query/pattern.h"
+#include "src/query/predicate.h"
+#include "src/stream/schema.h"
+
+namespace hamlet {
+
+/// WITHIN/SLIDE clause. `slide == within` means a tumbling window.
+struct WindowSpec {
+  Timestamp within = 0;
+  Timestamp slide = 0;
+
+  static WindowSpec Tumbling(Timestamp w) { return {w, w}; }
+  static WindowSpec Sliding(Timestamp w, Timestamp s) { return {w, s}; }
+
+  bool tumbling() const { return within == slide; }
+  std::string ToString() const;
+  bool operator==(const WindowSpec& o) const {
+    return within == o.within && slide == o.slide;
+  }
+};
+
+/// One query: RETURN aggregate, PATTERN, optional WHERE predicates,
+/// optional GROUPBY attribute, WITHIN/SLIDE window.
+struct Query {
+  std::string name;
+  AggregateSpec aggregate;
+  Pattern pattern;
+  std::vector<EventPredicate> event_predicates;
+  std::vector<EdgePredicate> edge_predicates;
+  /// Group-by attribute; kInvalidId when absent.
+  std::string group_by_name;
+  AttrId group_by = Schema::kInvalidId;
+  WindowSpec window = WindowSpec::Tumbling(kMillisPerMinute);
+
+  /// Binds all names against `schema`.
+  Status Resolve(Schema* schema, bool register_missing = true);
+
+  /// Canonical text form (parsable by ParseQuery).
+  std::string ToString() const;
+
+  bool has_group_by() const { return group_by != Schema::kInvalidId; }
+};
+
+/// A static workload of queries over one schema (paper assumes the workload
+/// is fixed; §2.1).
+class Workload {
+ public:
+  explicit Workload(Schema* schema) : schema_(schema) {}
+
+  /// Resolves and appends; returns the dense QueryId or error.
+  Result<QueryId> Add(Query query);
+
+  const Query& query(QueryId id) const {
+    HAMLET_CHECK(id >= 0 && id < size());
+    return queries_[static_cast<size_t>(id)];
+  }
+  int size() const { return static_cast<int>(queries_.size()); }
+  const std::vector<Query>& queries() const { return queries_; }
+  Schema* schema() const { return schema_; }
+
+  /// All query ids as a QuerySet.
+  QuerySet AllQueries() const { return QuerySet::FirstN(size()); }
+
+ private:
+  Schema* schema_;
+  std::vector<Query> queries_;
+};
+
+}  // namespace hamlet
+
+#endif  // HAMLET_QUERY_QUERY_H_

@@ -1,0 +1,52 @@
+#include "src/common/check.h"
+#include "src/stream/generators.h"
+
+namespace hamlet {
+namespace generator_internal {
+
+BurstProcess::BurstProcess(std::vector<TypeWeight> weights, double burstiness,
+                           int max_burst)
+    : weights_(std::move(weights)),
+      total_weight_(0.0),
+      burstiness_(burstiness),
+      max_burst_(max_burst) {
+  HAMLET_CHECK(!weights_.empty());
+  for (const TypeWeight& w : weights_) total_weight_ += w.weight;
+  HAMLET_CHECK(total_weight_ > 0.0);
+}
+
+TypeId BurstProcess::PickType(TypeId exclude, Rng& rng) {
+  // Rejection-sample so a new burst always changes type, keeping bursts
+  // maximal same-type runs (Definition 10's "complete burst" boundaries).
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    double r = rng.NextDouble() * total_weight_;
+    for (const TypeWeight& w : weights_) {
+      r -= w.weight;
+      if (r <= 0.0) {
+        if (w.type != exclude || weights_.size() == 1) return w.type;
+        break;
+      }
+    }
+  }
+  // Degenerate weights; fall back to the first non-excluded type.
+  for (const TypeWeight& w : weights_) {
+    if (w.type != exclude) return w.type;
+  }
+  return weights_.front().type;
+}
+
+TypeId BurstProcess::Next(int g, Rng& rng) {
+  if (g >= static_cast<int>(groups_.size())) {
+    groups_.resize(static_cast<size_t>(g) + 1);
+  }
+  GroupState& state = groups_[static_cast<size_t>(g)];
+  if (state.remaining == 0) {
+    state.current = PickType(state.current, rng);
+    state.remaining = rng.NextBurstLength(burstiness_, max_burst_);
+  }
+  --state.remaining;
+  return state.current;
+}
+
+}  // namespace generator_internal
+}  // namespace hamlet

@@ -1,0 +1,12 @@
+#include "src/stream/event.h"
+
+namespace hamlet {
+
+bool IsTimeOrdered(const EventVector& events) {
+  for (size_t i = 1; i < events.size(); ++i) {
+    if (events[i].time < events[i - 1].time) return false;
+  }
+  return true;
+}
+
+}  // namespace hamlet

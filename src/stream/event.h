@@ -1,0 +1,69 @@
+// Event model.
+//
+// An event (paper §2.1) is a typed, timestamped tuple with a small set of
+// numeric attributes. Attribute layout is defined by a Schema; attribute 0 is
+// conventionally the group-by key for the dataset.
+#ifndef HAMLET_STREAM_EVENT_H_
+#define HAMLET_STREAM_EVENT_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace hamlet {
+
+/// Event timestamps are integral milliseconds. Windows, slides and panes are
+/// expressed in the same unit so gcd arithmetic (paper §3.1) is exact.
+using Timestamp = int64_t;
+
+/// Dense id of an event type within a Schema.
+using TypeId = int32_t;
+
+/// Index of an attribute within a Schema.
+using AttrId = int32_t;
+
+constexpr Timestamp kMillisPerSecond = 1000;
+constexpr Timestamp kMillisPerMinute = 60 * kMillisPerSecond;
+
+/// A single stream event. Fixed-capacity attribute storage keeps events
+/// allocation-free; all dataset schemas fit within kMaxAttrs.
+struct Event {
+  static constexpr int kMaxAttrs = 8;
+
+  Timestamp time = 0;
+  TypeId type = 0;
+  int32_t num_attrs = 0;
+  std::array<double, kMaxAttrs> attrs{};
+
+  Event() = default;
+  Event(Timestamp t, TypeId ty) : time(t), type(ty) {}
+  Event(Timestamp t, TypeId ty, std::initializer_list<double> a)
+      : time(t), type(ty) {
+    HAMLET_CHECK(a.size() <= kMaxAttrs);
+    for (double v : a) attrs[num_attrs++] = v;
+  }
+
+  double attr(AttrId i) const {
+    HAMLET_DCHECK(i >= 0 && i < num_attrs);
+    return attrs[static_cast<size_t>(i)];
+  }
+
+  void set_attr(AttrId i, double v) {
+    HAMLET_DCHECK(i >= 0 && i < kMaxAttrs);
+    if (i >= num_attrs) num_attrs = i + 1;
+    attrs[static_cast<size_t>(i)] = v;
+  }
+};
+
+/// Time-ordered sequence of events.
+using EventVector = std::vector<Event>;
+
+/// Returns true when `events` is non-decreasing in time.
+bool IsTimeOrdered(const EventVector& events);
+
+}  // namespace hamlet
+
+#endif  // HAMLET_STREAM_EVENT_H_

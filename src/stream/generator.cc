@@ -1,0 +1,38 @@
+#include "src/stream/generator.h"
+
+#include <algorithm>
+
+#include "src/stream/generators.h"
+
+namespace hamlet {
+
+std::unique_ptr<StreamGenerator> MakeGenerator(const std::string& dataset) {
+  if (dataset == "ridesharing") return std::make_unique<RidesharingGenerator>();
+  if (dataset == "nyc_taxi") return std::make_unique<NycTaxiGenerator>();
+  if (dataset == "smart_home") return std::make_unique<SmartHomeGenerator>();
+  if (dataset == "stock") return std::make_unique<StockGenerator>();
+  return nullptr;
+}
+
+namespace generator_internal {
+
+std::vector<Timestamp> SpreadTimestamps(Timestamp start, Timestamp span_ms,
+                                        int n, Rng& rng) {
+  std::vector<Timestamp> out;
+  out.reserve(static_cast<size_t>(n));
+  if (n <= 0) return out;
+  // Draw n offsets, sort, then force strict monotonicity.
+  for (int i = 0; i < n; ++i) {
+    out.push_back(start +
+                  static_cast<Timestamp>(rng.NextBelow(
+                      static_cast<uint64_t>(std::max<Timestamp>(span_ms, 1)))));
+  }
+  std::sort(out.begin(), out.end());
+  for (size_t i = 1; i < out.size(); ++i) {
+    if (out[i] <= out[i - 1]) out[i] = out[i - 1] + 1;
+  }
+  return out;
+}
+
+}  // namespace generator_internal
+}  // namespace hamlet

@@ -1,0 +1,65 @@
+// Stream generator interface and shared configuration.
+//
+// Each generator simulates one of the paper's four evaluation datasets
+// (§6.1); see DESIGN.md §2 for the substitution rationale. Generators are
+// deterministic functions of (config, seed).
+#ifndef HAMLET_STREAM_GENERATOR_H_
+#define HAMLET_STREAM_GENERATOR_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/stream/event.h"
+#include "src/stream/schema.h"
+
+namespace hamlet {
+
+/// Knobs shared by all dataset generators. The paper varies `events/min`
+/// (via a speed-up factor) and stream length; burst structure drives the
+/// dynamic optimizer.
+struct GeneratorConfig {
+  uint64_t seed = 42;
+  /// Average event arrival rate.
+  int events_per_minute = 10'000;
+  /// Total stream duration.
+  int duration_minutes = 1;
+  /// Number of distinct group-by key values (districts/houses/companies).
+  int num_groups = 4;
+  /// Probability that a same-type burst continues with one more event.
+  /// Mean burst length = 1 / (1 - burstiness), capped by max_burst.
+  double burstiness = 0.9;
+  /// Hard cap on burst length (the paper's stock streams average 120).
+  int max_burst = 150;
+};
+
+/// Produces a finite, time-ordered event stream over its own schema.
+class StreamGenerator {
+ public:
+  virtual ~StreamGenerator() = default;
+
+  /// Dataset name ("ridesharing", "nyc_taxi", "smart_home", "stock").
+  virtual const std::string& name() const = 0;
+
+  /// Schema shared by all events this generator produces.
+  virtual const Schema& schema() const = 0;
+
+  /// Generates the full stream for `config`. Timestamps are strictly
+  /// increasing milliseconds starting at 0.
+  virtual EventVector Generate(const GeneratorConfig& config) = 0;
+};
+
+/// Factory by dataset name; returns nullptr for unknown names.
+std::unique_ptr<StreamGenerator> MakeGenerator(const std::string& dataset);
+
+namespace generator_internal {
+
+/// Spreads `n` strictly increasing timestamps uniformly over
+/// [start, start + span_ms) with jitter; helper shared by generators.
+std::vector<Timestamp> SpreadTimestamps(Timestamp start, Timestamp span_ms,
+                                        int n, Rng& rng);
+
+}  // namespace generator_internal
+}  // namespace hamlet
+
+#endif  // HAMLET_STREAM_GENERATOR_H_

@@ -1,0 +1,116 @@
+// The four dataset generators of the paper's evaluation (§6.1), simulated.
+//
+// Common structure: events arrive at `events_per_minute`, are assigned to
+// groups (district/zone/house/company = attribute 0), and within each group
+// arrive in bursts of same-type runs whose length is geometric with
+// continuation probability `burstiness`. Bursts are the unit of HAMLET's
+// runtime sharing decisions (Definition 10), so their shape is the
+// behaviour-critical property each simulation preserves.
+#ifndef HAMLET_STREAM_GENERATORS_H_
+#define HAMLET_STREAM_GENERATORS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/stream/generator.h"
+
+namespace hamlet {
+
+namespace generator_internal {
+
+/// Weighted event type used by the burst process.
+struct TypeWeight {
+  TypeId type;
+  double weight;
+};
+
+/// Per-group Markov-style burst process: repeatedly pick a type by weight
+/// (never repeating the previous burst's type, so bursts are maximal runs)
+/// and emit a geometric-length run of that type.
+class BurstProcess {
+ public:
+  BurstProcess(std::vector<TypeWeight> weights, double burstiness,
+               int max_burst);
+
+  /// Returns the type of the next event for group `g`.
+  TypeId Next(int g, Rng& rng);
+
+ private:
+  TypeId PickType(TypeId exclude, Rng& rng);
+
+  std::vector<TypeWeight> weights_;
+  double total_weight_;
+  double burstiness_;
+  int max_burst_;
+  struct GroupState {
+    TypeId current = -1;
+    int remaining = 0;
+  };
+  std::vector<GroupState> groups_;
+};
+
+}  // namespace generator_internal
+
+/// Paper's synthetic ridesharing stream: 20 event types (Request, Travel,
+/// Pickup, Dropoff, Cancel, Pool, ...), attributes district (group), driver,
+/// rider, speed, duration, price. Default 10K events/min.
+class RidesharingGenerator : public StreamGenerator {
+ public:
+  RidesharingGenerator();
+  const std::string& name() const override { return name_; }
+  const Schema& schema() const override { return schema_; }
+  EventVector Generate(const GeneratorConfig& config) override;
+
+ private:
+  std::string name_ = "ridesharing";
+  Schema schema_;
+};
+
+/// Simulated NYC taxi/Uber stream: trip lifecycle events with zone (group),
+/// driver, rider, passengers, price, speed. Default 200 events/min scaled by
+/// the speed-up factor.
+class NycTaxiGenerator : public StreamGenerator {
+ public:
+  NycTaxiGenerator();
+  const std::string& name() const override { return name_; }
+  const Schema& schema() const override { return schema_; }
+  EventVector Generate(const GeneratorConfig& config) override;
+
+ private:
+  std::string name_ = "nyc_taxi";
+  Schema schema_;
+};
+
+/// Simulated DEBS'14 smart home stream: per-plug load/work measurements with
+/// house (group), plug, value. Default 20K events/min.
+class SmartHomeGenerator : public StreamGenerator {
+ public:
+  SmartHomeGenerator();
+  const std::string& name() const override { return name_; }
+  const Schema& schema() const override { return schema_; }
+  EventVector Generate(const GeneratorConfig& config) override;
+
+ private:
+  std::string name_ = "smart_home";
+  Schema schema_;
+};
+
+/// Simulated stock tick stream: Up/Down/Flat/Spike/Volume events with
+/// company (group), price (random walk), volume. Bursts average ~120 events
+/// as reported for the paper's stock data (§6.2).
+class StockGenerator : public StreamGenerator {
+ public:
+  StockGenerator();
+  const std::string& name() const override { return name_; }
+  const Schema& schema() const override { return schema_; }
+  EventVector Generate(const GeneratorConfig& config) override;
+
+ private:
+  std::string name_ = "stock";
+  Schema schema_;
+};
+
+}  // namespace hamlet
+
+#endif  // HAMLET_STREAM_GENERATORS_H_

@@ -1,0 +1,64 @@
+#include "src/stream/generators.h"
+
+namespace hamlet {
+
+NycTaxiGenerator::NycTaxiGenerator() {
+  schema_.AddAttr("zone");  // group-by key
+  schema_.AddAttr("driver");
+  schema_.AddAttr("rider");
+  schema_.AddAttr("passengers");
+  schema_.AddAttr("price");
+  schema_.AddAttr("speed");
+  schema_.AddType("Request");
+  schema_.AddType("Travel");
+  schema_.AddType("Pickup");
+  schema_.AddType("Dropoff");
+  schema_.AddType("Cancel");
+}
+
+EventVector NycTaxiGenerator::Generate(const GeneratorConfig& config) {
+  Rng rng(config.seed);
+  const int64_t total = static_cast<int64_t>(config.events_per_minute) *
+                        config.duration_minutes;
+  std::vector<Timestamp> times = generator_internal::SpreadTimestamps(
+      0, config.duration_minutes * kMillisPerMinute, static_cast<int>(total),
+      rng);
+
+  // Trips dominated by Travel runs between lifecycle milestones — the same
+  // shape the real feed's per-second GPS pings produce.
+  std::vector<generator_internal::TypeWeight> weights = {
+      {/*Request*/ 0, 6},  {/*Travel*/ 1, 24}, {/*Pickup*/ 2, 5},
+      {/*Dropoff*/ 3, 5}, {/*Cancel*/ 4, 2}};
+  generator_internal::BurstProcess process(std::move(weights),
+                                           config.burstiness,
+                                           config.max_burst);
+
+  // Per-group rolling driver/rider pair: lifecycle events of one burst run
+  // share ids, which makes [driver, rider] equality predicates meaningful.
+  std::vector<std::pair<int, int>> pair_of_group(
+      static_cast<size_t>(config.num_groups), {1, 1});
+
+  EventVector out;
+  out.reserve(times.size());
+  for (Timestamp t : times) {
+    int g = static_cast<int>(
+        rng.NextBelow(static_cast<uint64_t>(config.num_groups)));
+    TypeId type = process.Next(g, rng);
+    if (type == 0) {  // a new Request rotates the active driver/rider pair
+      pair_of_group[static_cast<size_t>(g)] = {
+          static_cast<int>(rng.NextInt(1, 50)),
+          static_cast<int>(rng.NextInt(1, 50))};
+    }
+    Event e(t, type);
+    e.set_attr(0, g);
+    e.set_attr(1, pair_of_group[static_cast<size_t>(g)].first);
+    e.set_attr(2, pair_of_group[static_cast<size_t>(g)].second);
+    e.set_attr(3, static_cast<double>(rng.NextInt(1, 6)));
+    e.set_attr(4, rng.NextDouble(3.0, 90.0));
+    e.set_attr(5, rng.NextDouble(1.0, 45.0));
+    out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace hamlet

@@ -1,0 +1,65 @@
+#include "src/stream/generators.h"
+
+namespace hamlet {
+
+namespace {
+// First ten types carry ridesharing semantics (used by the example queries);
+// the remaining ten model the long tail of a 20-type production stream.
+const char* kRideTypes[] = {"Request", "Travel",  "Pickup", "Dropoff",
+                            "Cancel",  "Accept",  "Pool",   "Surge",
+                            "Idle",    "Move",    "TypeA",  "TypeB",
+                            "TypeC",   "TypeD",   "TypeE",  "TypeF",
+                            "TypeG",   "TypeH",   "TypeI",  "TypeJ"};
+constexpr int kNumRideTypes = 20;
+}  // namespace
+
+RidesharingGenerator::RidesharingGenerator() {
+  schema_.AddAttr("district");  // group-by key
+  schema_.AddAttr("driver");
+  schema_.AddAttr("rider");
+  schema_.AddAttr("speed");
+  schema_.AddAttr("duration");
+  schema_.AddAttr("price");
+  for (const char* t : kRideTypes) schema_.AddType(t);
+}
+
+EventVector RidesharingGenerator::Generate(const GeneratorConfig& config) {
+  Rng rng(config.seed);
+  const int64_t total = static_cast<int64_t>(config.events_per_minute) *
+                        config.duration_minutes;
+  std::vector<Timestamp> times = generator_internal::SpreadTimestamps(
+      0, config.duration_minutes * kMillisPerMinute, static_cast<int>(total),
+      rng);
+
+  // Travel dominates (it is the shared Kleene sub-pattern T+ of the paper's
+  // Figure 1 queries); lifecycle types arrive at moderate weight; tail types
+  // are rare.
+  std::vector<generator_internal::TypeWeight> weights;
+  const double type_weights[kNumRideTypes] = {
+      6, 30, 5, 5, 3, 4, 3, 1, 2, 2, 0.5, 0.5, 0.5, 0.5, 0.5,
+      0.5, 0.5, 0.5, 0.5, 0.5};
+  for (TypeId t = 0; t < kNumRideTypes; ++t) {
+    weights.push_back({t, type_weights[t]});
+  }
+  generator_internal::BurstProcess process(std::move(weights),
+                                           config.burstiness,
+                                           config.max_burst);
+
+  EventVector out;
+  out.reserve(times.size());
+  for (Timestamp t : times) {
+    int g = static_cast<int>(rng.NextBelow(
+        static_cast<uint64_t>(config.num_groups)));
+    Event e(t, process.Next(g, rng));
+    e.set_attr(0, g);
+    e.set_attr(1, static_cast<double>(rng.NextInt(1, 20)));  // driver
+    e.set_attr(2, static_cast<double>(rng.NextInt(1, 20)));  // rider
+    e.set_attr(3, rng.NextDouble(1.0, 60.0));                // speed mph
+    e.set_attr(4, rng.NextDouble(60.0, 1800.0));             // duration s
+    e.set_attr(5, rng.NextDouble(2.0, 80.0));                // price $
+    out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace hamlet

@@ -1,0 +1,43 @@
+#include "src/stream/schema.h"
+
+namespace hamlet {
+
+TypeId Schema::AddType(const std::string& name) {
+  auto it = type_ids_.find(name);
+  if (it != type_ids_.end()) return it->second;
+  TypeId id = static_cast<TypeId>(type_names_.size());
+  type_names_.push_back(name);
+  type_ids_[name] = id;
+  return id;
+}
+
+AttrId Schema::AddAttr(const std::string& name) {
+  auto it = attr_ids_.find(name);
+  if (it != attr_ids_.end()) return it->second;
+  AttrId id = static_cast<AttrId>(attr_names_.size());
+  attr_names_.push_back(name);
+  attr_ids_[name] = id;
+  return id;
+}
+
+TypeId Schema::FindType(const std::string& name) const {
+  auto it = type_ids_.find(name);
+  return it == type_ids_.end() ? kInvalidId : it->second;
+}
+
+AttrId Schema::FindAttr(const std::string& name) const {
+  auto it = attr_ids_.find(name);
+  return it == attr_ids_.end() ? kInvalidId : it->second;
+}
+
+const std::string& Schema::TypeName(TypeId id) const {
+  HAMLET_CHECK(id >= 0 && id < num_types());
+  return type_names_[static_cast<size_t>(id)];
+}
+
+const std::string& Schema::AttrName(AttrId id) const {
+  HAMLET_CHECK(id >= 0 && id < num_attrs());
+  return attr_names_[static_cast<size_t>(id)];
+}
+
+}  // namespace hamlet

@@ -1,0 +1,51 @@
+// Schema: event-type and attribute name registries for a dataset.
+//
+// Queries reference types and attributes by name; engines use dense ids.
+#ifndef HAMLET_STREAM_SCHEMA_H_
+#define HAMLET_STREAM_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/stream/event.h"
+
+namespace hamlet {
+
+/// Immutable after construction-time registration. Type ids and attribute ids
+/// are dense indices in registration order.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Registers an event type; returns its id. Re-registering a name returns
+  /// the existing id.
+  TypeId AddType(const std::string& name);
+
+  /// Registers an attribute; returns its id. Attribute 0 is conventionally
+  /// the dataset's group-by key.
+  AttrId AddAttr(const std::string& name);
+
+  /// Lookup by name; kInvalidId (-1) when absent.
+  TypeId FindType(const std::string& name) const;
+  AttrId FindAttr(const std::string& name) const;
+
+  const std::string& TypeName(TypeId id) const;
+  const std::string& AttrName(AttrId id) const;
+
+  int num_types() const { return static_cast<int>(type_names_.size()); }
+  int num_attrs() const { return static_cast<int>(attr_names_.size()); }
+
+  static constexpr int kInvalidId = -1;
+
+ private:
+  std::vector<std::string> type_names_;
+  std::vector<std::string> attr_names_;
+  std::unordered_map<std::string, TypeId> type_ids_;
+  std::unordered_map<std::string, AttrId> attr_ids_;
+};
+
+}  // namespace hamlet
+
+#endif  // HAMLET_STREAM_SCHEMA_H_

@@ -1,0 +1,43 @@
+#include "src/stream/stream_builder.h"
+
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace hamlet {
+
+StreamBuilder& StreamBuilder::Add(const std::string& type_name,
+                                  std::initializer_list<double> attrs) {
+  return AddAt(next_time_, type_name, attrs);
+}
+
+StreamBuilder& StreamBuilder::AddAt(Timestamp t, const std::string& type_name,
+                                    std::initializer_list<double> attrs) {
+  HAMLET_CHECK(events_.empty() || t >= events_.back().time);
+  Event e(t, schema_->AddType(type_name));
+  for (double v : attrs) e.set_attr(e.num_attrs, v);
+  events_.push_back(e);
+  next_time_ = t + 1;
+  return *this;
+}
+
+StreamBuilder& StreamBuilder::AddRun(int n, const std::string& type_name,
+                                     std::initializer_list<double> attrs) {
+  for (int i = 0; i < n; ++i) Add(type_name, attrs);
+  return *this;
+}
+
+StreamBuilder& StreamBuilder::Gap(Timestamp delta) {
+  next_time_ += delta;
+  return *this;
+}
+
+EventVector ParseStreamScript(const std::string& script, Schema* schema) {
+  StreamBuilder builder(schema);
+  std::istringstream in(script);
+  std::string token;
+  while (in >> token) builder.Add(token);
+  return builder.Take();
+}
+
+}  // namespace hamlet

@@ -1,0 +1,50 @@
+// Hand-built stream construction for tests, examples and worked paper
+// examples (Figures 4–6, Tables 3–5).
+#ifndef HAMLET_STREAM_STREAM_BUILDER_H_
+#define HAMLET_STREAM_STREAM_BUILDER_H_
+
+#include <initializer_list>
+#include <string>
+
+#include "src/stream/event.h"
+#include "src/stream/schema.h"
+
+namespace hamlet {
+
+/// Fluent builder: `StreamBuilder(s).Add("A").Add("B").Add("B")` produces
+/// events with auto-incrementing timestamps (1ms apart by default).
+class StreamBuilder {
+ public:
+  explicit StreamBuilder(Schema* schema) : schema_(schema) {}
+
+  /// Appends one event of type `type_name` at the next timestamp.
+  StreamBuilder& Add(const std::string& type_name,
+                     std::initializer_list<double> attrs = {});
+
+  /// Appends one event at an explicit timestamp (must be non-decreasing).
+  StreamBuilder& AddAt(Timestamp t, const std::string& type_name,
+                       std::initializer_list<double> attrs = {});
+
+  /// Appends `n` events of `type_name` (a burst).
+  StreamBuilder& AddRun(int n, const std::string& type_name,
+                        std::initializer_list<double> attrs = {});
+
+  /// Advances the clock without emitting (creates pane/burst gaps).
+  StreamBuilder& Gap(Timestamp delta);
+
+  const EventVector& events() const { return events_; }
+  EventVector Take() { return std::move(events_); }
+
+ private:
+  Schema* schema_;
+  Timestamp next_time_ = 0;
+  EventVector events_;
+};
+
+/// Parses a whitespace-separated stream script like "A B B C" against
+/// `schema` (registering unseen single-letter types); timestamps 0,1,2,…
+EventVector ParseStreamScript(const std::string& script, Schema* schema);
+
+}  // namespace hamlet
+
+#endif  // HAMLET_STREAM_STREAM_BUILDER_H_

@@ -1,0 +1,209 @@
+// Baseline engine tests: the MCEP-style two-step engine and the
+// SHARON-style flattening engine must agree with the brute force / GRETA
+// on every supported configuration, and must exhibit the structural
+// properties the paper measures (trend construction, expansion counts).
+#include <gtest/gtest.h>
+
+#include "src/baselines/sharon_engine.h"
+#include "src/baselines/two_step_engine.h"
+#include "src/brute/enumerator.h"
+#include "src/common/rng.h"
+#include "src/query/parser.h"
+#include "src/stream/stream_builder.h"
+
+namespace hamlet {
+namespace {
+
+class BaselineFixture : public ::testing::Test {
+ protected:
+  WorkloadPlan Plan(std::initializer_list<const char*> queries) {
+    for (const char* text : queries) {
+      Query q = ParseQuery(text).value();
+      HAMLET_CHECK(workload_.Add(q).ok());
+    }
+    Result<WorkloadPlan> plan = AnalyzeWorkload(workload_);
+    HAMLET_CHECK(plan.ok());
+    return std::move(plan).value();
+  }
+  Schema schema_;
+  Workload workload_{&schema_};
+};
+
+TEST_F(BaselineFixture, TwoStepMatchesBruteAndConstructsTrends) {
+  WorkloadPlan plan = Plan({
+      "RETURN COUNT(*) PATTERN SEQ(A, B+) WITHIN 1 min",
+      "RETURN SUM(B.v) PATTERN SEQ(A, B+) WITHIN 1 min",
+      "RETURN COUNT(*) PATTERN SEQ(C, B+) WITHIN 1 min",
+  });
+  AttrId v = schema_.FindAttr("v");
+  StreamBuilder sb(&schema_);
+  EventVector ev;
+  {
+    TypeId A = schema_.FindType("A"), B = schema_.FindType("B"),
+           C = schema_.FindType("C");
+    Event a(1, A), c(2, C);
+    ev = {a, c};
+    for (int i = 0; i < 5; ++i) {
+      Event b(3 + i, B);
+      b.set_attr(v, i + 1.0);
+      ev.push_back(b);
+    }
+  }
+  TwoStepEngine engine(plan, plan.AllExec());
+  for (const Event& e : ev) engine.OnEvent(e);
+  ASSERT_TRUE(engine.Finish().ok());
+  for (int i = 0; i < plan.num_exec(); ++i) {
+    EXPECT_DOUBLE_EQ(engine.Value(i),
+                     BruteForceEval(plan.exec_queries[static_cast<size_t>(i)],
+                                    ev)
+                         .value()
+                         .value)
+        << "exec " << i;
+  }
+  // q1 and q2 share the pattern signature: one construction pass serves
+  // both, so trends == trends(q1) + trends(q3), not 2x + x.
+  const int64_t q1_trends = 31;  // 2^5 - 1 per the single A
+  EXPECT_EQ(engine.trends_constructed(), q1_trends + q1_trends);
+  EXPECT_GT(engine.MemoryBytes(), 0);
+}
+
+TEST_F(BaselineFixture, TwoStepBudgetExhaustion) {
+  WorkloadPlan plan = Plan({"RETURN COUNT(*) PATTERN B+ WITHIN 1 min"});
+  StreamBuilder sb(&schema_);
+  sb.AddRun(24, "B");
+  TwoStepEngine engine(plan, plan.AllExec(), /*max_trends=*/1000);
+  for (const Event& e : sb.events()) engine.OnEvent(e);
+  Status s = engine.Finish();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(BaselineFixture, SharonMatchesBruteWithinProvisionedLength) {
+  WorkloadPlan plan = Plan({
+      "RETURN COUNT(*) PATTERN SEQ(A, B+) WITHIN 1 min",
+      "RETURN SUM(B.v) PATTERN SEQ(C, B+) WITHIN 1 min",
+      "RETURN COUNT(*) PATTERN SEQ(A, B+, NOT N, C) WITHIN 1 min",
+  });
+  Rng rng(42);
+  const char* alphabet[] = {"A", "B", "C", "N"};
+  AttrId v = schema_.AddAttr("v");
+  for (int trial = 0; trial < 40; ++trial) {
+    EventVector ev;
+    int len = static_cast<int>(rng.NextInt(1, 14));
+    for (int i = 0; i < len; ++i) {
+      Event e(i + 1, schema_.AddType(alphabet[rng.NextBelow(4)]));
+      e.set_attr(v, static_cast<double>(rng.NextInt(0, 9)));
+      ev.push_back(e);
+    }
+    SharonEngine engine(plan, plan.AllExec(), /*max_kleene_length=*/16);
+    for (const Event& e : ev) engine.OnEvent(e);
+    for (int i = 0; i < plan.num_exec(); ++i) {
+      ASSERT_TRUE(engine.Supported(i));
+      EXPECT_DOUBLE_EQ(
+          engine.Value(i),
+          BruteForceEval(plan.exec_queries[static_cast<size_t>(i)], ev)
+              .value()
+              .value)
+          << "exec " << i << " trial " << trial;
+    }
+  }
+}
+
+TEST_F(BaselineFixture, SharonExpansionCountsAreLinearInLength) {
+  WorkloadPlan plan = Plan({"RETURN COUNT(*) PATTERN SEQ(A, B+) WITHIN 1 min"});
+  SharonEngine small(plan, plan.AllExec(), 8);
+  SharonEngine large(plan, plan.AllExec(), 32);
+  EXPECT_EQ(small.expanded_queries(), 8);
+  EXPECT_EQ(large.expanded_queries(), 32);
+  // The flattened state is the paper's memory overhead: once a stream has
+  // touched the DP, state grows quadratically with the provisioned length
+  // (sum of expanded arities).
+  StreamBuilder sb(&schema_);
+  sb.Add("A").AddRun(4, "B");
+  for (const Event& e : sb.events()) {
+    small.OnEvent(e);
+    large.OnEvent(e);
+  }
+  EXPECT_GT(large.MemoryBytes(), 5 * small.MemoryBytes());
+}
+
+TEST_F(BaselineFixture, SharonUndercountsBeyondProvisionedLength) {
+  // The paper's flattening covers lengths up to l; longer matches are lost.
+  WorkloadPlan plan = Plan({"RETURN COUNT(*) PATTERN B+ WITHIN 1 min"});
+  StreamBuilder sb(&schema_);
+  sb.AddRun(6, "B");
+  SharonEngine engine(plan, plan.AllExec(), /*max_kleene_length=*/3);
+  for (const Event& e : sb.events()) engine.OnEvent(e);
+  // C(6,1)+C(6,2)+C(6,3) = 6+15+20 = 41 < 63.
+  EXPECT_DOUBLE_EQ(engine.Value(0), 41.0);
+}
+
+TEST_F(BaselineFixture, SharonRejectsUnsupportedShapes) {
+  WorkloadPlan plan = Plan({
+      "RETURN COUNT(*) PATTERN (SEQ(A, B+))+ WITHIN 1 min",
+      "RETURN COUNT(*) PATTERN SEQ(A, B+) WHERE prev.v <= next.v WITHIN 1 "
+      "min",
+      "RETURN COUNT(*) PATTERN SEQ(A, B+) WHERE [driver] WITHIN 1 min",
+  });
+  SharonEngine engine(plan, plan.AllExec(), 8);
+  EXPECT_FALSE(engine.Supported(0));  // group Kleene
+  EXPECT_FALSE(engine.Supported(1));  // non-equality edge predicate
+  EXPECT_TRUE(engine.Supported(2));   // [driver] partitions the DP
+}
+
+TEST_F(BaselineFixture, SharonEqualityPartitioningMatchesBrute) {
+  WorkloadPlan plan = Plan({
+      "RETURN COUNT(*) PATTERN SEQ(A, B+) WHERE [driver] WITHIN 1 min",
+      "RETURN SUM(B.v) PATTERN SEQ(A, B+) WHERE [driver, rider] WITHIN 1 min",
+  });
+  AttrId v = schema_.FindAttr("v");
+  AttrId driver = schema_.FindAttr("driver");
+  AttrId rider = schema_.FindAttr("rider");
+  Rng rng(77);
+  const char* alphabet[] = {"A", "B", "C"};
+  for (int trial = 0; trial < 30; ++trial) {
+    EventVector ev;
+    int len = static_cast<int>(rng.NextInt(1, 12));
+    for (int i = 0; i < len; ++i) {
+      Event e(i + 1, schema_.AddType(alphabet[rng.NextBelow(3)]));
+      e.set_attr(v, static_cast<double>(rng.NextInt(0, 9)));
+      e.set_attr(driver, static_cast<double>(rng.NextInt(1, 2)));
+      e.set_attr(rider, static_cast<double>(rng.NextInt(1, 2)));
+      ev.push_back(e);
+    }
+    SharonEngine engine(plan, plan.AllExec(), 16);
+    for (const Event& e : ev) engine.OnEvent(e);
+    for (int i = 0; i < plan.num_exec(); ++i) {
+      ASSERT_TRUE(engine.Supported(i));
+      EXPECT_DOUBLE_EQ(
+          engine.Value(i),
+          BruteForceEval(plan.exec_queries[static_cast<size_t>(i)], ev)
+              .value()
+              .value)
+          << "exec " << i << " trial " << trial;
+    }
+  }
+}
+
+TEST_F(BaselineFixture, SharonHandlesMultiKleenePatterns) {
+  WorkloadPlan plan =
+      Plan({"RETURN COUNT(*) PATTERN SEQ(A+, B+) WITHIN 1 min"});
+  Rng rng(7);
+  for (int trial = 0; trial < 25; ++trial) {
+    EventVector ev;
+    int len = static_cast<int>(rng.NextInt(1, 10));
+    const char* alphabet[] = {"A", "B"};
+    for (int i = 0; i < len; ++i) {
+      Event e(i + 1, schema_.AddType(alphabet[rng.NextBelow(2)]));
+      ev.push_back(e);
+    }
+    SharonEngine engine(plan, plan.AllExec(), 10);
+    for (const Event& e : ev) engine.OnEvent(e);
+    EXPECT_DOUBLE_EQ(engine.Value(0),
+                     BruteForceEval(plan.exec_queries[0], ev).value().value)
+        << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace hamlet

@@ -1,0 +1,209 @@
+// Unit tests for the brute-force enumerator against hand-computed counts.
+// This module is the ground truth for everything else, so its own tests are
+// fully worked by hand.
+#include <gtest/gtest.h>
+
+#include "src/brute/enumerator.h"
+#include "src/query/parser.h"
+#include "src/stream/stream_builder.h"
+
+namespace hamlet {
+namespace {
+
+class BruteFixture : public ::testing::Test {
+ protected:
+  WorkloadPlan Plan(std::initializer_list<const char*> queries) {
+    for (const char* text : queries) {
+      Query q = ParseQuery(text).value();
+      HAMLET_CHECK(workload_.Add(q).ok());
+    }
+    Result<WorkloadPlan> plan = AnalyzeWorkload(workload_);
+    HAMLET_CHECK(plan.ok());
+    return std::move(plan).value();
+  }
+  EventVector Stream(const std::string& script) {
+    return ParseStreamScript(script, &schema_);
+  }
+  Schema schema_;
+  Workload workload_{&schema_};
+};
+
+TEST_F(BruteFixture, KleeneCountPowersOfTwo) {
+  // SEQ(A, B+) over "A B B B": trends per A = 2^3 - 1 = 7.
+  WorkloadPlan plan =
+      Plan({"RETURN COUNT(*) PATTERN SEQ(A, B+) WITHIN 1 min"});
+  EventVector ev = Stream("A B B B");
+  BruteResult r = BruteForceEval(plan.exec_queries[0], ev).value();
+  EXPECT_EQ(r.num_trends, 7);
+  // Two A's double the leading choices: each B-subset pairs with either A
+  // only if the A precedes every chosen B. A1 before all: 7; A2 (after the
+  // first B): subsets of the last two B's: 3. Total 10.
+  EventVector ev2 = Stream("A B A B B");
+  BruteResult r2 = BruteForceEval(plan.exec_queries[0], ev2).value();
+  EXPECT_EQ(r2.num_trends, 7 + 3);
+}
+
+TEST_F(BruteFixture, PureKleene) {
+  // B+ over "B B B B": all non-empty subsequences = 2^4 - 1.
+  WorkloadPlan plan = Plan({"RETURN COUNT(*) PATTERN B+ WITHIN 1 min"});
+  BruteResult r =
+      BruteForceEval(plan.exec_queries[0], Stream("B B B B")).value();
+  EXPECT_EQ(r.num_trends, 15);
+}
+
+TEST_F(BruteFixture, SequenceWithSuffix) {
+  // SEQ(A, B+, C) over "A B B C": subsets of {b1,b2} (3) x one C.
+  WorkloadPlan plan =
+      Plan({"RETURN COUNT(*) PATTERN SEQ(A, B+, C) WITHIN 1 min"});
+  BruteResult r =
+      BruteForceEval(plan.exec_queries[0], Stream("A B B C")).value();
+  EXPECT_EQ(r.num_trends, 3);
+}
+
+TEST_F(BruteFixture, EventPredicateFiltersEvents) {
+  WorkloadPlan plan = Plan(
+      {"RETURN COUNT(*) PATTERN SEQ(A, B+) WHERE B.v > 5 WITHIN 1 min"});
+  AttrId v = schema_.FindAttr("v");
+  StreamBuilder b(&schema_);
+  b.Add("A");
+  Event e1(1, schema_.FindType("B"));
+  e1.set_attr(v, 10);  // passes
+  Event e2(2, schema_.FindType("B"));
+  e2.set_attr(v, 1);  // filtered
+  EventVector ev = b.Take();
+  ev.push_back(e1);
+  ev.push_back(e2);
+  BruteResult r = BruteForceEval(plan.exec_queries[0], ev).value();
+  EXPECT_EQ(r.num_trends, 1);
+}
+
+TEST_F(BruteFixture, EdgePredicateEquality) {
+  // [driver]: all trend events share driver id (attribute "driver").
+  WorkloadPlan plan = Plan(
+      {"RETURN COUNT(*) PATTERN SEQ(A, B+) WHERE [driver] WITHIN 1 min"});
+  AttrId d = schema_.FindAttr("driver");
+  TypeId A = schema_.FindType("A"), B = schema_.FindType("B");
+  EventVector ev;
+  Event a(0, A);
+  a.set_attr(d, 1);
+  Event b1(1, B);
+  b1.set_attr(d, 1);
+  Event b2(2, B);
+  b2.set_attr(d, 2);  // different driver: breaks adjacency with a and b1
+  Event b3(3, B);
+  b3.set_attr(d, 1);
+  ev = {a, b1, b2, b3};
+  // Valid trends: (a,b1), (a,b3), (a,b1,b3).
+  BruteResult r = BruteForceEval(plan.exec_queries[0], ev).value();
+  EXPECT_EQ(r.num_trends, 3);
+}
+
+TEST_F(BruteFixture, BoundaryNegationBlocksBetween) {
+  WorkloadPlan plan =
+      Plan({"RETURN COUNT(*) PATTERN SEQ(A, NOT N, B+) WITHIN 1 min"});
+  // N between a and b1 blocks a->b1 but not a->(nothing else); b's after N
+  // can still pair with A's after N... here only one A before N.
+  BruteResult r =
+      BruteForceEval(plan.exec_queries[0], Stream("A N B B")).value();
+  // a->b1 blocked, a->b2 blocked (N is between a and b2 as well).
+  EXPECT_EQ(r.num_trends, 0);
+  BruteResult r2 =
+      BruteForceEval(plan.exec_queries[0], Stream("A B N B")).value();
+  // (a,b1) ok; (a,b2) blocked (N between); (a,b1,b2): boundary edge a->b1
+  // ok, b1->b2 is within the Kleene (not negation-guarded) => valid.
+  EXPECT_EQ(r2.num_trends, 2);
+}
+
+TEST_F(BruteFixture, TrailingNegationKillsEarlierTrends) {
+  WorkloadPlan plan =
+      Plan({"RETURN COUNT(*) PATTERN SEQ(A, B+, NOT N) WITHIN 1 min"});
+  BruteResult r =
+      BruteForceEval(plan.exec_queries[0], Stream("A B N B")).value();
+  // Trends ending before N die: (a,b1) blocked. (a,b2) and (a,b1,b2) end
+  // after N: valid.
+  EXPECT_EQ(r.num_trends, 2);
+}
+
+TEST_F(BruteFixture, LeadingNegationBlocksLaterStarts) {
+  WorkloadPlan plan =
+      Plan({"RETURN COUNT(*) PATTERN SEQ(NOT N, A, B+) WITHIN 1 min"});
+  BruteResult r =
+      BruteForceEval(plan.exec_queries[0], Stream("A N A B")).value();
+  // a1 started before N: (a1, b) valid. a2 after N: blocked.
+  EXPECT_EQ(r.num_trends, 1);
+}
+
+TEST_F(BruteFixture, GroupKleeneMatchesPaperExample10Semantics) {
+  WorkloadPlan plan =
+      Plan({"RETURN COUNT(*) PATTERN (SEQ(A, B+))+ WITHIN 1 min"});
+  // Stream a1 b1 a2 b2 (worked in DESIGN notes): 5 trends:
+  // (a1,b1), (a1,b2), (a1,b1,b2), (a2,b2), (a1,b1,a2,b2).
+  BruteResult r =
+      BruteForceEval(plan.exec_queries[0], Stream("A B A B")).value();
+  EXPECT_EQ(r.num_trends, 5);
+}
+
+TEST_F(BruteFixture, AggregatesOverTrends) {
+  WorkloadPlan plan = Plan({
+      "RETURN COUNT(B) PATTERN SEQ(A, B+) WITHIN 1 min",
+      "RETURN SUM(B.v) PATTERN SEQ(A, B+) WITHIN 1 min",
+      "RETURN MIN(B.v) PATTERN SEQ(A, B+) WITHIN 1 min",
+      "RETURN MAX(B.v) PATTERN SEQ(A, B+) WITHIN 1 min",
+      "RETURN AVG(B.v) PATTERN SEQ(A, B+) WITHIN 1 min",
+  });
+  AttrId v = schema_.FindAttr("v");
+  TypeId A = schema_.FindType("A"), B = schema_.FindType("B");
+  Event a(0, A);
+  Event b1(1, B);
+  b1.set_attr(v, 10);
+  Event b2(2, B);
+  b2.set_attr(v, 20);
+  EventVector ev = {a, b1, b2};
+  // Trends: (a,b1):v=10, (a,b2):v=20, (a,b1,b2):v=30.
+  EXPECT_DOUBLE_EQ(
+      BruteForceEval(plan.exec_queries[0], ev).value().value, 4);   // COUNT(B)
+  EXPECT_DOUBLE_EQ(
+      BruteForceEval(plan.exec_queries[1], ev).value().value, 60);  // SUM
+  EXPECT_DOUBLE_EQ(
+      BruteForceEval(plan.exec_queries[2], ev).value().value, 10);  // MIN
+  EXPECT_DOUBLE_EQ(
+      BruteForceEval(plan.exec_queries[3], ev).value().value, 20);  // MAX
+  EXPECT_DOUBLE_EQ(
+      BruteForceEval(plan.exec_queries[4], ev).value().value, 15);  // AVG
+}
+
+TEST_F(BruteFixture, TrendBudgetEnforced) {
+  WorkloadPlan plan = Plan({"RETURN COUNT(*) PATTERN B+ WITHIN 1 min"});
+  BruteOptions opt;
+  opt.max_trends = 10;
+  Result<BruteResult> r =
+      BruteForceEval(plan.exec_queries[0], Stream("B B B B B"), opt);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(BruteFixture, OrAndComposition) {
+  WorkloadPlan plan = Plan({
+      "RETURN COUNT(*) PATTERN SEQ(A,B+) OR SEQ(C,D+) WITHIN 1 min",
+      "RETURN COUNT(*) PATTERN SEQ(A,B+) AND SEQ(C,D+) WITHIN 1 min",
+  });
+  EventVector ev = Stream("A B C D");
+  // C1 = 1 ((a,b)), C2 = 1 ((c,d)).
+  EXPECT_DOUBLE_EQ(BruteForceQueryValue(plan, 0, ev).value(), 2);
+  EXPECT_DOUBLE_EQ(BruteForceQueryValue(plan, 1, ev).value(), 1);
+}
+
+TEST_F(BruteFixture, OnTrendCallbackSeesIndices) {
+  WorkloadPlan plan =
+      Plan({"RETURN COUNT(*) PATTERN SEQ(A, B+) WITHIN 1 min"});
+  EventVector ev = Stream("A B");
+  std::vector<std::vector<int>> trends;
+  BruteOptions opt;
+  opt.on_trend = [&](const std::vector<int>& t) { trends.push_back(t); };
+  BruteForceEval(plan.exec_queries[0], ev, opt).value();
+  ASSERT_EQ(trends.size(), 1u);
+  EXPECT_EQ(trends[0], (std::vector<int>{0, 1}));
+}
+
+}  // namespace
+}  // namespace hamlet

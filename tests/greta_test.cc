@@ -1,0 +1,198 @@
+// GRETA engine tests: hand-worked propagation (paper Example 4) plus
+// randomized equivalence against the brute-force enumerator in both graph
+// and prefix-sum modes.
+#include <gtest/gtest.h>
+
+#include "src/brute/enumerator.h"
+#include "src/common/rng.h"
+#include "src/greta/greta_engine.h"
+#include "src/query/parser.h"
+#include "src/stream/stream_builder.h"
+
+namespace hamlet {
+namespace {
+
+class GretaFixture : public ::testing::Test {
+ protected:
+  WorkloadPlan Plan(std::initializer_list<const char*> queries) {
+    for (const char* text : queries) {
+      Query q = ParseQuery(text).value();
+      HAMLET_CHECK(workload_.Add(q).ok());
+    }
+    Result<WorkloadPlan> plan = AnalyzeWorkload(workload_);
+    HAMLET_CHECK(plan.ok());
+    return std::move(plan).value();
+  }
+  double Run(const ExecQuery& eq, const EventVector& ev, GretaMode mode) {
+    GretaEngine engine(eq, mode);
+    for (const Event& e : ev) engine.OnEvent(e);
+    return engine.Value();
+  }
+  Schema schema_;
+  Workload workload_{&schema_};
+};
+
+TEST_F(GretaFixture, PaperExample4Counts) {
+  // Example 4 / Fig. 4(a): q1 = SEQ(A,B+), q2 = SEQ(C,B+) over a stream
+  // where b3 follows a1, a2, c1: count(b3,q1) = 2, count(b3,q2) = 1.
+  WorkloadPlan plan = Plan({
+      "RETURN COUNT(*) PATTERN SEQ(A, B+) WITHIN 1 min",
+      "RETURN COUNT(*) PATTERN SEQ(C, B+) WITHIN 1 min",
+  });
+  EventVector ev = ParseStreamScript("A A C B", &schema_);
+  EXPECT_DOUBLE_EQ(Run(plan.exec_queries[0], ev, GretaMode::kGraph), 2.0);
+  EXPECT_DOUBLE_EQ(Run(plan.exec_queries[1], ev, GretaMode::kGraph), 1.0);
+}
+
+TEST_F(GretaFixture, DoublingWithinBurst) {
+  // Table 3's doubling: counts x, 2x, 4x, 8x within a burst of 4 B's after
+  // predecessors worth x = 2.
+  WorkloadPlan plan =
+      Plan({"RETURN COUNT(*) PATTERN SEQ(A, B+) WITHIN 1 min"});
+  EventVector ev = ParseStreamScript("A A B B B B", &schema_);
+  // Final count = 2 + 4 + 8 + 16 = 30.
+  EXPECT_DOUBLE_EQ(Run(plan.exec_queries[0], ev, GretaMode::kGraph), 30.0);
+  EXPECT_DOUBLE_EQ(Run(plan.exec_queries[0], ev, GretaMode::kPrefixSum), 30.0);
+}
+
+TEST_F(GretaFixture, PrefixSumFallsBackOnEdgePredicates) {
+  WorkloadPlan plan = Plan(
+      {"RETURN COUNT(*) PATTERN SEQ(A, B+) WHERE [driver] WITHIN 1 min"});
+  GretaEngine engine(plan.exec_queries[0], GretaMode::kPrefixSum);
+  EXPECT_EQ(engine.mode(), GretaMode::kGraph);
+}
+
+TEST_F(GretaFixture, GraphModeIsQuadraticPrefixSumLinear) {
+  WorkloadPlan plan = Plan({"RETURN COUNT(*) PATTERN B+ WITHIN 1 min"});
+  StreamBuilder b(&schema_);
+  b.AddRun(64, "B");
+  EventVector ev = b.Take();
+  GretaEngine graph(plan.exec_queries[0], GretaMode::kGraph);
+  GretaEngine prefix(plan.exec_queries[0], GretaMode::kPrefixSum);
+  for (const Event& e : ev) {
+    graph.OnEvent(e);
+    prefix.OnEvent(e);
+  }
+  EXPECT_DOUBLE_EQ(graph.Value(), prefix.Value());
+  // 64 events: graph visits ~ n(n-1)/2 = 2016 predecessors; prefix reads one
+  // accumulator per event.
+  EXPECT_EQ(graph.ops(), 64 * 63 / 2);
+  EXPECT_EQ(prefix.ops(), 64);
+  EXPECT_GT(graph.MemoryBytes(), prefix.MemoryBytes());
+}
+
+// ---- Randomized equivalence: GRETA == brute force ----
+
+struct EquivCase {
+  const char* name;
+  const char* query;
+  std::vector<const char*> alphabet;
+};
+
+class GretaEquivTest : public ::testing::TestWithParam<EquivCase> {};
+
+TEST_P(GretaEquivTest, MatchesBruteForceOnRandomStreams) {
+  const EquivCase& c = GetParam();
+  Rng rng(0xC0FFEE ^ std::hash<std::string>{}(c.name));
+  for (int trial = 0; trial < 40; ++trial) {
+    Schema schema;
+    Workload workload(&schema);
+    Query q = ParseQuery(c.query).value();
+    ASSERT_TRUE(workload.Add(q).ok());
+    WorkloadPlan plan = AnalyzeWorkload(workload).value();
+
+    // Random stream over the alphabet with random attrs.
+    AttrId v = schema.AddAttr("v");
+    AttrId driver = schema.AddAttr("driver");
+    EventVector ev;
+    const int len = static_cast<int>(rng.NextInt(1, 14));
+    for (int i = 0; i < len; ++i) {
+      const char* t =
+          c.alphabet[rng.NextBelow(c.alphabet.size())];
+      Event e(i + 1, schema.AddType(t));
+      e.set_attr(v, static_cast<double>(rng.NextInt(0, 9)));
+      e.set_attr(driver, static_cast<double>(rng.NextInt(1, 2)));
+      ev.push_back(e);
+    }
+
+    for (const ExecQuery& eq : plan.exec_queries) {
+      BruteResult brute = BruteForceEval(eq, ev).value();
+      for (GretaMode mode : {GretaMode::kGraph, GretaMode::kPrefixSum}) {
+        GretaEngine engine(eq, mode);
+        for (const Event& e : ev) engine.OnEvent(e);
+        EXPECT_DOUBLE_EQ(engine.Value(), brute.value)
+            << c.name << " trial " << trial << " mode "
+            << (mode == GretaMode::kGraph ? "graph" : "prefix");
+        EXPECT_DOUBLE_EQ(engine.final_agg().count, brute.agg.count);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, GretaEquivTest,
+    ::testing::Values(
+        EquivCase{"kleene", "RETURN COUNT(*) PATTERN B+ WITHIN 1 min",
+                  {"A", "B"}},
+        EquivCase{"seq_kleene",
+                  "RETURN COUNT(*) PATTERN SEQ(A, B+) WITHIN 1 min",
+                  {"A", "B", "C"}},
+        EquivCase{"seq_kleene_suffix",
+                  "RETURN COUNT(*) PATTERN SEQ(A, B+, C) WITHIN 1 min",
+                  {"A", "B", "C"}},
+        EquivCase{"two_kleene",
+                  "RETURN COUNT(*) PATTERN SEQ(A+, B+) WITHIN 1 min",
+                  {"A", "B", "C"}},
+        EquivCase{"negation_mid",
+                  "RETURN COUNT(*) PATTERN SEQ(A, NOT N, B+) WITHIN 1 min",
+                  {"A", "B", "N"}},
+        EquivCase{"negation_trailing",
+                  "RETURN COUNT(*) PATTERN SEQ(A, B+, NOT N) WITHIN 1 min",
+                  {"A", "B", "N"}},
+        EquivCase{"negation_leading",
+                  "RETURN COUNT(*) PATTERN SEQ(NOT N, A, B+) WITHIN 1 min",
+                  {"A", "B", "N"}},
+        EquivCase{"group_kleene",
+                  "RETURN COUNT(*) PATTERN (SEQ(A, B+))+ WITHIN 1 min",
+                  {"A", "B"}},
+        EquivCase{"sum",
+                  "RETURN SUM(B.v) PATTERN SEQ(A, B+) WITHIN 1 min",
+                  {"A", "B"}},
+        EquivCase{"avg",
+                  "RETURN AVG(B.v) PATTERN SEQ(A, B+, C) WITHIN 1 min",
+                  {"A", "B", "C"}},
+        EquivCase{"count_events",
+                  "RETURN COUNT(B) PATTERN SEQ(A, B+) WITHIN 1 min",
+                  {"A", "B"}},
+        EquivCase{"min",
+                  "RETURN MIN(B.v) PATTERN SEQ(A, B+) WITHIN 1 min",
+                  {"A", "B"}},
+        EquivCase{"max",
+                  "RETURN MAX(B.v) PATTERN SEQ(A, B+, C) WITHIN 1 min",
+                  {"A", "B", "C"}},
+        EquivCase{"edge_equality",
+                  "RETURN COUNT(*) PATTERN SEQ(A, B+) WHERE [driver] WITHIN "
+                  "1 min",
+                  {"A", "B"}},
+        EquivCase{"edge_monotone",
+                  "RETURN COUNT(*) PATTERN B+ WHERE prev.v <= next.v WITHIN "
+                  "1 min",
+                  {"A", "B"}},
+        EquivCase{"event_pred",
+                  "RETURN COUNT(*) PATTERN SEQ(A, B+) WHERE B.v > 4 WITHIN 1 "
+                  "min",
+                  {"A", "B"}},
+        EquivCase{"pred_and_neg",
+                  "RETURN SUM(B.v) PATTERN SEQ(A, NOT N, B+) WHERE B.v > 2 "
+                  "WITHIN 1 min",
+                  {"A", "B", "N"}},
+        EquivCase{"min_with_edge",
+                  "RETURN MIN(B.v) PATTERN SEQ(A, B+) WHERE [driver] WITHIN "
+                  "1 min",
+                  {"A", "B"}}),
+    [](const ::testing::TestParamInfo<EquivCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace hamlet

@@ -1,0 +1,231 @@
+// Unit tests for src/plan: pattern compilation, templates (paper Fig. 3/8),
+// merged template, sharability analysis (Definitions 4/5), pane gcd.
+#include <gtest/gtest.h>
+
+#include "src/plan/workload_plan.h"
+#include "src/query/parser.h"
+
+namespace hamlet {
+namespace {
+
+Pattern Parse(const std::string& text, Schema* s) {
+  Pattern p = ParsePattern(text).value();
+  HAMLET_CHECK(p.Resolve(s).ok());
+  return p;
+}
+
+TEST(CompilePatternTest, LinearForms) {
+  Schema s;
+  CompiledPattern c = CompilePattern(Parse("SEQ(A, B+, C)", &s), s).value();
+  EXPECT_EQ(c.composition, CompositionKind::kSingle);
+  ASSERT_EQ(c.branches.size(), 1u);
+  const LinearPattern& p = c.branches[0];
+  EXPECT_EQ(p.num_positions(), 3);
+  EXPECT_FALSE(p.elements[0].kleene);
+  EXPECT_TRUE(p.elements[1].kleene);
+  EXPECT_FALSE(p.group_kleene);
+}
+
+TEST(CompilePatternTest, NegationPositions) {
+  Schema s;
+  LinearPattern p =
+      CompilePattern(Parse("SEQ(NOT L, A, NOT N, B+, NOT T)", &s), s)
+          .value()
+          .branches[0];
+  ASSERT_EQ(p.negations.size(), 3u);
+  EXPECT_EQ(p.negations[0].after_position, -1);  // leading
+  EXPECT_EQ(p.negations[1].after_position, 0);   // between A and B+
+  EXPECT_EQ(p.negations[2].after_position, 1);   // trailing
+}
+
+TEST(CompilePatternTest, GroupKleene) {
+  Schema s;
+  LinearPattern p =
+      CompilePattern(Parse("(SEQ(A, B+))+", &s), s).value().branches[0];
+  EXPECT_TRUE(p.group_kleene);
+  EXPECT_EQ(p.num_positions(), 2);
+}
+
+TEST(CompilePatternTest, RejectsUnsupported) {
+  Schema s;
+  // Duplicate type.
+  EXPECT_FALSE(CompilePattern(Parse("SEQ(A, B+, A)", &s), s).ok());
+  // Nested Kleene below top level.
+  EXPECT_FALSE(CompilePattern(Parse("SEQ(A, (SEQ(B, C+))+)", &s), s).ok());
+  // OR with overlapping non-identical branches.
+  EXPECT_FALSE(CompilePattern(Parse("SEQ(A,B) OR SEQ(B,C)", &s), s).ok());
+  // Negation inside group Kleene.
+  EXPECT_FALSE(CompilePattern(Parse("(SEQ(A, NOT N, B+))+", &s), s).ok());
+}
+
+TEST(CompilePatternTest, OrAndBranches) {
+  Schema s;
+  CompiledPattern c =
+      CompilePattern(Parse("SEQ(A,B+) OR SEQ(C,D+)", &s), s).value();
+  EXPECT_EQ(c.composition, CompositionKind::kOr);
+  EXPECT_EQ(c.branches.size(), 2u);
+  EXPECT_FALSE(c.branches_identical);
+  CompiledPattern same =
+      CompilePattern(Parse("SEQ(A,B+) AND SEQ(A,B+)", &s), s).value();
+  EXPECT_TRUE(same.branches_identical);
+}
+
+TEST(TemplateTest, PredecessorTypesMatchPaperExample2) {
+  // Paper Example 2: q1 = SEQ(A, B+): pt(B) = {A, B}, pt(A) = {},
+  // start(q1) = {A}, end(q1) = {B}.
+  Schema s;
+  LinearPattern p =
+      CompilePattern(Parse("SEQ(A, B+)", &s), s).value().branches[0];
+  TemplateInfo t = BuildTemplate(p);
+  EXPECT_EQ(t.start_type(), s.FindType("A"));
+  EXPECT_EQ(t.end_type(), s.FindType("B"));
+  EXPECT_TRUE(t.PredTypesOf(0).empty());
+  std::vector<TypeId> pt_b = t.PredTypesOf(1);
+  ASSERT_EQ(pt_b.size(), 2u);
+  EXPECT_EQ(pt_b[0], s.FindType("A"));
+  EXPECT_EQ(pt_b[1], s.FindType("B"));
+}
+
+TEST(TemplateTest, GroupKleeneLoopMatchesPaperExample10) {
+  // Paper Example 10: (SEQ(A,B+))+ adds pt(A) = {B}.
+  Schema s;
+  LinearPattern p =
+      CompilePattern(Parse("(SEQ(A, B+))+", &s), s).value().branches[0];
+  TemplateInfo t = BuildTemplate(p);
+  std::vector<TypeId> pt_a = t.PredTypesOf(0);
+  ASSERT_EQ(pt_a.size(), 1u);
+  EXPECT_EQ(pt_a[0], s.FindType("B"));
+}
+
+TEST(TemplateTest, BoundaryNegationLookup) {
+  Schema s;
+  LinearPattern p =
+      CompilePattern(Parse("SEQ(A, NOT N, B+)", &s), s).value().branches[0];
+  TemplateInfo t = BuildTemplate(p);
+  EXPECT_TRUE(t.BoundaryBlockedBy(1, s.FindType("N")));
+  EXPECT_FALSE(t.BoundaryBlockedBy(1, s.FindType("A")));
+}
+
+class PlanFixture : public ::testing::Test {
+ protected:
+  void Add(const std::string& text) {
+    Query q = ParseQuery(text).value();
+    HAMLET_CHECK(workload_.Add(q).ok());
+  }
+  WorkloadPlan Analyze() {
+    Result<WorkloadPlan> plan = AnalyzeWorkload(workload_);
+    HAMLET_CHECK(plan.ok());
+    return std::move(plan).value();
+  }
+  Schema schema_;
+  Workload workload_{&schema_};
+};
+
+TEST_F(PlanFixture, MergedTemplateMatchesPaperExample3) {
+  // Fig. 3(b): q1 = SEQ(A,B+), q2 = SEQ(C,B+); B->B is labeled {q1,q2}.
+  Add("RETURN COUNT(*) PATTERN SEQ(A, B+) WITHIN 1 min");
+  Add("RETURN COUNT(*) PATTERN SEQ(C, B+) WITHIN 1 min");
+  WorkloadPlan plan = Analyze();
+  TypeId b = schema_.FindType("B");
+  EXPECT_EQ(plan.merged.KleeneQueriesOf(b).Count(), 2);
+  EXPECT_EQ(plan.merged.TransitionLabel(schema_.FindType("A"), b).Count(), 1);
+  std::vector<TypeId> shareable = plan.merged.ShareableKleeneTypes();
+  ASSERT_EQ(shareable.size(), 1u);
+  EXPECT_EQ(shareable[0], b);
+  ASSERT_EQ(plan.share_groups.size(), 1u);
+  EXPECT_EQ(plan.share_groups[0].members.Count(), 2);
+  EXPECT_EQ(plan.share_groups[0].mode, PropagationMode::kFastSum);
+}
+
+TEST_F(PlanFixture, AggregateCompatibilitySplitsGroups) {
+  Add("RETURN COUNT(*) PATTERN SEQ(A, B+) WITHIN 1 min");
+  Add("RETURN COUNT(*) PATTERN SEQ(C, B+) WITHIN 1 min");
+  Add("RETURN MIN(B.price) PATTERN SEQ(D, B+) WITHIN 1 min");
+  Add("RETURN MIN(B.price) PATTERN SEQ(E, B+) WITHIN 1 min");
+  WorkloadPlan plan = Analyze();
+  // Two separate groups on B+: {q1,q2} COUNT(*) and {q3,q4} MIN.
+  ASSERT_EQ(plan.share_groups.size(), 2u);
+  EXPECT_EQ(plan.share_groups[0].members.Count(), 2);
+  EXPECT_EQ(plan.share_groups[1].members.Count(), 2);
+}
+
+TEST_F(PlanFixture, GroupByMustMatchForSharing) {
+  Add("RETURN COUNT(*) PATTERN SEQ(A, B+) GROUPBY district WITHIN 1 min");
+  Add("RETURN COUNT(*) PATTERN SEQ(C, B+) WITHIN 1 min");
+  WorkloadPlan plan = Analyze();
+  EXPECT_TRUE(plan.share_groups.empty());
+}
+
+TEST_F(PlanFixture, EdgePredicatesForcePerEventSnapshotMode) {
+  Add("RETURN COUNT(*) PATTERN SEQ(A, B+) WHERE [driver] WITHIN 1 min");
+  Add("RETURN COUNT(*) PATTERN SEQ(C, B+) WITHIN 1 min");
+  WorkloadPlan plan = Analyze();
+  ASSERT_EQ(plan.share_groups.size(), 1u);
+  EXPECT_EQ(plan.share_groups[0].mode, PropagationMode::kPerEventSnapshot);
+}
+
+TEST_F(PlanFixture, IdenticalEdgePredicatesUseSharedScanMode) {
+  Add("RETURN COUNT(*) PATTERN SEQ(A, B+) WHERE [driver] WITHIN 1 min");
+  Add("RETURN COUNT(*) PATTERN SEQ(C, B+) WHERE [driver] WITHIN 1 min");
+  WorkloadPlan plan = Analyze();
+  ASSERT_EQ(plan.share_groups.size(), 1u);
+  EXPECT_EQ(plan.share_groups[0].mode, PropagationMode::kSharedScan);
+}
+
+TEST_F(PlanFixture, OrQueryCompilesToTwoExecBranches) {
+  Add("RETURN COUNT(*) PATTERN SEQ(A,B+) OR SEQ(C,D+) WITHIN 1 min");
+  WorkloadPlan plan = Analyze();
+  EXPECT_EQ(plan.num_exec(), 2);
+  ASSERT_EQ(plan.compositions.size(), 1u);
+  EXPECT_EQ(plan.compositions[0].kind, CompositionKind::kOr);
+  EXPECT_EQ(plan.compositions[0].exec_ids.size(), 2u);
+}
+
+TEST_F(PlanFixture, OrRequiresCountStar) {
+  Query q =
+      ParseQuery("RETURN SUM(B.price) PATTERN SEQ(A,B+) OR SEQ(C,D+) WITHIN "
+                 "1 min")
+          .value();
+  ASSERT_TRUE(workload_.Add(q).ok());
+  EXPECT_FALSE(AnalyzeWorkload(workload_).ok());
+}
+
+TEST_F(PlanFixture, PaneIsGcdOfWindowsAndSlides) {
+  Add("RETURN COUNT(*) PATTERN SEQ(A, B+) WITHIN 10 min SLIDE 5 min");
+  Add("RETURN COUNT(*) PATTERN SEQ(C, B+) WITHIN 15 min SLIDE 5 min");
+  WorkloadPlan plan = Analyze();
+  // Paper §3.1's example: gcd(10, 5, 15, 5) minutes = 5 minutes.
+  EXPECT_EQ(plan.pane_size, 5 * kMillisPerMinute);
+}
+
+TEST(PaneGcdTest, Direct) {
+  EXPECT_EQ(PaneGcd({WindowSpec::Tumbling(6), WindowSpec::Sliding(10, 4)}), 2);
+  EXPECT_EQ(PaneGcd({WindowSpec::Tumbling(7)}), 7);
+}
+
+TEST_F(PlanFixture, ComposeValues) {
+  CompositionRule orr;
+  orr.kind = CompositionKind::kOr;
+  orr.exec_ids = {0, 1};
+  EXPECT_DOUBLE_EQ(ComposeQueryValue(orr, {3, 4}), 7);
+  orr.branches_identical = true;
+  EXPECT_DOUBLE_EQ(ComposeQueryValue(orr, {3, 3}), 3);
+  CompositionRule andd;
+  andd.kind = CompositionKind::kAnd;
+  andd.exec_ids = {0, 1};
+  EXPECT_DOUBLE_EQ(ComposeQueryValue(andd, {3, 4}), 12);
+  andd.branches_identical = true;
+  EXPECT_DOUBLE_EQ(ComposeQueryValue(andd, {4, 4}), 6);  // C(4,2)
+}
+
+TEST_F(PlanFixture, DescribeMentionsSharing) {
+  Add("RETURN COUNT(*) PATTERN SEQ(A, B+) WITHIN 1 min");
+  Add("RETURN COUNT(*) PATTERN SEQ(C, B+) WITHIN 1 min");
+  WorkloadPlan plan = Analyze();
+  std::string desc = plan.Describe();
+  EXPECT_NE(desc.find("share B+"), std::string::npos);
+  EXPECT_NE(desc.find("fast_sum"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hamlet

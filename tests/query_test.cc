@@ -1,0 +1,269 @@
+// Unit tests for src/query: pattern AST, aggregates, predicates, parser,
+// agg-value propagation helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/query/agg_value.h"
+#include "src/query/parser.h"
+#include "src/query/query.h"
+
+namespace hamlet {
+namespace {
+
+TEST(PatternTest, FactoriesAndToString) {
+  Pattern p = Pattern::Seq({Pattern::Type("A"), Pattern::KleeneType("B"),
+                            Pattern::Not(Pattern::Type("C")),
+                            Pattern::Type("D")});
+  EXPECT_EQ(p.ToString(), "SEQ(A, B+, NOT C, D)");
+  EXPECT_TRUE(p.ContainsKleene());
+  Pattern nested = Pattern::Kleene(
+      Pattern::Seq({Pattern::Type("A"), Pattern::KleeneType("B")}));
+  EXPECT_EQ(nested.ToString(), "(SEQ(A, B+))+");
+}
+
+TEST(PatternTest, ResolveBindsTypes) {
+  Schema s;
+  Pattern p = Pattern::Seq({Pattern::Type("A"), Pattern::KleeneType("B")});
+  ASSERT_TRUE(p.Resolve(&s).ok());
+  EXPECT_EQ(p.children[0].type, s.FindType("A"));
+  EXPECT_EQ(p.CollectTypes().size(), 2u);
+}
+
+TEST(PatternTest, ResolveRejectsMalformed) {
+  Schema s;
+  Pattern bad = Pattern::Seq({});
+  EXPECT_FALSE(bad.Resolve(&s).ok());
+}
+
+TEST(AggregateTest, ToStringForms) {
+  EXPECT_EQ(AggregateSpec::CountTrends().ToString(), "COUNT(*)");
+  EXPECT_EQ(AggregateSpec::CountEvents("B").ToString(), "COUNT(B)");
+  EXPECT_EQ(AggregateSpec::Sum("B", "price").ToString(), "SUM(B.price)");
+  EXPECT_EQ(AggregateSpec::Avg("B", "price").ToString(), "AVG(B.price)");
+}
+
+TEST(AggregateTest, ShareabilityMatrix) {
+  auto count_star = AggregateSpec::CountTrends();
+  auto count_b = AggregateSpec::CountEvents("B");
+  auto sum_bp = AggregateSpec::Sum("B", "price");
+  auto avg_bp = AggregateSpec::Avg("B", "price");
+  auto avg_bv = AggregateSpec::Avg("B", "volume");
+  auto min_bp = AggregateSpec::Min("B", "price");
+
+  // Identical always shares.
+  EXPECT_TRUE(AggregatesShareable(count_star, count_star));
+  EXPECT_TRUE(AggregatesShareable(min_bp, min_bp));
+  // The AVG family (paper §3.1): AVG = SUM / COUNT.
+  EXPECT_TRUE(AggregatesShareable(avg_bp, sum_bp));
+  EXPECT_TRUE(AggregatesShareable(avg_bp, count_b));
+  EXPECT_TRUE(AggregatesShareable(sum_bp, count_b));
+  // Not across attributes (except via COUNT(E) which has none).
+  EXPECT_FALSE(AggregatesShareable(avg_bp, avg_bv));
+  // COUNT(*) and MIN share only with identical.
+  EXPECT_FALSE(AggregatesShareable(count_star, count_b));
+  EXPECT_FALSE(AggregatesShareable(min_bp, sum_bp));
+}
+
+TEST(PredicateTest, EventPredicateEval) {
+  Schema s;
+  EventPredicate p("T", "speed", CmpOp::kLt, 10.0);
+  ASSERT_TRUE(p.Resolve(&s).ok());
+  Event slow(1, s.FindType("T"));
+  slow.set_attr(p.attr, 5.0);
+  Event fast(2, s.FindType("T"));
+  fast.set_attr(p.attr, 20.0);
+  Event other(3, s.AddType("U"));
+  EXPECT_TRUE(p.Eval(slow));
+  EXPECT_FALSE(p.Eval(fast));
+  EXPECT_TRUE(p.Eval(other));  // applies only to its type
+}
+
+TEST(PredicateTest, EdgePredicateEval) {
+  Schema s;
+  EdgePredicate eq("driver", CmpOp::kEq);
+  ASSERT_TRUE(eq.Resolve(&s).ok());
+  Event a(1, 0), b(2, 0), c(3, 0);
+  a.set_attr(eq.attr, 7);
+  b.set_attr(eq.attr, 7);
+  c.set_attr(eq.attr, 8);
+  EXPECT_TRUE(eq.Eval(a, b));
+  EXPECT_FALSE(eq.Eval(a, c));
+}
+
+TEST(PredicateTest, AllCmpOps) {
+  EXPECT_TRUE(EvalCmp(CmpOp::kLt, 1, 2));
+  EXPECT_TRUE(EvalCmp(CmpOp::kLe, 2, 2));
+  EXPECT_TRUE(EvalCmp(CmpOp::kGt, 3, 2));
+  EXPECT_TRUE(EvalCmp(CmpOp::kGe, 2, 2));
+  EXPECT_TRUE(EvalCmp(CmpOp::kEq, 2, 2));
+  EXPECT_TRUE(EvalCmp(CmpOp::kNe, 1, 2));
+  EXPECT_FALSE(EvalCmp(CmpOp::kLt, 2, 2));
+}
+
+TEST(ParserTest, FullQuery) {
+  Result<Query> r = ParseQuery(
+      "RETURN COUNT(*) PATTERN SEQ(R, T+, NOT P, D) "
+      "WHERE T.speed < 10 AND [driver, rider] AND prev.price <= next.price "
+      "GROUPBY district WITHIN 10 min SLIDE 5 min");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Query& q = r.value();
+  EXPECT_EQ(q.aggregate.kind, AggKind::kCountTrends);
+  EXPECT_EQ(q.pattern.ToString(), "SEQ(R, T+, NOT P, D)");
+  ASSERT_EQ(q.event_predicates.size(), 1u);
+  EXPECT_EQ(q.event_predicates[0].ToString(), "T.speed < 10");
+  ASSERT_EQ(q.edge_predicates.size(), 3u);
+  EXPECT_EQ(q.edge_predicates[2].op, CmpOp::kLe);
+  EXPECT_EQ(q.group_by_name, "district");
+  EXPECT_EQ(q.window.within, 10 * kMillisPerMinute);
+  EXPECT_EQ(q.window.slide, 5 * kMillisPerMinute);
+}
+
+TEST(ParserTest, AggregateForms) {
+  EXPECT_EQ(ParseQuery("RETURN SUM(T.price) PATTERN T+ WITHIN 1 min")
+                .value()
+                .aggregate.kind,
+            AggKind::kSum);
+  EXPECT_EQ(ParseQuery("RETURN AVG(T.price) PATTERN T+ WITHIN 1 min")
+                .value()
+                .aggregate.kind,
+            AggKind::kAvg);
+  EXPECT_EQ(ParseQuery("RETURN MIN(T.price) PATTERN T+ WITHIN 1 min")
+                .value()
+                .aggregate.kind,
+            AggKind::kMin);
+  EXPECT_EQ(ParseQuery("RETURN MAX(T.price) PATTERN T+ WITHIN 1 min")
+                .value()
+                .aggregate.kind,
+            AggKind::kMax);
+  EXPECT_EQ(ParseQuery("RETURN COUNT(T) PATTERN T+ WITHIN 1 min")
+                .value()
+                .aggregate.kind,
+            AggKind::kCountEvents);
+}
+
+TEST(ParserTest, PatternForms) {
+  EXPECT_EQ(ParsePattern("SEQ(A, B+)").value().ToString(), "SEQ(A, B+)");
+  EXPECT_EQ(ParsePattern("(SEQ(A, B+))+").value().ToString(),
+            "(SEQ(A, B+))+");
+  EXPECT_EQ(ParsePattern("SEQ(A, B+)+").value().ToString(), "(SEQ(A, B+))+");
+  EXPECT_EQ(ParsePattern("A OR B").value().kind, PatternKind::kOr);
+  EXPECT_EQ(ParsePattern("SEQ(A,B) AND SEQ(C,D)").value().kind,
+            PatternKind::kAnd);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseQuery("PATTERN A WITHIN 1 min").ok());       // no RETURN
+  EXPECT_FALSE(ParseQuery("RETURN COUNT(*) WITHIN 1 min").ok()); // no PATTERN
+  EXPECT_FALSE(ParseQuery("RETURN COUNT(*) PATTERN A").ok());    // no WITHIN
+  EXPECT_FALSE(ParseQuery("RETURN SUM(T) PATTERN T+ WITHIN 1 min").ok());
+  EXPECT_FALSE(
+      ParseQuery("RETURN COUNT(*) PATTERN SEQ(A,B) WHERE prev.x < next.y "
+                 "WITHIN 1 min")
+          .ok());  // mismatched edge attributes
+}
+
+TEST(ParserTest, RoundTrip) {
+  const char* queries[] = {
+      "RETURN COUNT(*) PATTERN SEQ(A, B+) WITHIN 5 min",
+      "RETURN SUM(B.price) PATTERN SEQ(A, B+, C) WHERE B.price > 3 GROUPBY "
+      "district WITHIN 10 min SLIDE 5 min",
+      "RETURN COUNT(*) PATTERN (SEQ(A, B+))+ WITHIN 2 min",
+      "RETURN COUNT(*) PATTERN SEQ(A, B+, NOT N, C) WHERE [driver] WITHIN 1 "
+      "min",
+  };
+  for (const char* text : queries) {
+    Result<Query> first = ParseQuery(text);
+    ASSERT_TRUE(first.ok()) << text;
+    std::string printed = first.value().ToString();
+    Result<Query> second = ParseQuery(printed);
+    ASSERT_TRUE(second.ok()) << printed;
+    EXPECT_EQ(second.value().ToString(), printed);
+    EXPECT_TRUE(second.value().pattern == first.value().pattern);
+  }
+}
+
+TEST(QueryTest, ResolveValidatesWindow) {
+  Schema s;
+  Query q = ParseQuery("RETURN COUNT(*) PATTERN A WITHIN 10 min SLIDE 3 min")
+                .value();
+  EXPECT_FALSE(q.Resolve(&s).ok());  // 10 not a multiple of 3
+}
+
+TEST(WorkloadTest, AddAndNames) {
+  Schema s;
+  Workload w(&s);
+  Query q = ParseQuery("RETURN COUNT(*) PATTERN SEQ(A,B+) WITHIN 1 min").value();
+  Result<QueryId> id = w.Add(q);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(id.value(), 0);
+  EXPECT_EQ(w.query(0).name, "q1");
+  EXPECT_EQ(w.size(), 1);
+}
+
+// --- AggValue propagation unit checks (the Eq. 1-3 recurrences) ---
+
+TEST(AggValueTest, FinishNodeCountPropagation) {
+  AggProfile profile;  // COUNT(*) only
+  Event e(1, 0);
+  AggValue start = FinishNode(AggValue::Zero(), /*is_start=*/true, e, profile);
+  EXPECT_DOUBLE_EQ(start.count, 1.0);
+  AggValue acc;
+  acc.count = 3.0;
+  AggValue mid = FinishNode(acc, /*is_start=*/false, e, profile);
+  EXPECT_DOUBLE_EQ(mid.count, 3.0);
+  AggValue both = FinishNode(acc, /*is_start=*/true, e, profile);
+  EXPECT_DOUBLE_EQ(both.count, 4.0);
+}
+
+TEST(AggValueTest, TargetEventFolds) {
+  AggProfile p;
+  p.need_sum = p.need_count_e = p.need_min = p.need_max = true;
+  p.target_type = 2;
+  p.target_attr = 0;
+  Event e(1, 2, {7.5});
+  AggValue acc;
+  acc.count = 2.0;
+  acc.sum = 10.0;
+  acc.count_e = 3.0;
+  AggValue v = FinishNode(acc, /*is_start=*/false, e, p);
+  EXPECT_DOUBLE_EQ(v.count, 2.0);
+  EXPECT_DOUBLE_EQ(v.count_e, 3.0 + 2.0);        // acc + count
+  EXPECT_DOUBLE_EQ(v.sum, 10.0 + 7.5 * 2.0);     // acc + val*count
+  EXPECT_DOUBLE_EQ(v.min, 7.5);
+  EXPECT_DOUBLE_EQ(v.max, 7.5);
+  // Non-target type leaves folds untouched.
+  Event other(2, 1, {9.0});
+  AggValue u = FinishNode(acc, false, other, p);
+  EXPECT_DOUBLE_EQ(u.sum, 10.0);
+  EXPECT_DOUBLE_EQ(u.count_e, 3.0);
+}
+
+TEST(AggValueTest, ZeroCountExcludesMinMax) {
+  AggProfile p;
+  p.need_min = true;
+  p.target_type = 0;
+  p.target_attr = 0;
+  Event e(1, 0, {4.0});
+  AggValue v = FinishNode(AggValue::Zero(), /*is_start=*/false, e, p);
+  EXPECT_TRUE(std::isinf(v.min));  // no trend ends here
+}
+
+TEST(AggValueTest, ExtractResultPerKind) {
+  AggValue v;
+  v.count = 5;
+  v.sum = 20;
+  v.count_e = 4;
+  v.min = 1;
+  v.max = 9;
+  EXPECT_DOUBLE_EQ(ExtractResult(v, AggKind::kCountTrends), 5);
+  EXPECT_DOUBLE_EQ(ExtractResult(v, AggKind::kCountEvents), 4);
+  EXPECT_DOUBLE_EQ(ExtractResult(v, AggKind::kSum), 20);
+  EXPECT_DOUBLE_EQ(ExtractResult(v, AggKind::kAvg), 5);
+  EXPECT_DOUBLE_EQ(ExtractResult(v, AggKind::kMin), 1);
+  EXPECT_DOUBLE_EQ(ExtractResult(v, AggKind::kMax), 9);
+  EXPECT_DOUBLE_EQ(ExtractResult(AggValue::Zero(), AggKind::kAvg), 0.0);
+}
+
+}  // namespace
+}  // namespace hamlet

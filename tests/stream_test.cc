@@ -1,0 +1,135 @@
+// Unit tests for src/stream: events, schema, generators, stream builder.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/stream/generators.h"
+#include "src/stream/stream_builder.h"
+
+namespace hamlet {
+namespace {
+
+TEST(SchemaTest, RegistersAndLooksUp) {
+  Schema s;
+  TypeId a = s.AddType("A");
+  TypeId b = s.AddType("B");
+  EXPECT_EQ(s.AddType("A"), a);  // idempotent
+  EXPECT_EQ(s.FindType("B"), b);
+  EXPECT_EQ(s.FindType("Z"), Schema::kInvalidId);
+  EXPECT_EQ(s.TypeName(a), "A");
+  AttrId x = s.AddAttr("price");
+  EXPECT_EQ(s.FindAttr("price"), x);
+  EXPECT_EQ(s.num_types(), 2);
+  EXPECT_EQ(s.num_attrs(), 1);
+}
+
+TEST(EventTest, AttrAccess) {
+  Event e(5, 2, {1.0, 2.5});
+  EXPECT_EQ(e.time, 5);
+  EXPECT_EQ(e.num_attrs, 2);
+  EXPECT_DOUBLE_EQ(e.attr(1), 2.5);
+  e.set_attr(4, 9.0);
+  EXPECT_EQ(e.num_attrs, 5);
+  EXPECT_DOUBLE_EQ(e.attr(4), 9.0);
+}
+
+TEST(StreamBuilderTest, AutoTimestampsAndRuns) {
+  Schema s;
+  EventVector ev = StreamBuilder(&s)
+                       .Add("A")
+                       .AddRun(3, "B")
+                       .Gap(100)
+                       .Add("C")
+                       .Take();
+  ASSERT_EQ(ev.size(), 5u);
+  EXPECT_TRUE(IsTimeOrdered(ev));
+  EXPECT_EQ(ev[0].type, s.FindType("A"));
+  EXPECT_EQ(ev[1].type, s.FindType("B"));
+  EXPECT_EQ(ev[3].type, s.FindType("B"));
+  EXPECT_EQ(ev[4].time, ev[3].time + 101);
+}
+
+TEST(StreamBuilderTest, ScriptParsing) {
+  Schema s;
+  EventVector ev = ParseStreamScript("A B B C B", &s);
+  ASSERT_EQ(ev.size(), 5u);
+  EXPECT_EQ(ev[2].type, s.FindType("B"));
+  EXPECT_EQ(ev[4].time, 4);
+}
+
+class GeneratorParamTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GeneratorParamTest, ProducesOrderedDeterministicStreams) {
+  auto gen = MakeGenerator(GetParam());
+  ASSERT_NE(gen, nullptr);
+  GeneratorConfig cfg;
+  cfg.seed = 99;
+  cfg.events_per_minute = 2000;
+  cfg.duration_minutes = 1;
+  cfg.num_groups = 3;
+  EventVector a = gen->Generate(cfg);
+  EXPECT_EQ(a.size(), 2000u);
+  EXPECT_TRUE(IsTimeOrdered(a));
+  // Strictly increasing (engines require it).
+  for (size_t i = 1; i < a.size(); ++i) EXPECT_LT(a[i - 1].time, a[i].time);
+  // Deterministic per seed.
+  auto gen2 = MakeGenerator(GetParam());
+  EventVector b = gen2->Generate(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time);
+    EXPECT_EQ(a[i].type, b[i].type);
+  }
+  // Types and groups within bounds.
+  for (const Event& e : a) {
+    EXPECT_GE(e.type, 0);
+    EXPECT_LT(e.type, gen->schema().num_types());
+    EXPECT_GE(e.attr(0), 0.0);
+    EXPECT_LT(e.attr(0), cfg.num_groups);
+  }
+}
+
+TEST_P(GeneratorParamTest, BurstinessControlsRunLengths) {
+  auto gen = MakeGenerator(GetParam());
+  GeneratorConfig smooth;
+  smooth.seed = 5;
+  smooth.events_per_minute = 4000;
+  smooth.burstiness = 0.1;
+  smooth.num_groups = 1;
+  GeneratorConfig bursty = smooth;
+  bursty.burstiness = 0.95;
+  auto mean_run = [](const EventVector& ev) {
+    double runs = 1, events = static_cast<double>(ev.size());
+    for (size_t i = 1; i < ev.size(); ++i) {
+      if (ev[i].type != ev[i - 1].type) ++runs;
+    }
+    return events / runs;
+  };
+  EXPECT_GT(mean_run(gen->Generate(bursty)),
+            2.0 * mean_run(gen->Generate(smooth)));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, GeneratorParamTest,
+                         ::testing::Values("ridesharing", "nyc_taxi",
+                                           "smart_home", "stock"));
+
+TEST(GeneratorTest, UnknownDatasetReturnsNull) {
+  EXPECT_EQ(MakeGenerator("no_such_dataset"), nullptr);
+}
+
+TEST(GeneratorTest, GroupsAreBalancedRoughly) {
+  auto gen = MakeGenerator("stock");
+  GeneratorConfig cfg;
+  cfg.events_per_minute = 8000;
+  cfg.num_groups = 4;
+  EventVector ev = gen->Generate(cfg);
+  std::map<int, int> counts;
+  for (const Event& e : ev) counts[static_cast<int>(e.attr(0))]++;
+  ASSERT_EQ(counts.size(), 4u);
+  for (const auto& [g, c] : counts) {
+    EXPECT_GT(c, 8000 / 4 / 2) << "group " << g;
+  }
+}
+
+}  // namespace
+}  // namespace hamlet
