@@ -180,8 +180,9 @@ TEST_F(RuntimeFixture, DiverseWindowsShareViaPanes) {
     StreamExecutor executor(plan, config);
     RunOutput run = executor.Run(ev);
     ExpectEmissionsMatch(run, ref, EngineKindName(kind));
-    if (kind == EngineKind::kHamletStatic)
+    if (kind == EngineKind::kHamletStatic) {
       EXPECT_GT(run.metrics.hamlet.bursts_shared, 0);
+    }
   }
 }
 
