@@ -1,0 +1,82 @@
+// Guards the Session wrapper overhead: batch Run() versus per-event Push()
+// versus PushBatch() over one identical pre-materialized stream, per engine.
+// The push path must stay within a few percent of batch throughput — the
+// batch wrapper is itself a PushBatch, so any gap is pure per-call overhead
+// (Status checks, busy-time sampling).
+#include "src/benchlib/harness.h"
+#include "src/runtime/executor.h"
+
+namespace hamlet {
+namespace {
+
+using bench::Scale;
+
+double BatchEps(const WorkloadPlan& plan, const RunConfig& config,
+                const EventVector& events) {
+  RunConfig batch = config;
+  batch.collect_emissions = false;
+  StreamExecutor executor(plan, batch);
+  return executor.Run(events).metrics.throughput_eps;
+}
+
+double PushEps(const WorkloadPlan& plan, const RunConfig& config,
+               const EventVector& events, size_t chunk) {
+  Result<std::unique_ptr<Session>> session =
+      Session::Open(plan, config, /*sink=*/nullptr);
+  HAMLET_CHECK(session.ok());
+  if (chunk <= 1) {
+    for (const Event& e : events) {
+      HAMLET_CHECK(session.value()->Push(e).ok());
+    }
+  } else {
+    for (size_t i = 0; i < events.size(); i += chunk) {
+      const size_t len = std::min(chunk, events.size() - i);
+      HAMLET_CHECK(session.value()
+                       ->PushBatch(std::span<const Event>(
+                           events.data() + i, len))
+                       .ok());
+    }
+  }
+  return session.value()->Close().throughput_eps;
+}
+
+void Run() {
+  BenchWorkload bw = MakeWorkload1("ridesharing", 8,
+                                   /*window_ms=*/2 * kMillisPerSecond);
+  GeneratorConfig gen;
+  gen.seed = 11;
+  gen.events_per_minute = Scale(20'000, 200'000);
+  gen.duration_minutes = Scale(1, 3);
+  gen.num_groups = 4;
+  gen.burstiness = 0.9;
+  gen.max_burst = 120;
+  EventVector events = bw.generator->Generate(gen);
+
+  Table table({"engine", "batch Run()", "Push(e)", "PushBatch(512)",
+               "push/batch"});
+  for (EngineKind kind :
+       {EngineKind::kHamletDynamic, EngineKind::kGretaPrefix,
+        EngineKind::kSharon}) {
+    RunConfig config;
+    config.kind = kind;
+    const double batch = BatchEps(*bw.plan, config, events);
+    const double push1 = PushEps(*bw.plan, config, events, 1);
+    const double push512 = PushEps(*bw.plan, config, events, 512);
+    char ratio[32];
+    std::snprintf(ratio, sizeof(ratio), "%.3f",
+                  batch <= 0 ? 0.0 : push1 / batch);
+    table.AddRow({EngineKindName(kind), bench::Eps(batch), bench::Eps(push1),
+                  bench::Eps(push512), ratio});
+  }
+  bench::PrintFigure("Push overhead",
+                     "streaming push path vs batch wrapper, same stream",
+                     table);
+}
+
+}  // namespace
+}  // namespace hamlet
+
+int main() {
+  hamlet::Run();
+  return 0;
+}

@@ -1,13 +1,13 @@
 // Quickstart: parse two trend-aggregation queries that share a Kleene
-// sub-pattern, run them over a hand-built stream, and print the per-window
-// results alongside the sharing plan HAMLET chose.
+// sub-pattern, push a hand-built stream through a Session, and print the
+// per-window results alongside the sharing plan HAMLET chose.
 //
 // Build & run:  cmake -B build -G Ninja && cmake --build build &&
 //               ./build/examples/quickstart
 #include <cstdio>
 
 #include "src/query/parser.h"
-#include "src/runtime/executor.h"
+#include "src/runtime/session.h"
 #include "src/stream/stream_builder.h"
 
 int main() {
@@ -52,25 +52,41 @@ int main() {
   for (int i = 0; i < 3; ++i) sb.Add("B", {});
   EventVector events = sb.Take();
 
-  // 4. Run the HAMLET executor (dynamic sharing decisions per burst).
+  // 4. Open a push Session (HAMLET dynamic sharing decisions per burst).
+  //    A CollectingSink buffers emissions in batch-Run() order; swap in a
+  //    CallbackSink to react to each window as it closes (see
+  //    examples/live_dashboard.cpp).
   RunConfig config;
   config.kind = EngineKind::kHamletDynamic;
-  StreamExecutor executor(*plan, config);
-  RunOutput out = executor.Run(events);
+  CollectingSink sink;
+  Result<std::unique_ptr<Session>> session =
+      Session::Open(*plan, config, &sink);
+  if (!session.ok()) {
+    std::fprintf(stderr, "open error: %s\n",
+                 session.status().ToString().c_str());
+    return 1;
+  }
+  Status pushed = session.value()->PushBatch(events);
+  if (!pushed.ok()) {
+    std::fprintf(stderr, "push error: %s\n", pushed.ToString().c_str());
+    return 1;
+  }
+  RunMetrics metrics = session.value()->Close();
 
+  // Emissions are self-describing (query name + window bounds).
   std::printf("results:\n");
-  for (const Emission& e : out.emissions) {
-    std::printf("  %s @window %lldms -> %g\n",
-                workload.query(e.query).name.c_str(),
-                static_cast<long long>(e.window_start), e.value);
+  for (const Emission& e : sink.Take()) {
+    std::printf("  %s @window [%lld, %lld) ms -> %g\n", e.query_name.c_str(),
+                static_cast<long long>(e.window_start),
+                static_cast<long long>(e.window_end), e.value);
   }
   std::printf(
       "\nstats: %lld events, %lld shared bursts of %lld, %lld snapshots, "
       "throughput %.0f events/s\n",
-      static_cast<long long>(out.metrics.events),
-      static_cast<long long>(out.metrics.hamlet.bursts_shared),
-      static_cast<long long>(out.metrics.hamlet.bursts_total),
-      static_cast<long long>(out.metrics.hamlet.snapshots_created),
-      out.metrics.throughput_eps);
+      static_cast<long long>(metrics.events),
+      static_cast<long long>(metrics.hamlet.bursts_shared),
+      static_cast<long long>(metrics.hamlet.bursts_total),
+      static_cast<long long>(metrics.hamlet.snapshots_created),
+      metrics.throughput_eps);
   return 0;
 }

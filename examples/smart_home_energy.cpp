@@ -7,7 +7,7 @@
 #include <cstdio>
 
 #include "src/query/parser.h"
-#include "src/runtime/executor.h"
+#include "src/runtime/session.h"
 #include "src/stream/generators.h"
 
 int main() {
@@ -44,28 +44,33 @@ int main() {
   gen.events_per_minute = 3000;
   gen.duration_minutes = 2;
   gen.num_groups = 3;  // houses
-  EventVector events = generator.Generate(gen);
 
+  // Stream the generator straight into a push Session — no event buffer.
   RunConfig config;
   config.kind = EngineKind::kHamletDynamic;
-  StreamExecutor executor(*plan, config);
-  RunOutput out = executor.Run(events);
+  CollectingSink sink;
+  Result<std::unique_ptr<Session>> session =
+      Session::Open(*plan, config, &sink);
+  HAMLET_CHECK(session.ok());
+  std::unique_ptr<EventCursor> cursor = generator.Stream(gen);
+  Event e;
+  while (cursor->Next(&e)) HAMLET_CHECK(session.value()->Push(e).ok());
+  RunMetrics metrics = session.value()->Close();
 
   std::printf("sample results (first window per house):\n");
   int printed = 0;
-  for (const Emission& e : out.emissions) {
-    if (e.window_start > 0) break;
-    std::printf("  %s house=%lld -> %.2f\n",
-                workload.query(e.query).name.c_str(),
-                static_cast<long long>(e.group_key), e.value);
+  for (const Emission& em : sink.Take()) {
+    if (em.window_start > 0) break;
+    std::printf("  %s house=%lld -> %.2f\n", em.query_name.c_str(),
+                static_cast<long long>(em.group_key), em.value);
     if (++printed >= 15) break;
   }
   std::printf(
       "\n%lld emissions, %lld/%lld bursts shared, throughput %.0f "
       "events/s\n",
-      static_cast<long long>(out.metrics.emissions),
-      static_cast<long long>(out.metrics.hamlet.bursts_shared),
-      static_cast<long long>(out.metrics.hamlet.bursts_total),
-      out.metrics.throughput_eps);
+      static_cast<long long>(metrics.emissions),
+      static_cast<long long>(metrics.hamlet.bursts_shared),
+      static_cast<long long>(metrics.hamlet.bursts_total),
+      metrics.throughput_eps);
   return 0;
 }

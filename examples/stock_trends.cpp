@@ -7,8 +7,8 @@
 // always-share plan.
 #include <cstdio>
 
+#include "src/benchlib/harness.h"
 #include "src/benchlib/workloads.h"
-#include "src/runtime/executor.h"
 
 int main() {
   using namespace hamlet;
@@ -24,28 +24,27 @@ int main() {
   gen.num_groups = 4;  // companies
   gen.burstiness = 0.992;
   gen.max_burst = 400;
-  EventVector events = bw.generator->Generate(gen);
 
   for (EngineKind kind : {EngineKind::kHamletDynamic,
                           EngineKind::kHamletStatic,
                           EngineKind::kHamletNoShare}) {
     RunConfig config;
     config.kind = kind;
-    config.collect_emissions = false;
-    StreamExecutor executor(*bw.plan, config);
-    RunOutput out = executor.Run(events);
+    // Streams the generator through a push Session (metrics only, no
+    // emission buffering) — same ingest path the figure benches use.
+    RunMetrics m = bench::RunOnce(bw, gen, config);
     const double shared_pct =
-        out.metrics.hamlet.bursts_total == 0
+        m.hamlet.bursts_total == 0
             ? 0
-            : 100.0 * static_cast<double>(out.metrics.hamlet.bursts_shared) /
-                  static_cast<double>(out.metrics.hamlet.bursts_total);
+            : 100.0 * static_cast<double>(m.hamlet.bursts_shared) /
+                  static_cast<double>(m.hamlet.bursts_total);
     std::printf(
         "%-16s: %8.0f events/s | %5.1f%% bursts shared | %6lld snapshots | "
         "%4lld splits, %4lld merges\n",
-        EngineKindName(kind), out.metrics.throughput_eps, shared_pct,
-        static_cast<long long>(out.metrics.hamlet.snapshots_created),
-        static_cast<long long>(out.metrics.hamlet.splits),
-        static_cast<long long>(out.metrics.hamlet.merges));
+        EngineKindName(kind), m.throughput_eps, shared_pct,
+        static_cast<long long>(m.hamlet.snapshots_created),
+        static_cast<long long>(m.hamlet.splits),
+        static_cast<long long>(m.hamlet.merges));
   }
   std::printf(
       "\nThe dynamic optimizer shares bursts only while Eq. 8's benefit is "

@@ -15,10 +15,25 @@ int Scale(int fast, int full) { return FullScale() ? full : fast; }
 
 RunMetrics RunOnce(const BenchWorkload& bw, const GeneratorConfig& gen_config,
                    RunConfig run_config) {
-  EventVector events = bw.generator->Generate(gen_config);
-  run_config.collect_emissions = false;
-  StreamExecutor executor(*bw.plan, run_config);
-  return executor.Run(events).metrics;
+  std::unique_ptr<EventCursor> cursor = bw.generator->Stream(gen_config);
+  Result<std::unique_ptr<Session>> session =
+      Session::Open(*bw.plan, run_config, /*sink=*/nullptr);
+  HAMLET_CHECK(session.ok());
+  // Small fixed-size batches amortize the per-call timing overhead while
+  // keeping ingest memory constant.
+  constexpr size_t kBatch = 512;
+  EventVector batch;
+  batch.reserve(kBatch);
+  Event e;
+  while (cursor->Next(&e)) {
+    batch.push_back(e);
+    if (batch.size() == kBatch) {
+      HAMLET_CHECK(session.value()->PushBatch(batch).ok());
+      batch.clear();
+    }
+  }
+  HAMLET_CHECK(session.value()->PushBatch(batch).ok());
+  return session.value()->Close();
 }
 
 void PrintFigure(const std::string& figure, const std::string& caption,

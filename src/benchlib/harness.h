@@ -14,7 +14,7 @@
 
 #include "src/benchlib/workloads.h"
 #include "src/common/table.h"
-#include "src/runtime/executor.h"
+#include "src/runtime/session.h"
 
 namespace hamlet {
 namespace bench {
@@ -25,7 +25,10 @@ bool FullScale();
 /// Picks the fast or full value of a parameter.
 int Scale(int fast, int full);
 
-/// Generates the stream and runs one engine over it.
+/// Streams the generator through a push Session (no sink, no O(stream)
+/// input buffer — paper-scale rates fit in O(rate) memory) and returns the
+/// run's metrics. peak_memory_bytes therefore charges engine state only,
+/// never an input buffer.
 RunMetrics RunOnce(const BenchWorkload& bw, const GeneratorConfig& gen_config,
                    RunConfig run_config);
 

@@ -113,25 +113,40 @@ std::string Pattern::ToString() const {
       return type_name;
     case PatternKind::kKleene: {
       const Pattern& inner = children[0];
-      if (inner.kind == PatternKind::kType) return inner.ToString() + "+";
-      return "(" + inner.ToString() + ")+";
+      std::string out;
+      if (inner.kind == PatternKind::kType) {
+        out = inner.ToString();
+      } else {
+        out = "(";
+        out += inner.ToString();
+        out += ")";
+      }
+      out += "+";
+      return out;
     }
-    case PatternKind::kNot:
-      return "NOT " + children[0].ToString();
+    case PatternKind::kNot: {
+      std::string out = "NOT ";
+      out += children[0].ToString();
+      return out;
+    }
     case PatternKind::kSeq: {
       std::string out = "SEQ(";
       for (size_t i = 0; i < children.size(); ++i) {
         if (i) out += ", ";
         out += children[i].ToString();
       }
-      return out + ")";
+      out += ")";
+      return out;
     }
     case PatternKind::kOr:
-      return "(" + children[0].ToString() + " OR " + children[1].ToString() +
-             ")";
-    case PatternKind::kAnd:
-      return "(" + children[0].ToString() + " AND " + children[1].ToString() +
-             ")";
+    case PatternKind::kAnd: {
+      std::string out = "(";
+      out += children[0].ToString();
+      out += kind == PatternKind::kOr ? " OR " : " AND ";
+      out += children[1].ToString();
+      out += ")";
+      return out;
+    }
   }
   return "?";
 }

@@ -1,413 +1,19 @@
 #include "src/runtime/executor.h"
 
-#include <algorithm>
-#include <chrono>
-#include <cmath>
-#include <functional>
-#include <limits>
-#include <tuple>
-
 namespace hamlet {
-
-namespace {
-
-double NowSeconds() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-}  // namespace
-
-const char* EngineKindName(EngineKind kind) {
-  switch (kind) {
-    case EngineKind::kHamletDynamic:
-      return "hamlet";
-    case EngineKind::kHamletStatic:
-      return "hamlet_static";
-    case EngineKind::kHamletNoShare:
-      return "hamlet_noshare";
-    case EngineKind::kGretaGraph:
-      return "greta";
-    case EngineKind::kGretaPrefix:
-      return "greta_prefix";
-    case EngineKind::kTwoStep:
-      return "two_step(mcep)";
-    case EngineKind::kSharon:
-      return "sharon";
-  }
-  return "?";
-}
-
-/// One open window instance inside a group runner.
-struct WindowSlot {
-  /// Exec id (HAMLET/GRETA kinds) or cohort index (two-step/SHARON).
-  int owner = -1;
-  Timestamp ws = 0;
-  Timestamp we = 0;
-  ContextId ctx = -1;
-  double last_arrival_wall = 0.0;
-  std::unique_ptr<GretaEngine> greta;
-  std::unique_ptr<TwoStepEngine> two_step;
-  std::unique_ptr<SharonEngine> sharon;
-};
-
-struct StreamExecutor::Component {
-  QuerySet members;
-  AttrId group_by = Schema::kInvalidId;
-  std::vector<bool> type_mask;  ///< relevant event types
-  /// Unique window specs with the members using each; two-step/SHARON run
-  /// one engine per (cohort, window instance).
-  std::vector<std::pair<WindowSpec, QuerySet>> cohorts;
-  std::unique_ptr<SharingPolicy> policy;
-  std::map<int64_t, std::unique_ptr<GroupRunner>> groups;
-};
-
-struct StreamExecutor::GroupRunner {
-  Component* comp = nullptr;
-  int64_t group_key = 0;
-  std::unique_ptr<HamletEngine> hamlet;
-  std::vector<WindowSlot> windows;
-};
-
-StreamExecutor::StreamExecutor(const WorkloadPlan& plan, RunConfig config)
-    : plan_(&plan), config_(config) {
-  // Connected components over share groups (union-find).
-  const int n = plan.num_exec();
-  std::vector<int> parent(static_cast<size_t>(n));
-  for (int i = 0; i < n; ++i) parent[static_cast<size_t>(i)] = i;
-  std::function<int(int)> find = [&](int x) {
-    while (parent[static_cast<size_t>(x)] != x) {
-      parent[static_cast<size_t>(x)] =
-          parent[static_cast<size_t>(parent[static_cast<size_t>(x)])];
-      x = parent[static_cast<size_t>(x)];
-    }
-    return x;
-  };
-  for (const ShareGroup& g : plan.share_groups) {
-    int root = -1;
-    g.members.ForEach([&](QueryId q) {
-      if (root < 0) {
-        root = find(q);
-      } else {
-        parent[static_cast<size_t>(find(q))] = root;
-      }
-    });
-  }
-  std::map<int, Component*> by_root;
-  for (int i = 0; i < n; ++i) {
-    int root = find(i);
-    auto it = by_root.find(root);
-    Component* comp;
-    if (it == by_root.end()) {
-      components_.push_back(std::make_unique<Component>());
-      comp = components_.back().get();
-      by_root[root] = comp;
-    } else {
-      comp = it->second;
-    }
-    comp->members.Insert(i);
-  }
-  const int num_types = plan.workload->schema()->num_types();
-  for (auto& comp : components_) {
-    comp->type_mask.assign(static_cast<size_t>(num_types), false);
-    comp->members.ForEach([&](QueryId q) {
-      const ExecQuery& eq = plan.exec_queries[static_cast<size_t>(q)];
-      // Members of a component share the group-by attribute (Definition 5).
-      comp->group_by = eq.group_by;
-      for (TypeId t : eq.tmpl.pattern.AllTypes())
-        comp->type_mask[static_cast<size_t>(t)] = true;
-      bool found = false;
-      for (auto& [spec, set] : comp->cohorts) {
-        if (spec == eq.window) {
-          set.Insert(q);
-          found = true;
-        }
-      }
-      if (!found) comp->cohorts.push_back({eq.window, QuerySet::Single(q)});
-    });
-    switch (config_.kind) {
-      case EngineKind::kHamletDynamic:
-        comp->policy =
-            std::make_unique<DynamicBenefitPolicy>(config_.cost_variant);
-        break;
-      case EngineKind::kHamletStatic:
-        comp->policy = std::make_unique<AlwaysSharePolicy>();
-        break;
-      default:
-        comp->policy = std::make_unique<NeverSharePolicy>();
-        break;
-    }
-  }
-}
-
-StreamExecutor::~StreamExecutor() = default;
-
-void StreamExecutor::OpenDueWindows(GroupRunner& runner, Timestamp pane_start,
-                                    bool retroactive) {
-  Component& comp = *runner.comp;
-  const bool hamlet_kind = runner.hamlet != nullptr;
-  const bool cohort_kind = config_.kind == EngineKind::kTwoStep ||
-                           config_.kind == EngineKind::kSharon;
-  auto open_one = [&](int owner, Timestamp ws, Timestamp within) {
-    WindowSlot slot;
-    slot.owner = owner;
-    slot.ws = ws;
-    slot.we = ws + within;
-    slot.last_arrival_wall = NowSeconds();
-    if (cohort_kind) {
-      const QuerySet& cohort_members =
-          comp.cohorts[static_cast<size_t>(owner)].second;
-      if (config_.kind == EngineKind::kTwoStep) {
-        slot.two_step = std::make_unique<TwoStepEngine>(
-            *plan_, cohort_members, config_.two_step_budget);
-      } else {
-        slot.sharon = std::make_unique<SharonEngine>(
-            *plan_, cohort_members, config_.sharon_max_length);
-      }
-    } else if (hamlet_kind) {
-      slot.ctx = runner.hamlet->OpenContext(owner, ws, slot.we);
-    } else {
-      slot.greta = std::make_unique<GretaEngine>(
-          plan_->exec_queries[static_cast<size_t>(owner)],
-          config_.kind == EngineKind::kGretaPrefix ? GretaMode::kPrefixSum
-                                                   : GretaMode::kGraph);
-    }
-    runner.windows.push_back(std::move(slot));
-  };
-  auto open_for = [&](int owner, const WindowSpec& spec) {
-    if (retroactive) {
-      // New runner: open every slide-aligned instance covering this pane.
-      // The group had no earlier events, so the retroactive spans are empty
-      // and the counts exact.
-      Timestamp first = (pane_start / spec.slide) * spec.slide;
-      for (Timestamp ws = first; ws > pane_start - spec.within && ws >= 0;
-           ws -= spec.slide) {
-        open_one(owner, ws, spec.within);
-      }
-    } else if (pane_start % spec.slide == 0) {
-      open_one(owner, pane_start, spec.within);
-    }
-  };
-  if (cohort_kind) {
-    for (size_t c = 0; c < comp.cohorts.size(); ++c)
-      open_for(static_cast<int>(c), comp.cohorts[c].first);
-  } else {
-    comp.members.ForEach([&](QueryId q) {
-      open_for(q, plan_->exec_queries[static_cast<size_t>(q)].window);
-    });
-  }
-}
-
-void StreamExecutor::EmitExecValue(const Component& comp, int exec_id,
-                                   int64_t group_key, Timestamp window_start,
-                                   double value, double arrival_wall,
-                                   RunOutput* out) {
-  (void)comp;
-  const ExecQuery& eq = plan_->exec_queries[static_cast<size_t>(exec_id)];
-  const CompositionRule& rule =
-      plan_->compositions[static_cast<size_t>(eq.source)];
-  double final_value = value;
-  if (rule.kind != CompositionKind::kSingle) {
-    auto key = std::make_tuple(eq.source, group_key, window_start);
-    auto& values = pending_compositions_[key];
-    values.resize(rule.exec_ids.size(),
-                  std::numeric_limits<double>::quiet_NaN());
-    for (size_t b = 0; b < rule.exec_ids.size(); ++b) {
-      if (rule.exec_ids[b] == exec_id) values[b] = value;
-    }
-    for (double v : values) {
-      if (std::isnan(v)) return;  // waiting for the other branch
-    }
-    final_value = ComposeQueryValue(rule, values);
-    pending_compositions_.erase(key);
-  }
-  const double latency = NowSeconds() - arrival_wall;
-  latency_sum_ += latency;
-  latency_max_ = std::max(latency_max_, latency);
-  ++latency_count_;
-  if (config_.collect_emissions) {
-    out->emissions.push_back(
-        {eq.source, group_key, window_start, final_value});
-  }
-}
-
-void StreamExecutor::CloseExpiredWindows(GroupRunner& runner, Timestamp now,
-                                         RunOutput* out) {
-  Component& comp = *runner.comp;
-  for (size_t i = 0; i < runner.windows.size();) {
-    WindowSlot& w = runner.windows[i];
-    if (w.we > now) {
-      ++i;
-      continue;
-    }
-    if (runner.hamlet != nullptr) {
-      ContextResult r = runner.hamlet->CloseContext(w.ctx);
-      EmitExecValue(comp, w.owner, runner.group_key, w.ws, r.value,
-                    w.last_arrival_wall, out);
-    } else if (w.greta != nullptr) {
-      EmitExecValue(comp, w.owner, runner.group_key, w.ws, w.greta->Value(),
-                    w.last_arrival_wall, out);
-    } else if (w.two_step != nullptr) {
-      Status s = w.two_step->Finish();
-      if (!s.ok()) {
-        ++dnf_windows_;
-      } else {
-        comp.cohorts[static_cast<size_t>(w.owner)].second.ForEach(
-            [&](QueryId q) {
-              EmitExecValue(comp, q, runner.group_key, w.ws,
-                            w.two_step->Value(q), w.last_arrival_wall, out);
-            });
-      }
-    } else if (w.sharon != nullptr) {
-      comp.cohorts[static_cast<size_t>(w.owner)].second.ForEach(
-          [&](QueryId q) {
-            if (!w.sharon->Supported(q)) return;
-            EmitExecValue(comp, q, runner.group_key, w.ws, w.sharon->Value(q),
-                          w.last_arrival_wall, out);
-          });
-    }
-    runner.windows[i] = std::move(runner.windows.back());
-    runner.windows.pop_back();
-  }
-}
-
-int64_t StreamExecutor::CurrentMemory() const {
-  int64_t bytes = 0;
-  for (const auto& comp : components_) {
-    for (const auto& [key, runner] : comp->groups) {
-      if (runner->hamlet) bytes += runner->hamlet->MemoryBytes();
-      for (const WindowSlot& w : runner->windows) {
-        if (w.greta) bytes += w.greta->MemoryBytes();
-        if (w.two_step) bytes += w.two_step->MemoryBytes();
-        if (w.sharon) bytes += w.sharon->MemoryBytes();
-      }
-    }
-  }
-  return bytes;
-}
-
-void StreamExecutor::AdvancePaneTo(Timestamp new_pane_start, RunOutput* out) {
-  const Timestamp pane = plan_->pane_size;
-  while (!pane_started_ || pane_start_ < new_pane_start) {
-    const Timestamp boundary =
-        pane_started_ ? pane_start_ + pane : new_pane_start;
-    // Sample before closures so full windows count toward the peak.
-    peak_memory_ = std::max(peak_memory_, CurrentMemory());
-    for (auto& comp : components_) {
-      for (auto& [key, runner] : comp->groups) {
-        if (runner->hamlet && pane_started_) runner->hamlet->OnPaneEnd();
-        CloseExpiredWindows(*runner, boundary, out);
-        OpenDueWindows(*runner, boundary, /*retroactive=*/false);
-        if (runner->hamlet) runner->hamlet->OnPaneStart(boundary);
-      }
-    }
-    pane_start_ = boundary;
-    pane_started_ = true;
-    peak_memory_ = std::max(peak_memory_, CurrentMemory());
-  }
-}
 
 RunOutput StreamExecutor::Run(const EventVector& events) {
   RunOutput out;
-  run_start_wall_ = NowSeconds();
-  const Timestamp pane = plan_->pane_size;
-  int64_t processed = 0;
-  for (const Event& e : events) {
-    const Timestamp event_pane = (e.time / pane) * pane;
-    if (!pane_started_ || event_pane > pane_start_)
-      AdvancePaneTo(event_pane, &out);
-    ++processed;
-    const double arrival = NowSeconds();
-    for (auto& compp : components_) {
-      Component& comp = *compp;
-      if (e.type < 0 ||
-          e.type >= static_cast<TypeId>(comp.type_mask.size()) ||
-          !comp.type_mask[static_cast<size_t>(e.type)])
-        continue;
-      const int64_t key =
-          comp.group_by == Schema::kInvalidId
-              ? 0
-              : static_cast<int64_t>(std::llround(e.attr(comp.group_by)));
-      auto it = comp.groups.find(key);
-      GroupRunner* runner;
-      if (it == comp.groups.end()) {
-        auto created = std::make_unique<GroupRunner>();
-        created->comp = &comp;
-        created->group_key = key;
-        if (config_.kind == EngineKind::kHamletDynamic ||
-            config_.kind == EngineKind::kHamletStatic ||
-            config_.kind == EngineKind::kHamletNoShare) {
-          created->hamlet = std::make_unique<HamletEngine>(
-              *plan_, comp.members, comp.policy.get());
-        }
-        runner = created.get();
-        comp.groups[key] = std::move(created);
-        OpenDueWindows(*runner, pane_start_, /*retroactive=*/true);
-        if (runner->hamlet) runner->hamlet->OnPaneStart(pane_start_);
-      } else {
-        runner = it->second.get();
-      }
-      for (WindowSlot& w : runner->windows) w.last_arrival_wall = arrival;
-      if (runner->hamlet) {
-        runner->hamlet->OnEvent(e);
-      } else {
-        for (WindowSlot& w : runner->windows) {
-          if (e.time < w.ws || e.time >= w.we) continue;
-          if (w.greta) w.greta->OnEvent(e);
-          if (w.two_step) w.two_step->OnEvent(e);
-          if (w.sharon) w.sharon->OnEvent(e);
-        }
-      }
-    }
+  CollectingSink sink;
+  Result<std::unique_ptr<Session>> session = Session::Open(
+      *plan_, config_, config_.collect_emissions ? &sink : nullptr);
+  if (!session.ok()) {
+    out.status = session.status();
+    return out;
   }
-  // Flush: advance to the last window end (window ends are pane-aligned).
-  Timestamp flush_to = pane_started_ ? pane_start_ : 0;
-  for (const auto& comp : components_) {
-    for (const auto& [key, runner] : comp->groups) {
-      for (const WindowSlot& w : runner->windows)
-        flush_to = std::max(flush_to, w.we);
-    }
-  }
-  AdvancePaneTo(flush_to, &out);
-
-  out.metrics.events = processed;
-  out.metrics.elapsed_seconds = NowSeconds() - run_start_wall_;
-  out.metrics.emissions = latency_count_;
-  out.metrics.avg_latency_seconds =
-      latency_count_ == 0 ? 0.0 : latency_sum_ / latency_count_;
-  out.metrics.max_latency_seconds = latency_max_;
-  out.metrics.throughput_eps =
-      out.metrics.elapsed_seconds <= 0
-          ? 0
-          : static_cast<double>(processed) / out.metrics.elapsed_seconds;
-  out.metrics.peak_memory_bytes = std::max(peak_memory_, CurrentMemory());
-  out.metrics.dnf_windows = dnf_windows_;
-  for (const auto& comp : components_) {
-    for (const auto& [key, runner] : comp->groups) {
-      if (!runner->hamlet) continue;
-      const HamletStats& s = runner->hamlet->stats();
-      out.metrics.hamlet.events += s.events;
-      out.metrics.hamlet.bursts_total += s.bursts_total;
-      out.metrics.hamlet.bursts_shared += s.bursts_shared;
-      out.metrics.hamlet.graphlets_opened += s.graphlets_opened;
-      out.metrics.hamlet.graphlets_shared += s.graphlets_shared;
-      out.metrics.hamlet.snapshots_created += s.snapshots_created;
-      out.metrics.hamlet.event_snapshots += s.event_snapshots;
-      out.metrics.hamlet.splits += s.splits;
-      out.metrics.hamlet.merges += s.merges;
-      out.metrics.hamlet.ops += s.ops;
-    }
-    if (config_.kind == EngineKind::kHamletDynamic) {
-      auto* dyn = static_cast<DynamicBenefitPolicy*>(comp->policy.get());
-      out.metrics.decisions += dyn->decisions();
-    }
-  }
-  std::sort(out.emissions.begin(), out.emissions.end(),
-            [](const Emission& a, const Emission& b) {
-              return std::tie(a.window_start, a.query, a.group_key) <
-                     std::tie(b.window_start, b.query, b.group_key);
-            });
+  out.status = session.value()->PushBatch(events);
+  out.metrics = session.value()->Close();
+  out.emissions = sink.Take();
   return out;
 }
 

@@ -1,80 +1,27 @@
-// Streaming executor: evaluates a compiled workload over an event stream.
+// Batch execution wrapper over the push-based Session.
 //
-// Responsibilities (paper §3.1 pre-processing + §6.1 metrics):
-//  * partitions exec queries into components connected by share groups;
-//  * partitions each component's stream by its group-by attribute;
-//  * divides time into panes (gcd of windows/slides) and manages
-//    pane-aligned window instances (tumbling and sliding);
-//  * dispatches to the selected engine: HAMLET (dynamic / static-always /
-//    no-share), GRETA (graph or prefix-sum, one instance per window),
-//    two-step (MCEP-style), or SHARON-style flattening;
-//  * composes OR/AND branch values into query results;
-//  * measures the paper's metrics: latency (result emission wall time minus
-//    arrival wall time of the last contributing event), throughput
-//    (events/second), and peak logical memory.
+// Responsibility split: Session (src/runtime/session.h) owns all stream-time
+// machinery — pane advancement, window open/close, engine dispatch, branch
+// composition, metrics. StreamExecutor is the backward-compatible batch
+// surface: Run() materializes one Session with a CollectingSink, pushes the
+// whole pre-buffered stream, and returns the buffered, sorted emissions.
+// New code that ingests events incrementally (or cares about O(stream)
+// buffer memory) should use Session directly.
 #ifndef HAMLET_RUNTIME_EXECUTOR_H_
 #define HAMLET_RUNTIME_EXECUTOR_H_
 
-#include <map>
-#include <memory>
 #include <vector>
 
-#include "src/baselines/sharon_engine.h"
-#include "src/baselines/two_step_engine.h"
-#include "src/greta/greta_engine.h"
-#include "src/hamlet/batch_eval.h"
-#include "src/optimizer/policies.h"
+#include "src/runtime/session.h"
 
 namespace hamlet {
 
-enum class EngineKind {
-  kHamletDynamic,  ///< the paper's HAMLET: per-burst benefit decisions
-  kHamletStatic,   ///< static optimizer: always share (Figs. 12/13 baseline)
-  kHamletNoShare,  ///< HAMLET machinery, sharing disabled
-  kGretaGraph,     ///< GRETA baseline, faithful O(n^2) graph mode
-  kGretaPrefix,    ///< GRETA with running sums (tuned-baseline ablation)
-  kTwoStep,        ///< MCEP-style construct-then-aggregate
-  kSharon,         ///< SHARON-style fixed-length flattening
-};
-
-const char* EngineKindName(EngineKind kind);
-
-struct RunConfig {
-  EngineKind kind = EngineKind::kHamletDynamic;
-  /// SHARON's provisioned longest-match length l.
-  int sharon_max_length = 64;
-  /// Two-step trend budget per window; exceeding it records a DNF.
-  int64_t two_step_budget = 20'000'000;
-  CostModelVariant cost_variant = CostModelVariant::kRefined;
-  /// Keep per-window emissions (tests); disable for large benches.
-  bool collect_emissions = true;
-};
-
-/// One query result for one (group, window).
-struct Emission {
-  QueryId query = -1;
-  int64_t group_key = 0;
-  Timestamp window_start = 0;
-  double value = 0.0;
-};
-
-struct RunMetrics {
-  int64_t events = 0;
-  int64_t emissions = 0;
-  double elapsed_seconds = 0.0;
-  double avg_latency_seconds = 0.0;
-  double max_latency_seconds = 0.0;
-  double throughput_eps = 0.0;
-  int64_t peak_memory_bytes = 0;
-  /// Two-step windows that exceeded the trend budget.
-  int64_t dnf_windows = 0;
-  /// Aggregated HAMLET statistics (HAMLET kinds only).
-  HamletStats hamlet;
-  /// Sharing decisions taken (dynamic policy only).
-  int64_t decisions = 0;
-};
-
 struct RunOutput {
+  /// Not-OK when the config fails validation or the stream violates the
+  /// time-ordering contract (kInvalidArgument naming the offending
+  /// timestamp); emissions/metrics then cover the prefix processed before
+  /// the error.
+  Status status;
   std::vector<Emission> emissions;
   RunMetrics metrics;
 };
@@ -82,42 +29,16 @@ struct RunOutput {
 /// See file comment. The plan must outlive the executor.
 class StreamExecutor {
  public:
-  StreamExecutor(const WorkloadPlan& plan, RunConfig config);
-  ~StreamExecutor();
+  StreamExecutor(const WorkloadPlan& plan, RunConfig config)
+      : plan_(&plan), config_(config) {}
 
   /// Processes the whole stream (time-ordered) and returns emissions sorted
   /// by (window_start, query, group).
   RunOutput Run(const EventVector& events);
 
  private:
-  struct Component;
-  struct GroupRunner;
-
-  void AdvancePaneTo(Timestamp new_pane_start, RunOutput* out);
-  void CloseExpiredWindows(GroupRunner& runner, Timestamp now,
-                           RunOutput* out);
-  void OpenDueWindows(GroupRunner& runner, Timestamp pane_start,
-                      bool retroactive);
-  void EmitExecValue(const Component& comp, int exec_id, int64_t group_key,
-                     Timestamp window_start, double value, double arrival_wall,
-                     RunOutput* out);
-  int64_t CurrentMemory() const;
-
   const WorkloadPlan* plan_;
   RunConfig config_;
-  std::vector<std::unique_ptr<Component>> components_;
-  /// Branch values awaiting composition: (query, group, window) -> values.
-  std::map<std::tuple<QueryId, int64_t, Timestamp>, std::vector<double>>
-      pending_compositions_;
-  /// Latency samples per emission.
-  double latency_sum_ = 0.0;
-  double latency_max_ = 0.0;
-  int64_t latency_count_ = 0;
-  int64_t peak_memory_ = 0;
-  int64_t dnf_windows_ = 0;
-  Timestamp pane_start_ = 0;
-  bool pane_started_ = false;
-  double run_start_wall_ = 0.0;
 };
 
 }  // namespace hamlet

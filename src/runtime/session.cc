@@ -1,0 +1,545 @@
+#include "src/runtime/session.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <tuple>
+#include <utility>
+
+namespace hamlet {
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// RAII accumulator for the session's busy-time metric.
+class BusyScope {
+ public:
+  explicit BusyScope(double* total) : total_(total), start_(NowSeconds()) {}
+  ~BusyScope() { *total_ += NowSeconds() - start_; }
+
+  double start() const { return start_; }
+
+ private:
+  double* total_;
+  double start_;
+};
+
+}  // namespace
+
+const char* EngineKindName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kHamletDynamic:
+      return "hamlet";
+    case EngineKind::kHamletStatic:
+      return "hamlet_static";
+    case EngineKind::kHamletNoShare:
+      return "hamlet_noshare";
+    case EngineKind::kGretaGraph:
+      return "greta";
+    case EngineKind::kGretaPrefix:
+      return "greta_prefix";
+    case EngineKind::kTwoStep:
+      return "two_step(mcep)";
+    case EngineKind::kSharon:
+      return "sharon";
+  }
+  return "?";
+}
+
+Status ValidateRunConfig(const RunConfig& config) {
+  if (config.sharon_max_length < 1) {
+    return Status::InvalidArgument(
+        "sharon_max_length must be >= 1, got " +
+        std::to_string(config.sharon_max_length));
+  }
+  if (config.two_step_budget <= 0) {
+    return Status::InvalidArgument(
+        "two_step_budget must be > 0, got " +
+        std::to_string(config.two_step_budget));
+  }
+  return Status::Ok();
+}
+
+std::vector<Emission> CollectingSink::Take() {
+  std::sort(emissions_.begin(), emissions_.end(),
+            [](const Emission& a, const Emission& b) {
+              return std::tie(a.window_start, a.query, a.group_key) <
+                     std::tie(b.window_start, b.query, b.group_key);
+            });
+  return std::move(emissions_);
+}
+
+CsvSink::CsvSink(std::FILE* out) : out_(out) {
+  std::fprintf(out_, "query,name,group,window_start,window_end,value\n");
+}
+
+void CsvSink::OnEmission(const Emission& emission) {
+  std::fprintf(out_, "%d,%s,%lld,%lld,%lld,%.17g\n", emission.query,
+               emission.query_name.c_str(),
+               static_cast<long long>(emission.group_key),
+               static_cast<long long>(emission.window_start),
+               static_cast<long long>(emission.window_end), emission.value);
+  ++rows_written_;
+}
+
+/// One open window instance inside a group runner.
+struct WindowSlot {
+  /// Exec id (HAMLET/GRETA kinds) or cohort index (two-step/SHARON).
+  int owner = -1;
+  Timestamp ws = 0;
+  Timestamp we = 0;
+  ContextId ctx = -1;
+  double last_arrival_wall = 0.0;
+  std::unique_ptr<GretaEngine> greta;
+  std::unique_ptr<TwoStepEngine> two_step;
+  std::unique_ptr<SharonEngine> sharon;
+};
+
+struct Session::Component {
+  QuerySet members;
+  AttrId group_by = Schema::kInvalidId;
+  std::vector<bool> type_mask;  ///< relevant event types
+  /// Unique window specs with the members using each; two-step/SHARON run
+  /// one engine per (cohort, window instance).
+  std::vector<std::pair<WindowSpec, QuerySet>> cohorts;
+  std::unique_ptr<SharingPolicy> policy;
+  std::map<int64_t, std::unique_ptr<GroupRunner>> groups;
+};
+
+struct Session::GroupRunner {
+  Component* comp = nullptr;
+  int64_t group_key = 0;
+  std::unique_ptr<HamletEngine> hamlet;
+  std::vector<WindowSlot> windows;
+};
+
+Result<std::unique_ptr<Session>> Session::Open(const WorkloadPlan& plan,
+                                               const RunConfig& config,
+                                               EmissionSink* sink) {
+  Status valid = ValidateRunConfig(config);
+  if (!valid.ok()) return valid;
+  return std::unique_ptr<Session>(new Session(plan, config, sink));
+}
+
+Session::Session(const WorkloadPlan& plan, const RunConfig& config,
+                 EmissionSink* sink)
+    : plan_(&plan), config_(config), sink_(sink) {
+  // Connected components over share groups (union-find).
+  const int n = plan.num_exec();
+  std::vector<int> parent(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) parent[static_cast<size_t>(i)] = i;
+  std::function<int(int)> find = [&](int x) {
+    while (parent[static_cast<size_t>(x)] != x) {
+      parent[static_cast<size_t>(x)] =
+          parent[static_cast<size_t>(parent[static_cast<size_t>(x)])];
+      x = parent[static_cast<size_t>(x)];
+    }
+    return x;
+  };
+  for (const ShareGroup& g : plan.share_groups) {
+    int root = -1;
+    g.members.ForEach([&](QueryId q) {
+      if (root < 0) {
+        root = find(q);
+      } else {
+        parent[static_cast<size_t>(find(q))] = root;
+      }
+    });
+  }
+  std::map<int, Component*> by_root;
+  for (int i = 0; i < n; ++i) {
+    int root = find(i);
+    auto it = by_root.find(root);
+    Component* comp;
+    if (it == by_root.end()) {
+      components_.push_back(std::make_unique<Component>());
+      comp = components_.back().get();
+      by_root[root] = comp;
+    } else {
+      comp = it->second;
+    }
+    comp->members.Insert(i);
+  }
+  const int num_types = plan.workload->schema()->num_types();
+  for (auto& comp : components_) {
+    comp->type_mask.assign(static_cast<size_t>(num_types), false);
+    comp->members.ForEach([&](QueryId q) {
+      const ExecQuery& eq = plan.exec_queries[static_cast<size_t>(q)];
+      // Members of a component share the group-by attribute (Definition 5).
+      comp->group_by = eq.group_by;
+      for (TypeId t : eq.tmpl.pattern.AllTypes())
+        comp->type_mask[static_cast<size_t>(t)] = true;
+      bool found = false;
+      for (auto& [spec, set] : comp->cohorts) {
+        if (spec == eq.window) {
+          set.Insert(q);
+          found = true;
+        }
+      }
+      if (!found) comp->cohorts.push_back({eq.window, QuerySet::Single(q)});
+    });
+    switch (config_.kind) {
+      case EngineKind::kHamletDynamic:
+        comp->policy =
+            std::make_unique<DynamicBenefitPolicy>(config_.cost_variant);
+        break;
+      case EngineKind::kHamletStatic:
+        comp->policy = std::make_unique<AlwaysSharePolicy>();
+        break;
+      default:
+        comp->policy = std::make_unique<NeverSharePolicy>();
+        break;
+    }
+  }
+}
+
+Session::~Session() = default;
+
+void Session::OpenDueWindows(GroupRunner& runner, Timestamp pane_start,
+                             bool retroactive) {
+  Component& comp = *runner.comp;
+  const bool hamlet_kind = runner.hamlet != nullptr;
+  const bool cohort_kind = config_.kind == EngineKind::kTwoStep ||
+                           config_.kind == EngineKind::kSharon;
+  auto open_one = [&](int owner, Timestamp ws, Timestamp within) {
+    WindowSlot slot;
+    slot.owner = owner;
+    slot.ws = ws;
+    slot.we = ws + within;
+    slot.last_arrival_wall = NowSeconds();
+    if (cohort_kind) {
+      const QuerySet& cohort_members =
+          comp.cohorts[static_cast<size_t>(owner)].second;
+      if (config_.kind == EngineKind::kTwoStep) {
+        slot.two_step = std::make_unique<TwoStepEngine>(
+            *plan_, cohort_members, config_.two_step_budget);
+      } else {
+        slot.sharon = std::make_unique<SharonEngine>(
+            *plan_, cohort_members, config_.sharon_max_length);
+      }
+    } else if (hamlet_kind) {
+      slot.ctx = runner.hamlet->OpenContext(owner, ws, slot.we);
+    } else {
+      slot.greta = std::make_unique<GretaEngine>(
+          plan_->exec_queries[static_cast<size_t>(owner)],
+          config_.kind == EngineKind::kGretaPrefix ? GretaMode::kPrefixSum
+                                                   : GretaMode::kGraph);
+    }
+    runner.windows.push_back(std::move(slot));
+  };
+  auto open_for = [&](int owner, const WindowSpec& spec) {
+    if (retroactive) {
+      // New runner: open every slide-aligned instance covering this pane.
+      // The group had no earlier events, so the retroactive spans are empty
+      // and the counts exact.
+      Timestamp first = (pane_start / spec.slide) * spec.slide;
+      for (Timestamp ws = first; ws > pane_start - spec.within && ws >= 0;
+           ws -= spec.slide) {
+        open_one(owner, ws, spec.within);
+      }
+    } else if (pane_start % spec.slide == 0) {
+      open_one(owner, pane_start, spec.within);
+    }
+  };
+  if (cohort_kind) {
+    for (size_t c = 0; c < comp.cohorts.size(); ++c)
+      open_for(static_cast<int>(c), comp.cohorts[c].first);
+  } else {
+    comp.members.ForEach([&](QueryId q) {
+      open_for(q, plan_->exec_queries[static_cast<size_t>(q)].window);
+    });
+  }
+}
+
+void Session::EmitExecValue(int exec_id, int64_t group_key,
+                            Timestamp window_start, Timestamp window_end,
+                            double value, double arrival_wall) {
+  const ExecQuery& eq = plan_->exec_queries[static_cast<size_t>(exec_id)];
+  const CompositionRule& rule =
+      plan_->compositions[static_cast<size_t>(eq.source)];
+  double final_value = value;
+  if (rule.kind != CompositionKind::kSingle) {
+    auto key = std::make_tuple(eq.source, group_key, window_start);
+    auto& values = pending_compositions_[key];
+    values.resize(rule.exec_ids.size(),
+                  std::numeric_limits<double>::quiet_NaN());
+    for (size_t b = 0; b < rule.exec_ids.size(); ++b) {
+      if (rule.exec_ids[b] == exec_id) values[b] = value;
+    }
+    for (double v : values) {
+      if (std::isnan(v)) return;  // waiting for the other branch
+    }
+    final_value = ComposeQueryValue(rule, values);
+    pending_compositions_.erase(key);
+  }
+  const double latency = NowSeconds() - arrival_wall;
+  latency_sum_ += latency;
+  latency_max_ = std::max(latency_max_, latency);
+  ++latency_count_;
+  if (sink_ != nullptr) {
+    Emission emission;
+    emission.query = eq.source;
+    emission.group_key = group_key;
+    emission.window_start = window_start;
+    emission.window_end = window_end;
+    emission.value = final_value;
+    emission.query_name = plan_->workload->query(eq.source).name;
+    sink_->OnEmission(emission);
+  }
+}
+
+void Session::CloseExpiredWindows(GroupRunner& runner, Timestamp now) {
+  Component& comp = *runner.comp;
+  for (size_t i = 0; i < runner.windows.size();) {
+    WindowSlot& w = runner.windows[i];
+    if (w.we > now) {
+      ++i;
+      continue;
+    }
+    if (runner.hamlet != nullptr) {
+      ContextResult r = runner.hamlet->CloseContext(w.ctx);
+      EmitExecValue(w.owner, runner.group_key, w.ws, w.we, r.value,
+                    w.last_arrival_wall);
+    } else if (w.greta != nullptr) {
+      EmitExecValue(w.owner, runner.group_key, w.ws, w.we, w.greta->Value(),
+                    w.last_arrival_wall);
+    } else if (w.two_step != nullptr) {
+      Status s = w.two_step->Finish();
+      if (!s.ok()) {
+        ++dnf_windows_;
+      } else {
+        comp.cohorts[static_cast<size_t>(w.owner)].second.ForEach(
+            [&](QueryId q) {
+              EmitExecValue(q, runner.group_key, w.ws, w.we,
+                            w.two_step->Value(q), w.last_arrival_wall);
+            });
+      }
+    } else if (w.sharon != nullptr) {
+      comp.cohorts[static_cast<size_t>(w.owner)].second.ForEach(
+          [&](QueryId q) {
+            if (!w.sharon->Supported(q)) return;
+            EmitExecValue(q, runner.group_key, w.ws, w.we, w.sharon->Value(q),
+                          w.last_arrival_wall);
+          });
+    }
+    runner.windows[i] = std::move(runner.windows.back());
+    runner.windows.pop_back();
+  }
+}
+
+int64_t Session::CurrentMemory() const {
+  int64_t bytes = 0;
+  for (const auto& comp : components_) {
+    for (const auto& [key, runner] : comp->groups) {
+      if (runner->hamlet) bytes += runner->hamlet->MemoryBytes();
+      for (const WindowSlot& w : runner->windows) {
+        if (w.greta) bytes += w.greta->MemoryBytes();
+        if (w.two_step) bytes += w.two_step->MemoryBytes();
+        if (w.sharon) bytes += w.sharon->MemoryBytes();
+      }
+    }
+  }
+  return bytes;
+}
+
+void Session::AdvancePaneTo(Timestamp new_pane_start) {
+  const Timestamp pane = plan_->pane_size;
+  while (!pane_started_ || pane_start_ < new_pane_start) {
+    const Timestamp boundary =
+        pane_started_ ? pane_start_ + pane : new_pane_start;
+    // Sample before closures so full windows count toward the peak.
+    peak_memory_ = std::max(peak_memory_, CurrentMemory());
+    for (auto& comp : components_) {
+      for (auto& [key, runner] : comp->groups) {
+        if (runner->hamlet && pane_started_) runner->hamlet->OnPaneEnd();
+        CloseExpiredWindows(*runner, boundary);
+        OpenDueWindows(*runner, boundary, /*retroactive=*/false);
+        if (runner->hamlet) runner->hamlet->OnPaneStart(boundary);
+      }
+    }
+    pane_start_ = boundary;
+    pane_started_ = true;
+    peak_memory_ = std::max(peak_memory_, CurrentMemory());
+  }
+}
+
+void Session::ProcessEvent(const Event& e, double arrival) {
+  const Timestamp pane = plan_->pane_size;
+  const Timestamp event_pane = (e.time / pane) * pane;
+  if (!pane_started_ || event_pane > pane_start_) AdvancePaneTo(event_pane);
+  ++events_;
+  if (arrival < 0) arrival = NowSeconds();
+  for (auto& compp : components_) {
+    Component& comp = *compp;
+    if (e.type < 0 || e.type >= static_cast<TypeId>(comp.type_mask.size()) ||
+        !comp.type_mask[static_cast<size_t>(e.type)])
+      continue;
+    const int64_t key =
+        comp.group_by == Schema::kInvalidId
+            ? 0
+            : static_cast<int64_t>(std::llround(e.attr(comp.group_by)));
+    auto it = comp.groups.find(key);
+    GroupRunner* runner;
+    if (it == comp.groups.end()) {
+      auto created = std::make_unique<GroupRunner>();
+      created->comp = &comp;
+      created->group_key = key;
+      if (config_.kind == EngineKind::kHamletDynamic ||
+          config_.kind == EngineKind::kHamletStatic ||
+          config_.kind == EngineKind::kHamletNoShare) {
+        created->hamlet = std::make_unique<HamletEngine>(
+            *plan_, comp.members, comp.policy.get());
+      }
+      runner = created.get();
+      comp.groups[key] = std::move(created);
+      OpenDueWindows(*runner, pane_start_, /*retroactive=*/true);
+      if (runner->hamlet) runner->hamlet->OnPaneStart(pane_start_);
+    } else {
+      runner = it->second.get();
+    }
+    for (WindowSlot& w : runner->windows) w.last_arrival_wall = arrival;
+    if (runner->hamlet) {
+      runner->hamlet->OnEvent(e);
+    } else {
+      for (WindowSlot& w : runner->windows) {
+        if (e.time < w.ws || e.time >= w.we) continue;
+        if (w.greta) w.greta->OnEvent(e);
+        if (w.two_step) w.two_step->OnEvent(e);
+        if (w.sharon) w.sharon->OnEvent(e);
+      }
+    }
+  }
+}
+
+Status Session::CheckOrdered(Timestamp event_time) const {
+  if (closed_) {
+    return Status::InvalidArgument("push on a closed session");
+  }
+  // The engines require strictly increasing event times; watermarks only
+  // promise no event before them.
+  if (has_event_ && event_time <= last_event_time_) {
+    return Status::InvalidArgument(
+        "out-of-order event at t=" + std::to_string(event_time) +
+        " (last event at t=" + std::to_string(last_event_time_) + ")");
+  }
+  if (has_watermark_ && event_time < watermark_) {
+    return Status::InvalidArgument(
+        "out-of-order event at t=" + std::to_string(event_time) +
+        " (watermark at t=" + std::to_string(watermark_) + ")");
+  }
+  return Status::Ok();
+}
+
+Status Session::Push(const Event& event) {
+  BusyScope busy(&busy_seconds_);
+  Status ordered = CheckOrdered(event.time);
+  if (!ordered.ok()) return ordered;
+  last_event_time_ = event.time;
+  has_event_ = true;
+  // The call-entry wall doubles as the event's arrival time, keeping the
+  // per-event Push hot path at two clock reads total.
+  ProcessEvent(event, busy.start());
+  return Status::Ok();
+}
+
+Status Session::PushBatch(std::span<const Event> events) {
+  BusyScope busy(&busy_seconds_);
+  for (const Event& e : events) {
+    Status ordered = CheckOrdered(e.time);
+    if (!ordered.ok()) return ordered;
+    last_event_time_ = e.time;
+    has_event_ = true;
+    ProcessEvent(e, /*arrival=*/-1.0);
+  }
+  return Status::Ok();
+}
+
+Status Session::AdvanceTo(Timestamp watermark) {
+  BusyScope busy(&busy_seconds_);
+  if (closed_) {
+    return Status::InvalidArgument("AdvanceTo on a closed session");
+  }
+  if ((has_event_ && watermark < last_event_time_) ||
+      (has_watermark_ && watermark < watermark_)) {
+    return Status::InvalidArgument(
+        "watermark t=" + std::to_string(watermark) + " regresses behind t=" +
+        std::to_string(has_watermark_
+                           ? std::max(watermark_, last_event_time_)
+                           : last_event_time_));
+  }
+  watermark_ = watermark;
+  has_watermark_ = true;
+  const Timestamp pane = plan_->pane_size;
+  const Timestamp target = (watermark / pane) * pane;
+  if (!pane_started_ || target > pane_start_) AdvancePaneTo(target);
+  return Status::Ok();
+}
+
+void Session::FillMetrics(RunMetrics* m) const {
+  m->events = events_;
+  m->elapsed_seconds = busy_seconds_;
+  m->emissions = latency_count_;
+  m->avg_latency_seconds =
+      latency_count_ == 0 ? 0.0 : latency_sum_ / latency_count_;
+  m->max_latency_seconds = latency_max_;
+  m->throughput_eps = m->elapsed_seconds <= 0
+                          ? 0
+                          : static_cast<double>(events_) / m->elapsed_seconds;
+  m->peak_memory_bytes = std::max(peak_memory_, CurrentMemory());
+  m->dnf_windows = dnf_windows_;
+  for (const auto& comp : components_) {
+    for (const auto& [key, runner] : comp->groups) {
+      if (!runner->hamlet) continue;
+      const HamletStats& s = runner->hamlet->stats();
+      m->hamlet.events += s.events;
+      m->hamlet.bursts_total += s.bursts_total;
+      m->hamlet.bursts_shared += s.bursts_shared;
+      m->hamlet.graphlets_opened += s.graphlets_opened;
+      m->hamlet.graphlets_shared += s.graphlets_shared;
+      m->hamlet.snapshots_created += s.snapshots_created;
+      m->hamlet.event_snapshots += s.event_snapshots;
+      m->hamlet.splits += s.splits;
+      m->hamlet.merges += s.merges;
+      m->hamlet.ops += s.ops;
+    }
+    if (config_.kind == EngineKind::kHamletDynamic) {
+      auto* dyn = static_cast<DynamicBenefitPolicy*>(comp->policy.get());
+      m->decisions += dyn->decisions();
+    }
+  }
+}
+
+RunMetrics Session::MetricsSnapshot() const {
+  if (closed_) return final_metrics_;
+  RunMetrics m;
+  FillMetrics(&m);
+  return m;
+}
+
+RunMetrics Session::Close() {
+  if (closed_) return final_metrics_;
+  {
+    BusyScope busy(&busy_seconds_);
+    // Flush: advance to the last window end (window ends are pane-aligned).
+    Timestamp flush_to = pane_started_ ? pane_start_ : 0;
+    for (const auto& comp : components_) {
+      for (const auto& [key, runner] : comp->groups) {
+        for (const WindowSlot& w : runner->windows)
+          flush_to = std::max(flush_to, w.we);
+      }
+    }
+    AdvancePaneTo(flush_to);
+  }
+  closed_ = true;
+  FillMetrics(&final_metrics_);
+  return final_metrics_;
+}
+
+}  // namespace hamlet

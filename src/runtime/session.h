@@ -1,0 +1,245 @@
+// Push-based streaming session: the runtime's primary entry point.
+//
+// A Session evaluates a compiled workload incrementally: callers push events
+// (singly or in batches) as they arrive, and every query result is delivered
+// to a pluggable EmissionSink the moment its window closes — no O(stream)
+// input buffer and no grow-forever output buffer on the hot path.
+//
+// Lifecycle:
+//   Result<std::unique_ptr<Session>> s = Session::Open(plan, config, &sink);
+//   s.value()->Push(event);              // or PushBatch(span)
+//   s.value()->AdvanceTo(watermark);     // force window closure, no event
+//   RunMetrics m = s.value()->Close();   // final flush + metrics
+//
+// The session owns all stream-time machinery (paper §3.1 pre-processing +
+// §6.1 metrics): partitioning exec queries into components connected by
+// share groups, partitioning each component's stream by its group-by
+// attribute, pane-aligned window management (tumbling and sliding),
+// dispatch to the selected engine (HAMLET dynamic/static/no-share, GRETA
+// graph/prefix, two-step, SHARON), OR/AND branch composition, and the
+// paper's latency / throughput / peak-memory accounting. The batch
+// StreamExecutor::Run in src/runtime/executor.h is a thin wrapper over this
+// class with a CollectingSink.
+#ifndef HAMLET_RUNTIME_SESSION_H_
+#define HAMLET_RUNTIME_SESSION_H_
+
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/baselines/sharon_engine.h"
+#include "src/baselines/two_step_engine.h"
+#include "src/common/status.h"
+#include "src/greta/greta_engine.h"
+#include "src/hamlet/batch_eval.h"
+#include "src/optimizer/policies.h"
+
+namespace hamlet {
+
+enum class EngineKind {
+  kHamletDynamic,  ///< the paper's HAMLET: per-burst benefit decisions
+  kHamletStatic,   ///< static optimizer: always share (Figs. 12/13 baseline)
+  kHamletNoShare,  ///< HAMLET machinery, sharing disabled
+  kGretaGraph,     ///< GRETA baseline, faithful O(n^2) graph mode
+  kGretaPrefix,    ///< GRETA with running sums (tuned-baseline ablation)
+  kTwoStep,        ///< MCEP-style construct-then-aggregate
+  kSharon,         ///< SHARON-style fixed-length flattening
+};
+
+const char* EngineKindName(EngineKind kind);
+
+struct RunConfig {
+  EngineKind kind = EngineKind::kHamletDynamic;
+  /// SHARON's provisioned longest-match length l. Must be >= 1.
+  int sharon_max_length = 64;
+  /// Two-step trend budget per window; exceeding it records a DNF.
+  /// Must be > 0.
+  int64_t two_step_budget = 20'000'000;
+  CostModelVariant cost_variant = CostModelVariant::kRefined;
+  /// Batch Run() only: keep per-window emissions (tests); disable for large
+  /// benches. Sessions ignore this — the sink choice governs delivery.
+  bool collect_emissions = true;
+};
+
+/// Checks the config invariants documented above; Session::Open (and thus
+/// Run) fails fast with kInvalidArgument instead of tripping deep inside an
+/// engine.
+Status ValidateRunConfig(const RunConfig& config);
+
+/// One query result for one (group, window). Self-describing: carries the
+/// window bounds and the query's name so sinks can render results without
+/// holding the Workload.
+struct Emission {
+  QueryId query = -1;
+  int64_t group_key = 0;
+  Timestamp window_start = 0;
+  Timestamp window_end = 0;
+  double value = 0.0;
+  std::string query_name;
+};
+
+struct RunMetrics {
+  int64_t events = 0;
+  int64_t emissions = 0;
+  /// Time spent inside session calls (push/advance/close), excluding the
+  /// caller's time between pushes — so streaming and batch ingestion report
+  /// comparable engine throughput.
+  double elapsed_seconds = 0.0;
+  double avg_latency_seconds = 0.0;
+  double max_latency_seconds = 0.0;
+  double throughput_eps = 0.0;
+  int64_t peak_memory_bytes = 0;
+  /// Two-step windows that exceeded the trend budget.
+  int64_t dnf_windows = 0;
+  /// Aggregated HAMLET statistics (HAMLET kinds only).
+  HamletStats hamlet;
+  /// Sharing decisions taken (dynamic policy only).
+  int64_t decisions = 0;
+};
+
+/// Receives query results as their windows close. Implementations must not
+/// retain the reference past the call.
+class EmissionSink {
+ public:
+  virtual ~EmissionSink() = default;
+  virtual void OnEmission(const Emission& emission) = 0;
+};
+
+/// Buffers every emission; Take() returns them sorted by
+/// (window_start, query, group) — the historical batch Run() order.
+class CollectingSink : public EmissionSink {
+ public:
+  void OnEmission(const Emission& emission) override {
+    emissions_.push_back(emission);
+  }
+
+  /// Emissions in arrival (window-close) order.
+  const std::vector<Emission>& emissions() const { return emissions_; }
+
+  /// Moves the buffer out, sorted by (window_start, query, group).
+  std::vector<Emission> Take();
+
+ private:
+  std::vector<Emission> emissions_;
+};
+
+/// Invokes a callback per emission (live dashboards, tests).
+class CallbackSink : public EmissionSink {
+ public:
+  explicit CallbackSink(std::function<void(const Emission&)> fn)
+      : fn_(std::move(fn)) {}
+
+  void OnEmission(const Emission& emission) override { fn_(emission); }
+
+ private:
+  std::function<void(const Emission&)> fn_;
+};
+
+/// Streams emissions as CSV rows ("query,name,group,window_start,
+/// window_end,value") to a FILE* the caller owns; writes the header on
+/// construction. Constant memory — the bench-friendly sink.
+class CsvSink : public EmissionSink {
+ public:
+  explicit CsvSink(std::FILE* out);
+
+  void OnEmission(const Emission& emission) override;
+
+  int64_t rows_written() const { return rows_written_; }
+
+ private:
+  std::FILE* out_;
+  int64_t rows_written_ = 0;
+};
+
+/// See file comment. The plan must outlive the session; the sink (if any)
+/// must outlive every Push/AdvanceTo/Close call.
+class Session {
+ public:
+  /// Validates `config` and builds the component/engine state. `sink` may be
+  /// nullptr to drop emissions (metrics-only runs, e.g. throughput benches).
+  static Result<std::unique_ptr<Session>> Open(const WorkloadPlan& plan,
+                                               const RunConfig& config,
+                                               EmissionSink* sink);
+
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Ingests one event. Events must be strictly increasing in time (the
+  /// engines' contract) and at or after the last AdvanceTo watermark;
+  /// violations return kInvalidArgument naming the offending timestamp and
+  /// leave the session state untouched.
+  Status Push(const Event& event);
+
+  /// Ingests a time-ordered batch; stops at the first invalid event.
+  Status PushBatch(std::span<const Event> events);
+
+  /// Declares that no event before `watermark` will arrive, closing every
+  /// pane/window that ends at or before it without waiting for an event.
+  /// The watermark must not regress below prior events or watermarks.
+  Status AdvanceTo(Timestamp watermark);
+
+  /// Flushes all remaining open windows and returns the final metrics.
+  /// Idempotent; Push/AdvanceTo after Close are rejected.
+  RunMetrics Close();
+
+  /// Metrics accumulated so far, without flushing open windows (live
+  /// dashboards; emission-dependent fields lag until windows close).
+  RunMetrics MetricsSnapshot() const;
+
+ private:
+  struct Component;
+  struct GroupRunner;
+
+  Session(const WorkloadPlan& plan, const RunConfig& config,
+          EmissionSink* sink);
+
+  /// `arrival` is the event's arrival wall time; pass a negative value to
+  /// sample it internally (batch path).
+  void ProcessEvent(const Event& e, double arrival);
+  void AdvancePaneTo(Timestamp new_pane_start);
+  void CloseExpiredWindows(GroupRunner& runner, Timestamp now);
+  void OpenDueWindows(GroupRunner& runner, Timestamp pane_start,
+                      bool retroactive);
+  Status CheckOrdered(Timestamp event_time) const;
+  void EmitExecValue(int exec_id, int64_t group_key, Timestamp window_start,
+                     Timestamp window_end, double value, double arrival_wall);
+  void FillMetrics(RunMetrics* m) const;
+  int64_t CurrentMemory() const;
+
+  const WorkloadPlan* plan_;
+  RunConfig config_;
+  EmissionSink* sink_;
+  std::vector<std::unique_ptr<Component>> components_;
+  /// Branch values awaiting composition: (query, group, window) -> values.
+  std::map<std::tuple<QueryId, int64_t, Timestamp>, std::vector<double>>
+      pending_compositions_;
+  /// Latency samples per emission.
+  double latency_sum_ = 0.0;
+  double latency_max_ = 0.0;
+  int64_t latency_count_ = 0;
+  int64_t peak_memory_ = 0;
+  int64_t dnf_windows_ = 0;
+  int64_t events_ = 0;
+  Timestamp pane_start_ = 0;
+  bool pane_started_ = false;
+  /// Ordering state: events must strictly exceed the last event time and
+  /// reach at least the last watermark.
+  Timestamp last_event_time_ = 0;
+  bool has_event_ = false;
+  Timestamp watermark_ = 0;
+  bool has_watermark_ = false;
+  /// Sum of wall time spent inside session calls.
+  double busy_seconds_ = 0.0;
+  bool closed_ = false;
+  RunMetrics final_metrics_;
+};
+
+}  // namespace hamlet
+
+#endif  // HAMLET_RUNTIME_SESSION_H_

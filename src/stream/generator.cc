@@ -6,6 +6,16 @@
 
 namespace hamlet {
 
+EventVector StreamGenerator::Generate(const GeneratorConfig& config) {
+  EventVector out;
+  out.reserve(static_cast<size_t>(std::max(config.events_per_minute, 0)) *
+              static_cast<size_t>(std::max(config.duration_minutes, 0)));
+  std::unique_ptr<EventCursor> cursor = Stream(config);
+  Event e;
+  while (cursor->Next(&e)) out.push_back(e);
+  return out;
+}
+
 std::unique_ptr<StreamGenerator> MakeGenerator(const std::string& dataset) {
   if (dataset == "ridesharing") return std::make_unique<RidesharingGenerator>();
   if (dataset == "nyc_taxi") return std::make_unique<NycTaxiGenerator>();
@@ -32,6 +42,25 @@ std::vector<Timestamp> SpreadTimestamps(Timestamp start, Timestamp span_ms,
     if (out[i] <= out[i - 1]) out[i] = out[i - 1] + 1;
   }
   return out;
+}
+
+bool TimestampChunker::Next(Rng& rng, Timestamp* t) {
+  while (pos_ >= chunk_.size()) {
+    if (minute_ >= minutes_) return false;
+    chunk_ = SpreadTimestamps(
+        static_cast<Timestamp>(minute_) * kMillisPerMinute, kMillisPerMinute,
+        events_per_minute_, rng);
+    // Chunks are drawn independently; enforce strict monotonicity across
+    // the boundary (the fix-ups inside a chunk can spill past its span).
+    for (Timestamp& ts : chunk_) {
+      if (ts <= last_) ts = last_ + 1;
+      last_ = ts;
+    }
+    pos_ = 0;
+    ++minute_;
+  }
+  *t = chunk_[pos_++];
+  return true;
 }
 
 }  // namespace generator_internal

@@ -3,11 +3,19 @@
 // Each generator simulates one of the paper's four evaluation datasets
 // (§6.1); see DESIGN.md §2 for the substitution rationale. Generators are
 // deterministic functions of (config, seed).
+//
+// Two consumption styles:
+//  * Stream(config) opens a pull-style EventCursor that yields one event at
+//    a time with O(events_per_minute) working memory — the surface for
+//    push-based Session runs at paper scale;
+//  * Generate(config) materializes the full stream (defined as draining one
+//    cursor, so both styles yield identical streams).
 #ifndef HAMLET_STREAM_GENERATOR_H_
 #define HAMLET_STREAM_GENERATOR_H_
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/common/rng.h"
 #include "src/stream/event.h"
@@ -33,6 +41,17 @@ struct GeneratorConfig {
   int max_burst = 150;
 };
 
+/// Pull-based event source: yields a finite stream of strictly
+/// time-increasing events one at a time, so consumers need no O(stream)
+/// input buffer.
+class EventCursor {
+ public:
+  virtual ~EventCursor() = default;
+
+  /// Writes the next event into `*out`; returns false at end of stream.
+  virtual bool Next(Event* out) = 0;
+};
+
 /// Produces a finite, time-ordered event stream over its own schema.
 class StreamGenerator {
  public:
@@ -44,9 +63,15 @@ class StreamGenerator {
   /// Schema shared by all events this generator produces.
   virtual const Schema& schema() const = 0;
 
-  /// Generates the full stream for `config`. Timestamps are strictly
-  /// increasing milliseconds starting at 0.
-  virtual EventVector Generate(const GeneratorConfig& config) = 0;
+  /// Opens a pull-style cursor over the stream for `config`. Timestamps are
+  /// strictly increasing milliseconds starting at 0. Deterministic: two
+  /// cursors with the same config yield identical streams.
+  virtual std::unique_ptr<EventCursor> Stream(
+      const GeneratorConfig& config) = 0;
+
+  /// Materializes the full stream by draining Stream(config). Prefer
+  /// Stream() for paper-scale runs.
+  EventVector Generate(const GeneratorConfig& config);
 };
 
 /// Factory by dataset name; returns nullptr for unknown names.
@@ -58,6 +83,28 @@ namespace generator_internal {
 /// [start, start + span_ms) with jitter; helper shared by generators.
 std::vector<Timestamp> SpreadTimestamps(Timestamp start, Timestamp span_ms,
                                         int n, Rng& rng);
+
+/// Streams the arrival timestamps for a GeneratorConfig in per-minute
+/// chunks of `events_per_minute` draws each, keeping cursor memory
+/// O(rate) instead of O(stream) while preserving strict global
+/// monotonicity across chunk boundaries.
+class TimestampChunker {
+ public:
+  explicit TimestampChunker(const GeneratorConfig& config)
+      : events_per_minute_(config.events_per_minute),
+        minutes_(config.duration_minutes) {}
+
+  /// Returns false after events_per_minute * duration_minutes timestamps.
+  bool Next(Rng& rng, Timestamp* t);
+
+ private:
+  int events_per_minute_;
+  int minutes_;
+  int minute_ = 0;
+  size_t pos_ = 0;
+  Timestamp last_ = -1;
+  std::vector<Timestamp> chunk_;
+};
 
 }  // namespace generator_internal
 }  // namespace hamlet

@@ -60,7 +60,8 @@ class RidesharingGenerator : public StreamGenerator {
   RidesharingGenerator();
   const std::string& name() const override { return name_; }
   const Schema& schema() const override { return schema_; }
-  EventVector Generate(const GeneratorConfig& config) override;
+  std::unique_ptr<EventCursor> Stream(
+      const GeneratorConfig& config) override;
 
  private:
   std::string name_ = "ridesharing";
@@ -75,7 +76,8 @@ class NycTaxiGenerator : public StreamGenerator {
   NycTaxiGenerator();
   const std::string& name() const override { return name_; }
   const Schema& schema() const override { return schema_; }
-  EventVector Generate(const GeneratorConfig& config) override;
+  std::unique_ptr<EventCursor> Stream(
+      const GeneratorConfig& config) override;
 
  private:
   std::string name_ = "nyc_taxi";
@@ -89,7 +91,8 @@ class SmartHomeGenerator : public StreamGenerator {
   SmartHomeGenerator();
   const std::string& name() const override { return name_; }
   const Schema& schema() const override { return schema_; }
-  EventVector Generate(const GeneratorConfig& config) override;
+  std::unique_ptr<EventCursor> Stream(
+      const GeneratorConfig& config) override;
 
  private:
   std::string name_ = "smart_home";
@@ -104,7 +107,8 @@ class StockGenerator : public StreamGenerator {
   StockGenerator();
   const std::string& name() const override { return name_; }
   const Schema& schema() const override { return schema_; }
-  EventVector Generate(const GeneratorConfig& config) override;
+  std::unique_ptr<EventCursor> Stream(
+      const GeneratorConfig& config) override;
 
  private:
   std::string name_ = "stock";

@@ -2,6 +2,59 @@
 
 namespace hamlet {
 
+namespace {
+
+class NycTaxiCursor : public EventCursor {
+ public:
+  explicit NycTaxiCursor(const GeneratorConfig& config)
+      : rng_(config.seed),
+        chunker_(config),
+        num_groups_(config.num_groups),
+        // Trips dominated by Travel runs between lifecycle milestones — the
+        // same shape the real feed's per-second GPS pings produce.
+        process_({{/*Request*/ 0, 6},
+                  {/*Travel*/ 1, 24},
+                  {/*Pickup*/ 2, 5},
+                  {/*Dropoff*/ 3, 5},
+                  {/*Cancel*/ 4, 2}},
+                 config.burstiness, config.max_burst),
+        // Per-group rolling driver/rider pair: lifecycle events of one burst
+        // run share ids, which makes [driver, rider] equality predicates
+        // meaningful.
+        pair_of_group_(static_cast<size_t>(config.num_groups), {1, 1}) {}
+
+  bool Next(Event* out) override {
+    Timestamp t;
+    if (!chunker_.Next(rng_, &t)) return false;
+    int g = static_cast<int>(
+        rng_.NextBelow(static_cast<uint64_t>(num_groups_)));
+    TypeId type = process_.Next(g, rng_);
+    if (type == 0) {  // a new Request rotates the active driver/rider pair
+      pair_of_group_[static_cast<size_t>(g)] = {
+          static_cast<int>(rng_.NextInt(1, 50)),
+          static_cast<int>(rng_.NextInt(1, 50))};
+    }
+    Event e(t, type);
+    e.set_attr(0, g);
+    e.set_attr(1, pair_of_group_[static_cast<size_t>(g)].first);
+    e.set_attr(2, pair_of_group_[static_cast<size_t>(g)].second);
+    e.set_attr(3, static_cast<double>(rng_.NextInt(1, 6)));
+    e.set_attr(4, rng_.NextDouble(3.0, 90.0));
+    e.set_attr(5, rng_.NextDouble(1.0, 45.0));
+    *out = e;
+    return true;
+  }
+
+ private:
+  Rng rng_;
+  generator_internal::TimestampChunker chunker_;
+  int num_groups_;
+  generator_internal::BurstProcess process_;
+  std::vector<std::pair<int, int>> pair_of_group_;
+};
+
+}  // namespace
+
 NycTaxiGenerator::NycTaxiGenerator() {
   schema_.AddAttr("zone");  // group-by key
   schema_.AddAttr("driver");
@@ -16,49 +69,9 @@ NycTaxiGenerator::NycTaxiGenerator() {
   schema_.AddType("Cancel");
 }
 
-EventVector NycTaxiGenerator::Generate(const GeneratorConfig& config) {
-  Rng rng(config.seed);
-  const int64_t total = static_cast<int64_t>(config.events_per_minute) *
-                        config.duration_minutes;
-  std::vector<Timestamp> times = generator_internal::SpreadTimestamps(
-      0, config.duration_minutes * kMillisPerMinute, static_cast<int>(total),
-      rng);
-
-  // Trips dominated by Travel runs between lifecycle milestones — the same
-  // shape the real feed's per-second GPS pings produce.
-  std::vector<generator_internal::TypeWeight> weights = {
-      {/*Request*/ 0, 6},  {/*Travel*/ 1, 24}, {/*Pickup*/ 2, 5},
-      {/*Dropoff*/ 3, 5}, {/*Cancel*/ 4, 2}};
-  generator_internal::BurstProcess process(std::move(weights),
-                                           config.burstiness,
-                                           config.max_burst);
-
-  // Per-group rolling driver/rider pair: lifecycle events of one burst run
-  // share ids, which makes [driver, rider] equality predicates meaningful.
-  std::vector<std::pair<int, int>> pair_of_group(
-      static_cast<size_t>(config.num_groups), {1, 1});
-
-  EventVector out;
-  out.reserve(times.size());
-  for (Timestamp t : times) {
-    int g = static_cast<int>(
-        rng.NextBelow(static_cast<uint64_t>(config.num_groups)));
-    TypeId type = process.Next(g, rng);
-    if (type == 0) {  // a new Request rotates the active driver/rider pair
-      pair_of_group[static_cast<size_t>(g)] = {
-          static_cast<int>(rng.NextInt(1, 50)),
-          static_cast<int>(rng.NextInt(1, 50))};
-    }
-    Event e(t, type);
-    e.set_attr(0, g);
-    e.set_attr(1, pair_of_group[static_cast<size_t>(g)].first);
-    e.set_attr(2, pair_of_group[static_cast<size_t>(g)].second);
-    e.set_attr(3, static_cast<double>(rng.NextInt(1, 6)));
-    e.set_attr(4, rng.NextDouble(3.0, 90.0));
-    e.set_attr(5, rng.NextDouble(1.0, 45.0));
-    out.push_back(e);
-  }
-  return out;
+std::unique_ptr<EventCursor> NycTaxiGenerator::Stream(
+    const GeneratorConfig& config) {
+  return std::make_unique<NycTaxiCursor>(config);
 }
 
 }  // namespace hamlet

@@ -11,6 +11,52 @@ const char* kRideTypes[] = {"Request", "Travel",  "Pickup", "Dropoff",
                             "TypeC",   "TypeD",   "TypeE",  "TypeF",
                             "TypeG",   "TypeH",   "TypeI",  "TypeJ"};
 constexpr int kNumRideTypes = 20;
+
+// Travel dominates (it is the shared Kleene sub-pattern T+ of the paper's
+// Figure 1 queries); lifecycle types arrive at moderate weight; tail types
+// are rare.
+std::vector<generator_internal::TypeWeight> RideWeights() {
+  const double type_weights[kNumRideTypes] = {
+      6, 30, 5, 5, 3, 4, 3, 1, 2, 2, 0.5, 0.5, 0.5, 0.5, 0.5,
+      0.5, 0.5, 0.5, 0.5, 0.5};
+  std::vector<generator_internal::TypeWeight> weights;
+  for (TypeId t = 0; t < kNumRideTypes; ++t) {
+    weights.push_back({t, type_weights[t]});
+  }
+  return weights;
+}
+
+class RidesharingCursor : public EventCursor {
+ public:
+  explicit RidesharingCursor(const GeneratorConfig& config)
+      : rng_(config.seed),
+        chunker_(config),
+        num_groups_(config.num_groups),
+        process_(RideWeights(), config.burstiness, config.max_burst) {}
+
+  bool Next(Event* out) override {
+    Timestamp t;
+    if (!chunker_.Next(rng_, &t)) return false;
+    int g = static_cast<int>(
+        rng_.NextBelow(static_cast<uint64_t>(num_groups_)));
+    Event e(t, process_.Next(g, rng_));
+    e.set_attr(0, g);
+    e.set_attr(1, static_cast<double>(rng_.NextInt(1, 20)));  // driver
+    e.set_attr(2, static_cast<double>(rng_.NextInt(1, 20)));  // rider
+    e.set_attr(3, rng_.NextDouble(1.0, 60.0));                // speed mph
+    e.set_attr(4, rng_.NextDouble(60.0, 1800.0));             // duration s
+    e.set_attr(5, rng_.NextDouble(2.0, 80.0));                // price $
+    *out = e;
+    return true;
+  }
+
+ private:
+  Rng rng_;
+  generator_internal::TimestampChunker chunker_;
+  int num_groups_;
+  generator_internal::BurstProcess process_;
+};
+
 }  // namespace
 
 RidesharingGenerator::RidesharingGenerator() {
@@ -23,43 +69,9 @@ RidesharingGenerator::RidesharingGenerator() {
   for (const char* t : kRideTypes) schema_.AddType(t);
 }
 
-EventVector RidesharingGenerator::Generate(const GeneratorConfig& config) {
-  Rng rng(config.seed);
-  const int64_t total = static_cast<int64_t>(config.events_per_minute) *
-                        config.duration_minutes;
-  std::vector<Timestamp> times = generator_internal::SpreadTimestamps(
-      0, config.duration_minutes * kMillisPerMinute, static_cast<int>(total),
-      rng);
-
-  // Travel dominates (it is the shared Kleene sub-pattern T+ of the paper's
-  // Figure 1 queries); lifecycle types arrive at moderate weight; tail types
-  // are rare.
-  std::vector<generator_internal::TypeWeight> weights;
-  const double type_weights[kNumRideTypes] = {
-      6, 30, 5, 5, 3, 4, 3, 1, 2, 2, 0.5, 0.5, 0.5, 0.5, 0.5,
-      0.5, 0.5, 0.5, 0.5, 0.5};
-  for (TypeId t = 0; t < kNumRideTypes; ++t) {
-    weights.push_back({t, type_weights[t]});
-  }
-  generator_internal::BurstProcess process(std::move(weights),
-                                           config.burstiness,
-                                           config.max_burst);
-
-  EventVector out;
-  out.reserve(times.size());
-  for (Timestamp t : times) {
-    int g = static_cast<int>(rng.NextBelow(
-        static_cast<uint64_t>(config.num_groups)));
-    Event e(t, process.Next(g, rng));
-    e.set_attr(0, g);
-    e.set_attr(1, static_cast<double>(rng.NextInt(1, 20)));  // driver
-    e.set_attr(2, static_cast<double>(rng.NextInt(1, 20)));  // rider
-    e.set_attr(3, rng.NextDouble(1.0, 60.0));                // speed mph
-    e.set_attr(4, rng.NextDouble(60.0, 1800.0));             // duration s
-    e.set_attr(5, rng.NextDouble(2.0, 80.0));                // price $
-    out.push_back(e);
-  }
-  return out;
+std::unique_ptr<EventCursor> RidesharingGenerator::Stream(
+    const GeneratorConfig& config) {
+  return std::make_unique<RidesharingCursor>(config);
 }
 
 }  // namespace hamlet

@@ -2,6 +2,51 @@
 
 namespace hamlet {
 
+namespace {
+
+class SmartHomeCursor : public EventCursor {
+ public:
+  explicit SmartHomeCursor(const GeneratorConfig& config)
+      : rng_(config.seed),
+        chunker_(config),
+        num_groups_(config.num_groups),
+        // Plug measurement feeds are dominated by long Load runs.
+        process_({{/*Load*/ 0, 30},
+                  {/*Work*/ 1, 8},
+                  {/*Switch*/ 2, 3},
+                  {/*Spike*/ 3, 2},
+                  {/*Idle*/ 4, 5}},
+                 config.burstiness, config.max_burst),
+        // Per-house measurement random walk, like a real cumulative load
+        // signal.
+        walk_(static_cast<size_t>(config.num_groups), 100.0) {}
+
+  bool Next(Event* out) override {
+    Timestamp t;
+    if (!chunker_.Next(rng_, &t)) return false;
+    int g = static_cast<int>(
+        rng_.NextBelow(static_cast<uint64_t>(num_groups_)));
+    double& v = walk_[static_cast<size_t>(g)];
+    v += rng_.NextDouble(-2.0, 2.5);
+    if (v < 0) v = 0;
+    Event e(t, process_.Next(g, rng_));
+    e.set_attr(0, g);
+    e.set_attr(1, static_cast<double>(rng_.NextInt(1, 53)));  // plug id
+    e.set_attr(2, v);
+    *out = e;
+    return true;
+  }
+
+ private:
+  Rng rng_;
+  generator_internal::TimestampChunker chunker_;
+  int num_groups_;
+  generator_internal::BurstProcess process_;
+  std::vector<double> walk_;
+};
+
+}  // namespace
+
 SmartHomeGenerator::SmartHomeGenerator() {
   schema_.AddAttr("house");  // group-by key
   schema_.AddAttr("plug");
@@ -13,42 +58,9 @@ SmartHomeGenerator::SmartHomeGenerator() {
   schema_.AddType("Idle");
 }
 
-EventVector SmartHomeGenerator::Generate(const GeneratorConfig& config) {
-  Rng rng(config.seed);
-  const int64_t total = static_cast<int64_t>(config.events_per_minute) *
-                        config.duration_minutes;
-  std::vector<Timestamp> times = generator_internal::SpreadTimestamps(
-      0, config.duration_minutes * kMillisPerMinute, static_cast<int>(total),
-      rng);
-
-  // Plug measurement feeds are dominated by long Load runs.
-  std::vector<generator_internal::TypeWeight> weights = {{/*Load*/ 0, 30},
-                                                         {/*Work*/ 1, 8},
-                                                         {/*Switch*/ 2, 3},
-                                                         {/*Spike*/ 3, 2},
-                                                         {/*Idle*/ 4, 5}};
-  generator_internal::BurstProcess process(std::move(weights),
-                                           config.burstiness,
-                                           config.max_burst);
-
-  // Per-house measurement random walk, like a real cumulative load signal.
-  std::vector<double> walk(static_cast<size_t>(config.num_groups), 100.0);
-
-  EventVector out;
-  out.reserve(times.size());
-  for (Timestamp t : times) {
-    int g = static_cast<int>(
-        rng.NextBelow(static_cast<uint64_t>(config.num_groups)));
-    double& v = walk[static_cast<size_t>(g)];
-    v += rng.NextDouble(-2.0, 2.5);
-    if (v < 0) v = 0;
-    Event e(t, process.Next(g, rng));
-    e.set_attr(0, g);
-    e.set_attr(1, static_cast<double>(rng.NextInt(1, 53)));  // plug id
-    e.set_attr(2, v);
-    out.push_back(e);
-  }
-  return out;
+std::unique_ptr<EventCursor> SmartHomeGenerator::Stream(
+    const GeneratorConfig& config) {
+  return std::make_unique<SmartHomeCursor>(config);
 }
 
 }  // namespace hamlet

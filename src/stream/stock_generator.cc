@@ -2,6 +2,53 @@
 
 namespace hamlet {
 
+namespace {
+
+class StockCursor : public EventCursor {
+ public:
+  explicit StockCursor(const GeneratorConfig& config)
+      : rng_(config.seed),
+        chunker_(config),
+        num_groups_(config.num_groups),
+        // Momentum: tick direction persists, producing the ~120-event
+        // same-type bursts the paper reports for its stock streams (§6.2).
+        process_({{/*Up*/ 0, 10},
+                  {/*Down*/ 1, 10},
+                  {/*Flat*/ 2, 6},
+                  {/*Spike*/ 3, 1},
+                  {/*Volume*/ 4, 3}},
+                 config.burstiness, config.max_burst),
+        price_(static_cast<size_t>(config.num_groups), 50.0) {}
+
+  bool Next(Event* out) override {
+    Timestamp t;
+    if (!chunker_.Next(rng_, &t)) return false;
+    int g = static_cast<int>(
+        rng_.NextBelow(static_cast<uint64_t>(num_groups_)));
+    TypeId type = process_.Next(g, rng_);
+    double& p = price_[static_cast<size_t>(g)];
+    if (type == 0) p += rng_.NextDouble(0.01, 0.5);           // Up
+    else if (type == 1) p -= rng_.NextDouble(0.01, 0.5);      // Down
+    else if (type == 3) p += rng_.NextDouble(-3.0, 3.0);      // Spike
+    if (p < 1.0) p = 1.0;
+    Event e(t, type);
+    e.set_attr(0, g);
+    e.set_attr(1, p);
+    e.set_attr(2, static_cast<double>(rng_.NextInt(100, 10'000)));
+    *out = e;
+    return true;
+  }
+
+ private:
+  Rng rng_;
+  generator_internal::TimestampChunker chunker_;
+  int num_groups_;
+  generator_internal::BurstProcess process_;
+  std::vector<double> price_;
+};
+
+}  // namespace
+
 StockGenerator::StockGenerator() {
   schema_.AddAttr("company");  // group-by key
   schema_.AddAttr("price");
@@ -13,45 +60,9 @@ StockGenerator::StockGenerator() {
   schema_.AddType("Volume");
 }
 
-EventVector StockGenerator::Generate(const GeneratorConfig& config) {
-  Rng rng(config.seed);
-  const int64_t total = static_cast<int64_t>(config.events_per_minute) *
-                        config.duration_minutes;
-  std::vector<Timestamp> times = generator_internal::SpreadTimestamps(
-      0, config.duration_minutes * kMillisPerMinute, static_cast<int>(total),
-      rng);
-
-  // Momentum: tick direction persists, producing the ~120-event same-type
-  // bursts the paper reports for its stock streams (§6.2).
-  std::vector<generator_internal::TypeWeight> weights = {{/*Up*/ 0, 10},
-                                                         {/*Down*/ 1, 10},
-                                                         {/*Flat*/ 2, 6},
-                                                         {/*Spike*/ 3, 1},
-                                                         {/*Volume*/ 4, 3}};
-  generator_internal::BurstProcess process(std::move(weights),
-                                           config.burstiness,
-                                           config.max_burst);
-
-  std::vector<double> price(static_cast<size_t>(config.num_groups), 50.0);
-
-  EventVector out;
-  out.reserve(times.size());
-  for (Timestamp t : times) {
-    int g = static_cast<int>(
-        rng.NextBelow(static_cast<uint64_t>(config.num_groups)));
-    TypeId type = process.Next(g, rng);
-    double& p = price[static_cast<size_t>(g)];
-    if (type == 0) p += rng.NextDouble(0.01, 0.5);           // Up
-    else if (type == 1) p -= rng.NextDouble(0.01, 0.5);      // Down
-    else if (type == 3) p += rng.NextDouble(-3.0, 3.0);      // Spike
-    if (p < 1.0) p = 1.0;
-    Event e(t, type);
-    e.set_attr(0, g);
-    e.set_attr(1, p);
-    e.set_attr(2, static_cast<double>(rng.NextInt(100, 10'000)));
-    out.push_back(e);
-  }
-  return out;
+std::unique_ptr<EventCursor> StockGenerator::Stream(
+    const GeneratorConfig& config) {
+  return std::make_unique<StockCursor>(config);
 }
 
 }  // namespace hamlet

@@ -1,0 +1,371 @@
+// Session API tests.
+//
+// The core property is chunk equivalence: for every EngineKind, pushing a
+// stream through a Session in arbitrary batch sizes (including 1-event
+// chunks, interleaved and trailing AdvanceTo watermarks) yields emissions
+// and deterministic metrics identical to batch StreamExecutor::Run on the
+// same stream. Also covers the fail-fast Status contracts (config
+// validation at Open, out-of-order rejection, watermark regression, use
+// after Close) and the sink implementations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <span>
+#include <string>
+
+#include "src/benchlib/workloads.h"
+#include "src/common/rng.h"
+#include "src/query/parser.h"
+#include "src/runtime/executor.h"
+#include "src/stream/stream_builder.h"
+
+namespace hamlet {
+namespace {
+
+constexpr EngineKind kAllKinds[] = {
+    EngineKind::kHamletDynamic, EngineKind::kHamletStatic,
+    EngineKind::kHamletNoShare, EngineKind::kGretaGraph,
+    EngineKind::kGretaPrefix,   EngineKind::kTwoStep,
+    EngineKind::kSharon};
+
+struct ChunkedResult {
+  std::vector<Emission> emissions;
+  RunMetrics metrics;
+};
+
+// Pushes `ev` in random-sized chunks (1..7 events, singles via Push, larger
+// via PushBatch), issues occasional watermarks, a trailing AdvanceTo past
+// the last event, then Close.
+ChunkedResult RunChunked(const WorkloadPlan& plan, const RunConfig& config,
+                         const EventVector& ev, uint64_t chunk_seed) {
+  CollectingSink sink;
+  Result<std::unique_ptr<Session>> session =
+      Session::Open(plan, config, &sink);
+  HAMLET_CHECK(session.ok());
+  Rng rng(chunk_seed);
+  size_t i = 0;
+  while (i < ev.size()) {
+    size_t len = 1 + static_cast<size_t>(rng.NextBelow(7));
+    len = std::min(len, ev.size() - i);
+    Status s = len == 1 ? session.value()->Push(ev[i])
+                        : session.value()->PushBatch(
+                              std::span<const Event>(ev.data() + i, len));
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    i += len;
+    // Interleaved watermark just before the next event: genuinely advances
+    // panes the batch path would only reach while processing that event.
+    if (i < ev.size() && rng.NextBelow(4) == 0) {
+      EXPECT_TRUE(session.value()->AdvanceTo(ev[i].time - 1).ok());
+    }
+  }
+  // Trailing watermark at the last event time (a later one would open and
+  // close windows batch Run() never reaches).
+  if (!ev.empty()) {
+    EXPECT_TRUE(session.value()->AdvanceTo(ev.back().time).ok());
+  }
+  ChunkedResult out;
+  out.metrics = session.value()->Close();
+  out.emissions = sink.Take();
+  return out;
+}
+
+// Exact (bitwise) equality, except that two NaNs compare equal.
+void ExpectSameValue(double a, double b, const std::string& label) {
+  if (std::isnan(a) && std::isnan(b)) return;
+  EXPECT_EQ(a, b) << label;
+}
+
+void ExpectIdentical(const RunOutput& batch, const ChunkedResult& chunked,
+                     const std::string& label) {
+  ASSERT_EQ(batch.emissions.size(), chunked.emissions.size()) << label;
+  for (size_t i = 0; i < batch.emissions.size(); ++i) {
+    const Emission& a = batch.emissions[i];
+    const Emission& b = chunked.emissions[i];
+    const std::string at = label + " emission #" + std::to_string(i);
+    EXPECT_EQ(a.query, b.query) << at;
+    EXPECT_EQ(a.query_name, b.query_name) << at;
+    EXPECT_EQ(a.group_key, b.group_key) << at;
+    EXPECT_EQ(a.window_start, b.window_start) << at;
+    EXPECT_EQ(a.window_end, b.window_end) << at;
+    ExpectSameValue(a.value, b.value, at);
+  }
+  const RunMetrics& m = batch.metrics;
+  const RunMetrics& c = chunked.metrics;
+  EXPECT_EQ(m.events, c.events) << label;
+  EXPECT_EQ(m.emissions, c.emissions) << label;
+  EXPECT_EQ(m.dnf_windows, c.dnf_windows) << label;
+  EXPECT_EQ(m.decisions, c.decisions) << label;
+  EXPECT_EQ(m.peak_memory_bytes, c.peak_memory_bytes) << label;
+  EXPECT_EQ(m.hamlet.events, c.hamlet.events) << label;
+  EXPECT_EQ(m.hamlet.bursts_total, c.hamlet.bursts_total) << label;
+  EXPECT_EQ(m.hamlet.bursts_shared, c.hamlet.bursts_shared) << label;
+  EXPECT_EQ(m.hamlet.graphlets_opened, c.hamlet.graphlets_opened) << label;
+  EXPECT_EQ(m.hamlet.graphlets_shared, c.hamlet.graphlets_shared) << label;
+  EXPECT_EQ(m.hamlet.snapshots_created, c.hamlet.snapshots_created) << label;
+  EXPECT_EQ(m.hamlet.event_snapshots, c.hamlet.event_snapshots) << label;
+  EXPECT_EQ(m.hamlet.splits, c.hamlet.splits) << label;
+  EXPECT_EQ(m.hamlet.merges, c.hamlet.merges) << label;
+  EXPECT_EQ(m.hamlet.ops, c.hamlet.ops) << label;
+}
+
+TEST(SessionChunkEquivalence, Workload1AllEngines) {
+  BenchWorkload bw =
+      MakeWorkload1("ridesharing", 6, /*window_ms=*/5 * kMillisPerSecond);
+  GeneratorConfig gen;
+  gen.seed = 77;
+  gen.events_per_minute = 600;
+  gen.duration_minutes = 1;
+  gen.num_groups = 3;
+  gen.burstiness = 0.6;
+  gen.max_burst = 8;
+  EventVector ev = bw.generator->Generate(gen);
+
+  uint64_t chunk_seed = 1;
+  for (EngineKind kind : kAllKinds) {
+    RunConfig config;
+    config.kind = kind;
+    StreamExecutor executor(*bw.plan, config);
+    RunOutput batch = executor.Run(ev);
+    ASSERT_TRUE(batch.status.ok()) << batch.status.ToString();
+    ASSERT_GT(batch.emissions.size(), 0u) << EngineKindName(kind);
+    ChunkedResult chunked =
+        RunChunked(*bw.plan, config, ev, /*chunk_seed=*/chunk_seed++);
+    ExpectIdentical(batch, chunked, EngineKindName(kind));
+  }
+}
+
+TEST(SessionChunkEquivalence, Workload2AllEngines) {
+  BenchWorkload bw = MakeWorkload2(8);
+  GeneratorConfig gen;
+  gen.seed = 5;
+  gen.events_per_minute = 100;
+  gen.duration_minutes = 6;
+  gen.num_groups = 2;
+  gen.burstiness = 0.9;
+  gen.max_burst = 40;
+  EventVector ev = bw.generator->Generate(gen);
+
+  uint64_t chunk_seed = 100;
+  for (EngineKind kind : kAllKinds) {
+    RunConfig config;
+    config.kind = kind;
+    // Bursty 5-20 min windows make full trend construction hopeless; a
+    // small budget DNFs quickly and identically on both paths.
+    config.two_step_budget = 5'000;
+    StreamExecutor executor(*bw.plan, config);
+    RunOutput batch = executor.Run(ev);
+    ASSERT_TRUE(batch.status.ok()) << batch.status.ToString();
+    ChunkedResult chunked =
+        RunChunked(*bw.plan, config, ev, /*chunk_seed=*/chunk_seed++);
+    ExpectIdentical(batch, chunked, EngineKindName(kind));
+  }
+}
+
+// Sliding windows exercise the pane-replication path under chunked pushes.
+TEST(SessionChunkEquivalence, SlidingWindows) {
+  Schema schema;
+  schema.AddAttr("v");
+  schema.AddAttr("g");
+  Workload workload(&schema);
+  for (const char* text :
+       {"RETURN COUNT(*) PATTERN SEQ(A, B+) WITHIN 30 ms SLIDE 10 ms",
+        "RETURN SUM(B.v) PATTERN SEQ(C, B+) WITHIN 30 ms SLIDE 10 ms"}) {
+    ASSERT_TRUE(workload.Add(ParseQuery(text).value()).ok());
+  }
+  WorkloadPlan plan = AnalyzeWorkload(workload).value();
+  Rng rng(17);
+  EventVector ev;
+  Timestamp t = 1;
+  const char* alphabet[] = {"A", "B", "C"};
+  for (int i = 0; i < 120; ++i) {
+    Event e(t, schema.AddType(alphabet[rng.NextBelow(3)]));
+    e.set_attr(0, static_cast<double>(rng.NextInt(0, 9)));
+    e.set_attr(1, 0.0);
+    ev.push_back(e);
+    t += 1 + static_cast<Timestamp>(rng.NextBelow(3));
+  }
+  for (EngineKind kind : kAllKinds) {
+    RunConfig config;
+    config.kind = kind;
+    StreamExecutor executor(plan, config);
+    RunOutput batch = executor.Run(ev);
+    ChunkedResult chunked = RunChunked(plan, config, ev, /*chunk_seed=*/9);
+    ExpectIdentical(batch, chunked,
+                    std::string("sliding/") + EngineKindName(kind));
+  }
+}
+
+class SessionContractTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_.AddAttr("v");
+    schema_.AddAttr("g");
+    ASSERT_TRUE(
+        workload_
+            .Add(ParseQuery(
+                     "RETURN COUNT(*) PATTERN SEQ(A, B+) WITHIN 100 ms")
+                     .value())
+            .ok());
+    plan_ = std::make_unique<WorkloadPlan>(
+        AnalyzeWorkload(workload_).value());
+  }
+
+  Event Make(Timestamp t, const char* type) {
+    Event e(t, schema_.AddType(type));
+    e.set_attr(0, 1.0);
+    e.set_attr(1, 0.0);
+    return e;
+  }
+
+  Schema schema_;
+  Workload workload_{&schema_};
+  std::unique_ptr<WorkloadPlan> plan_;
+};
+
+TEST_F(SessionContractTest, OpenValidatesConfig) {
+  RunConfig bad_sharon;
+  bad_sharon.sharon_max_length = 0;
+  Result<std::unique_ptr<Session>> r1 =
+      Session::Open(*plan_, bad_sharon, nullptr);
+  ASSERT_FALSE(r1.ok());
+  EXPECT_EQ(r1.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r1.status().message().find("sharon_max_length"),
+            std::string::npos);
+
+  RunConfig bad_budget;
+  bad_budget.two_step_budget = 0;
+  Result<std::unique_ptr<Session>> r2 =
+      Session::Open(*plan_, bad_budget, nullptr);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r2.status().message().find("two_step_budget"),
+            std::string::npos);
+
+  // Run() surfaces the same validation failure through RunOutput::status.
+  StreamExecutor executor(*plan_, bad_sharon);
+  RunOutput out = executor.Run({});
+  EXPECT_EQ(out.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SessionContractTest, PushRejectsOutOfOrderNamingTimestamp) {
+  CollectingSink sink;
+  Result<std::unique_ptr<Session>> session =
+      Session::Open(*plan_, RunConfig(), &sink);
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.value()->Push(Make(50, "A")).ok());
+  Status s = session.value()->Push(Make(20, "B"));
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("t=20"), std::string::npos);
+  // The engines require strictly increasing times, so duplicates are
+  // rejected too — and the session remains usable after a rejected push.
+  EXPECT_EQ(session.value()->Push(Make(50, "B")).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(session.value()->Push(Make(60, "B")).ok());
+  RunMetrics m = session.value()->Close();
+  EXPECT_EQ(m.events, 2);
+}
+
+TEST_F(SessionContractTest, RunReportsOutOfOrderStream) {
+  EventVector ev = {Make(50, "A"), Make(20, "B")};
+  StreamExecutor executor(*plan_, RunConfig());
+  RunOutput out = executor.Run(ev);
+  EXPECT_EQ(out.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(out.status.message().find("t=20"), std::string::npos);
+  EXPECT_EQ(out.metrics.events, 1);  // the valid prefix was processed
+}
+
+TEST_F(SessionContractTest, WatermarkContracts) {
+  Result<std::unique_ptr<Session>> session =
+      Session::Open(*plan_, RunConfig(), nullptr);
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.value()->AdvanceTo(500).ok());
+  // Watermarks must not regress, and events may not arrive behind one.
+  EXPECT_EQ(session.value()->AdvanceTo(400).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(session.value()->Push(Make(499, "A")).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(session.value()->Push(Make(500, "A")).ok());
+}
+
+TEST_F(SessionContractTest, AdvanceToClosesWindowsWithoutEvents) {
+  std::vector<Emission> seen;
+  CallbackSink sink([&](const Emission& e) { seen.push_back(e); });
+  Result<std::unique_ptr<Session>> session =
+      Session::Open(*plan_, RunConfig(), &sink);
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.value()->Push(Make(10, "A")).ok());
+  ASSERT_TRUE(session.value()->Push(Make(20, "B")).ok());
+  EXPECT_TRUE(seen.empty());  // window [0, 100) still open
+  ASSERT_TRUE(session.value()->AdvanceTo(100).ok());
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].window_start, 0);
+  EXPECT_EQ(seen[0].window_end, 100);
+  EXPECT_EQ(seen[0].query_name, workload_.query(seen[0].query).name);
+  EXPECT_DOUBLE_EQ(seen[0].value, 1.0);
+  session.value()->Close();
+}
+
+TEST_F(SessionContractTest, CloseIsIdempotentAndFinal) {
+  Result<std::unique_ptr<Session>> session =
+      Session::Open(*plan_, RunConfig(), nullptr);
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.value()->Push(Make(10, "A")).ok());
+  RunMetrics first = session.value()->Close();
+  EXPECT_EQ(session.value()->Push(Make(20, "B")).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(session.value()->AdvanceTo(200).code(),
+            StatusCode::kInvalidArgument);
+  RunMetrics second = session.value()->Close();
+  EXPECT_EQ(first.events, second.events);
+  EXPECT_EQ(first.emissions, second.emissions);
+  EXPECT_EQ(first.elapsed_seconds, second.elapsed_seconds);
+}
+
+TEST_F(SessionContractTest, CsvSinkStreamsRows) {
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  {
+    CsvSink sink(tmp);
+    Result<std::unique_ptr<Session>> session =
+        Session::Open(*plan_, RunConfig(), &sink);
+    ASSERT_TRUE(session.ok());
+    ASSERT_TRUE(session.value()->Push(Make(10, "A")).ok());
+    ASSERT_TRUE(session.value()->Push(Make(20, "B")).ok());
+    RunMetrics m = session.value()->Close();
+    EXPECT_EQ(sink.rows_written(), m.emissions);
+    EXPECT_GT(sink.rows_written(), 0);
+  }
+  std::rewind(tmp);
+  char line[256];
+  ASSERT_NE(std::fgets(line, sizeof(line), tmp), nullptr);
+  EXPECT_EQ(std::string(line),
+            "query,name,group,window_start,window_end,value\n");
+  int data_rows = 0;
+  while (std::fgets(line, sizeof(line), tmp) != nullptr) ++data_rows;
+  EXPECT_GT(data_rows, 0);
+  std::fclose(tmp);
+}
+
+// CollectingSink::Take matches the documented batch order even when windows
+// close out of (query, group) order.
+TEST_F(SessionContractTest, CollectingSinkSortsLikeBatchRun) {
+  StreamBuilder sb(&schema_);
+  sb.Add("A");
+  for (int i = 0; i < 3; ++i) sb.Add("B");
+  sb.Gap(200);
+  sb.Add("A").Add("B");
+  EventVector ev = sb.Take();
+  StreamExecutor executor(*plan_, RunConfig());
+  RunOutput out = executor.Run(ev);
+  ASSERT_TRUE(out.status.ok());
+  ASSERT_GE(out.emissions.size(), 2u);
+  for (size_t i = 1; i < out.emissions.size(); ++i) {
+    EXPECT_LE(out.emissions[i - 1].window_start,
+              out.emissions[i].window_start);
+  }
+}
+
+}  // namespace
+}  // namespace hamlet
