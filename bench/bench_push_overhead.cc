@@ -1,8 +1,19 @@
-// Guards the Session wrapper overhead: batch Run() versus per-event Push()
-// versus PushBatch() over one identical pre-materialized stream, per engine.
-// The push path must stay within a few percent of batch throughput — the
-// batch wrapper is itself a PushBatch, so any gap is pure per-call overhead
-// (Status checks, busy-time sampling).
+// Guards the Session wrapper overhead and measures shard scaling.
+//
+// Part 1 — overhead: batch Run() versus per-event Push() versus PushBatch()
+// over one identical pre-materialized stream, per engine. The push path
+// must stay within a few percent of batch throughput — the batch wrapper is
+// itself a PushBatch, so any gap is pure per-call overhead (Status checks,
+// busy-time sampling).
+//
+// Part 2 — scaling: the same stream through ShardedSession at 1/2/4/8
+// shards (capped by --threads=N) on a multi-group workload. Reported as
+// end-to-end wall-clock events/s (first push to Close-join inclusive),
+// since summed per-shard busy-time throughput would hide queueing effects.
+// Expect near-linear speedup up to the machine's core count; beyond it the
+// extra shards only add hand-off overhead.
+#include <chrono>
+
 #include "src/benchlib/harness.h"
 #include "src/runtime/executor.h"
 
@@ -37,21 +48,34 @@ double PushEps(const WorkloadPlan& plan, const RunConfig& config,
                        .ok());
     }
   }
-  return session.value()->Close().throughput_eps;
+  return session.value()->Close().value().throughput_eps;
 }
 
-void Run() {
-  BenchWorkload bw = MakeWorkload1("ridesharing", 8,
-                                   /*window_ms=*/2 * kMillisPerSecond);
-  GeneratorConfig gen;
-  gen.seed = 11;
-  gen.events_per_minute = Scale(20'000, 200'000);
-  gen.duration_minutes = Scale(1, 3);
-  gen.num_groups = 4;
-  gen.burstiness = 0.9;
-  gen.max_burst = 120;
-  EventVector events = bw.generator->Generate(gen);
+/// Wall-clock events/s through a ShardedSession: pre-materialized stream,
+/// PushBatch(512) chunks, timed from first push through Close (join
+/// included), so queue hand-off and imbalance count against the number.
+double ShardedWallEps(const WorkloadPlan& plan, const RunConfig& config,
+                      const EventVector& events) {
+  Result<std::unique_ptr<ShardedSession>> session =
+      ShardedSession::Open(plan, config, /*sink=*/nullptr);
+  HAMLET_CHECK(session.ok());
+  constexpr size_t kChunk = 512;
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < events.size(); i += kChunk) {
+    const size_t len = std::min(kChunk, events.size() - i);
+    HAMLET_CHECK(session.value()
+                     ->PushBatch(std::span<const Event>(
+                         events.data() + i, len))
+                     .ok());
+  }
+  HAMLET_CHECK(session.value()->Close().ok());
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return wall <= 0 ? 0 : static_cast<double>(events.size()) / wall;
+}
 
+void RunOverhead(const BenchWorkload& bw, const EventVector& events) {
   Table table({"engine", "batch Run()", "Push(e)", "PushBatch(512)",
                "push/batch"});
   for (EngineKind kind :
@@ -73,10 +97,64 @@ void Run() {
                      table);
 }
 
+void RunScaling(const BenchWorkload& bw, const EventVector& events,
+                int max_shards) {
+  Table table({"shards", "wall eps", "speedup vs 1"});
+  double base = 0;
+  for (int shards = 1; shards <= max_shards; shards *= 2) {
+    RunConfig config;
+    config.kind = EngineKind::kHamletDynamic;
+    config.num_shards = shards;
+    const double eps = ShardedWallEps(*bw.plan, config, events);
+    if (shards == 1) base = eps;
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                  base <= 0 ? 0.0 : eps / base);
+    table.AddRow({std::to_string(shards), bench::Eps(eps), speedup});
+  }
+  bench::PrintFigure(
+      "Shard scaling",
+      "ShardedSession wall-clock throughput, hamlet dynamic, multi-group",
+      table);
+}
+
+void Run(int max_shards) {
+  {
+    BenchWorkload bw = MakeWorkload1("ridesharing", 8,
+                                     /*window_ms=*/2 * kMillisPerSecond);
+    GeneratorConfig gen;
+    gen.seed = 11;
+    gen.events_per_minute = Scale(20'000, 200'000);
+    gen.duration_minutes = Scale(1, 3);
+    gen.num_groups = 4;
+    gen.burstiness = 0.9;
+    gen.max_burst = 120;
+    EventVector events = bw.generator->Generate(gen);
+    RunOverhead(bw, events);
+  }
+  {
+    // Scaling wants many independent groups so the hash spreads work evenly
+    // across shards; 64 districts keeps the worst shard within a few
+    // percent of the mean at 8 shards.
+    BenchWorkload bw = MakeWorkload1("ridesharing", 8,
+                                     /*window_ms=*/2 * kMillisPerSecond);
+    GeneratorConfig gen;
+    gen.seed = 12;
+    gen.events_per_minute = Scale(40'000, 400'000);
+    gen.duration_minutes = Scale(1, 3);
+    gen.num_groups = 64;
+    gen.burstiness = 0.9;
+    gen.max_burst = 120;
+    EventVector events = bw.generator->Generate(gen);
+    RunScaling(bw, events, max_shards);
+  }
+}
+
 }  // namespace
 }  // namespace hamlet
 
-int main() {
-  hamlet::Run();
+int main(int argc, char** argv) {
+  // --threads=N caps the scaling curve (default 8: 1/2/4/8).
+  hamlet::Run(hamlet::bench::ThreadsFlag(argc, argv, /*fallback=*/8));
   return 0;
 }

@@ -1,19 +1,27 @@
-// Live dashboard: push-based ingestion with incremental result delivery.
+// Live dashboard: push-based ingestion with incremental result delivery,
+// running sharded across worker threads.
 //
-// Streams a bursty ridesharing feed through a hamlet::Session one event at
-// a time — the shape of a production ingest loop — and prints every query
-// result the moment its window closes (no end-of-run buffering), plus a
-// periodic status line with the dynamic optimizer's per-burst sharing
-// decisions. Contrast with examples/quickstart.cpp, which uses the batch
-// Run() wrapper.
+// Streams a bursty ridesharing feed through a hamlet::ShardedSession one
+// event at a time — the shape of a production ingest loop — and prints
+// every query result the moment its window closes (no end-of-run
+// buffering), plus a periodic status line with the dynamic optimizer's
+// per-burst sharing decisions. The CallbackSink below is the same
+// single-threaded sink a plain Session would use: ShardedSession
+// serializes delivery, so it needs no locking of its own. Contrast with
+// examples/quickstart.cpp, which uses the batch Run() wrapper.
+//
+// Pass --threads=N to change the shard count (default 2).
 #include <cstdio>
 
+#include "src/benchlib/harness.h"
 #include "src/query/parser.h"
-#include "src/runtime/session.h"
+#include "src/runtime/sharded_session.h"
 #include "src/stream/generators.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hamlet;
+
+  const int num_shards = bench::ThreadsFlag(argc, argv, /*fallback=*/2);
 
   RidesharingGenerator generator;
   Schema* schema = const_cast<Schema*>(&generator.schema());
@@ -47,9 +55,11 @@ int main() {
 
   RunConfig config;
   config.kind = EngineKind::kHamletDynamic;
-  Result<std::unique_ptr<Session>> session =
-      Session::Open(*plan, config, &sink);
+  config.num_shards = num_shards;  // validated at Open like every knob
+  Result<std::unique_ptr<ShardedSession>> session =
+      ShardedSession::Open(*plan, config, &sink);
   HAMLET_CHECK(session.ok());
+  std::printf("running on %d shard(s)\n", session.value()->num_shards());
 
   GeneratorConfig gen;
   gen.seed = 2026;
@@ -81,7 +91,7 @@ int main() {
   // waiting for another event.
   HAMLET_CHECK(session.value()->AdvanceTo(gen.duration_minutes *
                                           kMillisPerMinute).ok());
-  RunMetrics m = session.value()->Close();
+  RunMetrics m = session.value()->Close().value();
   std::printf(
       "\ndone: %lld events, %lld emissions, %lld/%lld bursts shared, "
       "engine throughput %.0f events/s\n",

@@ -71,7 +71,7 @@ int main() {
     std::fprintf(stderr, "push error: %s\n", pushed.ToString().c_str());
     return 1;
   }
-  RunMetrics metrics = session.value()->Close();
+  RunMetrics metrics = session.value()->Close().value();
 
   // Emissions are self-describing (query name + window bounds).
   std::printf("results:\n");

@@ -55,7 +55,7 @@ int main() {
   std::unique_ptr<EventCursor> cursor = generator.Stream(gen);
   Event e;
   while (cursor->Next(&e)) HAMLET_CHECK(session.value()->Push(e).ok());
-  RunMetrics metrics = session.value()->Close();
+  RunMetrics metrics = session.value()->Close().value();
 
   std::printf("sample results (first window per house):\n");
   int printed = 0;

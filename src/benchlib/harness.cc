@@ -13,27 +13,60 @@ bool FullScale() {
 
 int Scale(int fast, int full) { return FullScale() ? full : fast; }
 
-RunMetrics RunOnce(const BenchWorkload& bw, const GeneratorConfig& gen_config,
-                   RunConfig run_config) {
-  std::unique_ptr<EventCursor> cursor = bw.generator->Stream(gen_config);
-  Result<std::unique_ptr<Session>> session =
-      Session::Open(*bw.plan, run_config, /*sink=*/nullptr);
-  HAMLET_CHECK(session.ok());
-  // Small fixed-size batches amortize the per-call timing overhead while
-  // keeping ingest memory constant.
+int ThreadsFlag(int argc, char** argv, int fallback) {
+  int threads = fallback;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      threads = std::atoi(arg.c_str() + std::string("--threads=").size());
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    }
+  }
+  if (threads < 1) {
+    std::fprintf(stderr, "--threads must be >= 1; using 1\n");
+    threads = 1;
+  }
+  return threads;
+}
+
+namespace {
+
+/// Session and ShardedSession share the push surface but no base class;
+/// the drain loop is identical for both. Small fixed-size batches amortize
+/// the per-call timing overhead while keeping ingest memory constant.
+template <typename SessionT>
+RunMetrics DrainCursor(EventCursor& cursor, SessionT& session) {
   constexpr size_t kBatch = 512;
   EventVector batch;
   batch.reserve(kBatch);
   Event e;
-  while (cursor->Next(&e)) {
+  while (cursor.Next(&e)) {
     batch.push_back(e);
     if (batch.size() == kBatch) {
-      HAMLET_CHECK(session.value()->PushBatch(batch).ok());
+      HAMLET_CHECK(session.PushBatch(batch).ok());
       batch.clear();
     }
   }
-  HAMLET_CHECK(session.value()->PushBatch(batch).ok());
-  return session.value()->Close();
+  HAMLET_CHECK(session.PushBatch(batch).ok());
+  return session.Close().value();
+}
+
+}  // namespace
+
+RunMetrics RunOnce(const BenchWorkload& bw, const GeneratorConfig& gen_config,
+                   RunConfig run_config) {
+  std::unique_ptr<EventCursor> cursor = bw.generator->Stream(gen_config);
+  if (run_config.num_shards > 1) {
+    Result<std::unique_ptr<ShardedSession>> session =
+        ShardedSession::Open(*bw.plan, run_config, /*sink=*/nullptr);
+    HAMLET_CHECK(session.ok());
+    return DrainCursor(*cursor, *session.value());
+  }
+  Result<std::unique_ptr<Session>> session =
+      Session::Open(*bw.plan, run_config, /*sink=*/nullptr);
+  HAMLET_CHECK(session.ok());
+  return DrainCursor(*cursor, *session.value());
 }
 
 void PrintFigure(const std::string& figure, const std::string& caption,

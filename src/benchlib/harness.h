@@ -15,6 +15,7 @@
 #include "src/benchlib/workloads.h"
 #include "src/common/table.h"
 #include "src/runtime/session.h"
+#include "src/runtime/sharded_session.h"
 
 namespace hamlet {
 namespace bench {
@@ -25,10 +26,16 @@ bool FullScale();
 /// Picks the fast or full value of a parameter.
 int Scale(int fast, int full);
 
-/// Streams the generator through a push Session (no sink, no O(stream)
+/// Parses `--threads=N` (or `--threads N`) from argv; returns `fallback`
+/// when absent. Benches pass the result into RunConfig::num_shards, so any
+/// figure can be re-run sharded without editing code.
+int ThreadsFlag(int argc, char** argv, int fallback = 1);
+
+/// Streams the generator through a push session (no sink, no O(stream)
 /// input buffer — paper-scale rates fit in O(rate) memory) and returns the
 /// run's metrics. peak_memory_bytes therefore charges engine state only,
-/// never an input buffer.
+/// never an input buffer. Runs a ShardedSession when
+/// run_config.num_shards > 1, a plain Session otherwise.
 RunMetrics RunOnce(const BenchWorkload& bw, const GeneratorConfig& gen_config,
                    RunConfig run_config);
 

@@ -1,0 +1,78 @@
+// Bounded single-producer / single-consumer ring queue.
+//
+// The ShardedSession ingress path (src/runtime/sharded_session.h) moves one
+// message per event from the caller thread to a shard worker; this queue
+// keeps that hand-off wait-free in the common case: one release store per
+// TryPush, one release store per TryPop, no locks, no allocation after
+// construction. Exactly one thread may call TryPush and exactly one thread
+// may call TryPop; the queue itself never blocks — callers decide how to
+// wait when it is full (backpressure) or empty (parking).
+//
+// Layout follows the classic Lamport ring: head_ (next slot to pop) and
+// tail_ (next slot to push) monotonically increase and are reduced modulo a
+// power-of-two capacity. Each index lives on its own cache line so the
+// producer and consumer do not false-share.
+#ifndef HAMLET_COMMON_SPSC_QUEUE_H_
+#define HAMLET_COMMON_SPSC_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace hamlet {
+
+template <typename T>
+class SpscQueue {
+ public:
+  /// Capacity is rounded up to the next power of two (minimum 2).
+  explicit SpscQueue(size_t min_capacity) {
+    size_t cap = 2;
+    while (cap < min_capacity) cap *= 2;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Producer side. Returns false when full, in which case `v` is left
+  /// intact so the caller can retry.
+  bool TryPush(T&& v) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) > mask_) return false;
+    slots_[tail & mask_] = std::move(v);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when empty.
+  bool TryPop(T* out) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return false;
+    *out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer-side view; the producer may have pushed more already.
+  bool Empty() const {
+    return head_.load(std::memory_order_relaxed) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  size_t capacity() const { return mask_ + 1; }
+
+ private:
+  std::vector<T> slots_;
+  size_t mask_ = 0;
+  alignas(64) std::atomic<uint64_t> head_{0};
+  alignas(64) std::atomic<uint64_t> tail_{0};
+};
+
+}  // namespace hamlet
+
+#endif  // HAMLET_COMMON_SPSC_QUEUE_H_

@@ -20,6 +20,9 @@ enum class StatusCode {
   kNotFound,
   kUnsupported,
   kResourceExhausted,
+  /// The operation is valid in general but not in the object's current
+  /// state (e.g. Push on a closed Session).
+  kFailedPrecondition,
   kInternal,
 };
 
@@ -46,6 +49,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
@@ -114,6 +120,8 @@ inline const char* StatusCodeName(StatusCode code) {
       return "unsupported";
     case StatusCode::kResourceExhausted:
       return "resource_exhausted";
+    case StatusCode::kFailedPrecondition:
+      return "failed_precondition";
     case StatusCode::kInternal:
       return "internal";
   }

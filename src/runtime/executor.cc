@@ -12,7 +12,8 @@ RunOutput StreamExecutor::Run(const EventVector& events) {
     return out;
   }
   out.status = session.value()->PushBatch(events);
-  out.metrics = session.value()->Close();
+  // The first Close on an open session always succeeds.
+  out.metrics = session.value()->Close().value();
   out.emissions = sink.Take();
   return out;
 }

@@ -64,7 +64,74 @@ Status ValidateRunConfig(const RunConfig& config) {
         "two_step_budget must be > 0, got " +
         std::to_string(config.two_step_budget));
   }
+  if (config.num_shards < 1 || config.num_shards > kMaxShards) {
+    return Status::InvalidArgument(
+        "num_shards must be in [1, " + std::to_string(kMaxShards) +
+        "], got " + std::to_string(config.num_shards));
+  }
+  if (config.shard_queue_capacity < 2) {
+    return Status::InvalidArgument(
+        "shard_queue_capacity must be >= 2, got " +
+        std::to_string(config.shard_queue_capacity));
+  }
   return Status::Ok();
+}
+
+Status OrderingGate::CheckEvent(Timestamp event_time) const {
+  // The engines require strictly increasing event times; watermarks only
+  // promise no event before them.
+  if (has_event_ && event_time <= last_event_time_) {
+    return Status::InvalidArgument(
+        "out-of-order event at t=" + std::to_string(event_time) +
+        " (last event at t=" + std::to_string(last_event_time_) + ")");
+  }
+  if (has_watermark_ && event_time < watermark_) {
+    return Status::InvalidArgument(
+        "out-of-order event at t=" + std::to_string(event_time) +
+        " (watermark at t=" + std::to_string(watermark_) + ")");
+  }
+  return Status::Ok();
+}
+
+Status OrderingGate::CheckWatermark(Timestamp watermark) const {
+  if ((has_event_ && watermark < last_event_time_) ||
+      (has_watermark_ && watermark < watermark_)) {
+    return Status::InvalidArgument(
+        "watermark t=" + std::to_string(watermark) + " regresses behind t=" +
+        std::to_string(has_watermark_
+                           ? std::max(watermark_, last_event_time_)
+                           : last_event_time_));
+  }
+  return Status::Ok();
+}
+
+void MergeRunMetrics(RunMetrics& into, const RunMetrics& from) {
+  const int64_t emissions = into.emissions + from.emissions;
+  if (emissions > 0) {
+    into.avg_latency_seconds =
+        (into.avg_latency_seconds * static_cast<double>(into.emissions) +
+         from.avg_latency_seconds * static_cast<double>(from.emissions)) /
+        static_cast<double>(emissions);
+  }
+  into.events += from.events;
+  into.emissions = emissions;
+  into.elapsed_seconds = std::max(into.elapsed_seconds, from.elapsed_seconds);
+  into.max_latency_seconds =
+      std::max(into.max_latency_seconds, from.max_latency_seconds);
+  into.throughput_eps += from.throughput_eps;
+  into.peak_memory_bytes += from.peak_memory_bytes;
+  into.dnf_windows += from.dnf_windows;
+  into.hamlet.events += from.hamlet.events;
+  into.hamlet.bursts_total += from.hamlet.bursts_total;
+  into.hamlet.bursts_shared += from.hamlet.bursts_shared;
+  into.hamlet.graphlets_opened += from.hamlet.graphlets_opened;
+  into.hamlet.graphlets_shared += from.hamlet.graphlets_shared;
+  into.hamlet.snapshots_created += from.hamlet.snapshots_created;
+  into.hamlet.event_snapshots += from.hamlet.event_snapshots;
+  into.hamlet.splits += from.hamlet.splits;
+  into.hamlet.merges += from.hamlet.merges;
+  into.hamlet.ops += from.hamlet.ops;
+  into.decisions += from.decisions;
 }
 
 std::vector<Emission> CollectingSink::Take() {
@@ -418,31 +485,14 @@ void Session::ProcessEvent(const Event& e, double arrival) {
   }
 }
 
-Status Session::CheckOrdered(Timestamp event_time) const {
-  if (closed_) {
-    return Status::InvalidArgument("push on a closed session");
-  }
-  // The engines require strictly increasing event times; watermarks only
-  // promise no event before them.
-  if (has_event_ && event_time <= last_event_time_) {
-    return Status::InvalidArgument(
-        "out-of-order event at t=" + std::to_string(event_time) +
-        " (last event at t=" + std::to_string(last_event_time_) + ")");
-  }
-  if (has_watermark_ && event_time < watermark_) {
-    return Status::InvalidArgument(
-        "out-of-order event at t=" + std::to_string(event_time) +
-        " (watermark at t=" + std::to_string(watermark_) + ")");
-  }
-  return Status::Ok();
-}
-
 Status Session::Push(const Event& event) {
   BusyScope busy(&busy_seconds_);
-  Status ordered = CheckOrdered(event.time);
+  if (closed_) {
+    return Status::FailedPrecondition("Push on a closed session");
+  }
+  Status ordered = gate_.CheckEvent(event.time);
   if (!ordered.ok()) return ordered;
-  last_event_time_ = event.time;
-  has_event_ = true;
+  gate_.CommitEvent(event.time);
   // The call-entry wall doubles as the event's arrival time, keeping the
   // per-event Push hot path at two clock reads total.
   ProcessEvent(event, busy.start());
@@ -451,11 +501,13 @@ Status Session::Push(const Event& event) {
 
 Status Session::PushBatch(std::span<const Event> events) {
   BusyScope busy(&busy_seconds_);
+  if (closed_) {
+    return Status::FailedPrecondition("PushBatch on a closed session");
+  }
   for (const Event& e : events) {
-    Status ordered = CheckOrdered(e.time);
+    Status ordered = gate_.CheckEvent(e.time);
     if (!ordered.ok()) return ordered;
-    last_event_time_ = e.time;
-    has_event_ = true;
+    gate_.CommitEvent(e.time);
     ProcessEvent(e, /*arrival=*/-1.0);
   }
   return Status::Ok();
@@ -464,18 +516,11 @@ Status Session::PushBatch(std::span<const Event> events) {
 Status Session::AdvanceTo(Timestamp watermark) {
   BusyScope busy(&busy_seconds_);
   if (closed_) {
-    return Status::InvalidArgument("AdvanceTo on a closed session");
+    return Status::FailedPrecondition("AdvanceTo on a closed session");
   }
-  if ((has_event_ && watermark < last_event_time_) ||
-      (has_watermark_ && watermark < watermark_)) {
-    return Status::InvalidArgument(
-        "watermark t=" + std::to_string(watermark) + " regresses behind t=" +
-        std::to_string(has_watermark_
-                           ? std::max(watermark_, last_event_time_)
-                           : last_event_time_));
-  }
-  watermark_ = watermark;
-  has_watermark_ = true;
+  Status ordered = gate_.CheckWatermark(watermark);
+  if (!ordered.ok()) return ordered;
+  gate_.CommitWatermark(watermark);
   const Timestamp pane = plan_->pane_size;
   const Timestamp target = (watermark / pane) * pane;
   if (!pane_started_ || target > pane_start_) AdvancePaneTo(target);
@@ -523,8 +568,12 @@ RunMetrics Session::MetricsSnapshot() const {
   return m;
 }
 
-RunMetrics Session::Close() {
-  if (closed_) return final_metrics_;
+Result<RunMetrics> Session::Close() {
+  if (closed_) {
+    return Status::FailedPrecondition(
+        "Close on a closed session (first Close already returned the final "
+        "metrics; use MetricsSnapshot to re-read them)");
+  }
   {
     BusyScope busy(&busy_seconds_);
     // Flush: advance to the last window end (window ends are pane-aligned).

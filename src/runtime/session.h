@@ -9,7 +9,10 @@
 //   Result<std::unique_ptr<Session>> s = Session::Open(plan, config, &sink);
 //   s.value()->Push(event);              // or PushBatch(span)
 //   s.value()->AdvanceTo(watermark);     // force window closure, no event
-//   RunMetrics m = s.value()->Close();   // final flush + metrics
+//   RunMetrics m = s.value()->Close().value();  // final flush + metrics
+//
+// After Close, every entry point (including a second Close) returns
+// kFailedPrecondition instead of relying on caller discipline.
 //
 // The session owns all stream-time machinery (paper §3.1 pre-processing +
 // §6.1 metrics): partitioning exec queries into components connected by
@@ -63,7 +66,18 @@ struct RunConfig {
   /// Batch Run() only: keep per-window emissions (tests); disable for large
   /// benches. Sessions ignore this — the sink choice governs delivery.
   bool collect_emissions = true;
+  /// Worker shards for ShardedSession (src/runtime/sharded_session.h):
+  /// events are hash-partitioned by group-by key across this many threads.
+  /// Must be in [1, kMaxShards]. Plain Session ignores it (always 1).
+  int num_shards = 1;
+  /// Per-shard ingress queue capacity (events + control messages) before
+  /// Push applies backpressure. Must be >= 2. Rounded up to a power of two.
+  int shard_queue_capacity = 8192;
 };
+
+/// Upper bound on RunConfig::num_shards — far above any sane core count,
+/// low enough to catch garbage (e.g. an uninitialized int) at Open.
+inline constexpr int kMaxShards = 1024;
 
 /// Checks the config invariants documented above; Session::Open (and thus
 /// Run) fails fast with kInvalidArgument instead of tripping deep inside an
@@ -80,6 +94,31 @@ struct Emission {
   Timestamp window_end = 0;
   double value = 0.0;
   std::string query_name;
+};
+
+/// Tracks the ingestion-side ordering contract shared by Session and
+/// ShardedSession: event times strictly increase, watermarks never regress,
+/// and no event arrives behind a watermark. Check* report kInvalidArgument
+/// naming the offending timestamp; Commit* record an accepted call.
+class OrderingGate {
+ public:
+  Status CheckEvent(Timestamp event_time) const;
+  void CommitEvent(Timestamp event_time) {
+    last_event_time_ = event_time;
+    has_event_ = true;
+  }
+
+  Status CheckWatermark(Timestamp watermark) const;
+  void CommitWatermark(Timestamp watermark) {
+    watermark_ = watermark;
+    has_watermark_ = true;
+  }
+
+ private:
+  Timestamp last_event_time_ = 0;
+  bool has_event_ = false;
+  Timestamp watermark_ = 0;
+  bool has_watermark_ = false;
 };
 
 struct RunMetrics {
@@ -100,6 +139,15 @@ struct RunMetrics {
   /// Sharing decisions taken (dynamic policy only).
   int64_t decisions = 0;
 };
+
+/// Folds `from` into `into` the way ShardedSession combines per-shard
+/// metrics: counters (events, emissions, DNFs, decisions, HAMLET stats) and
+/// peak memory are summed — shards hold their state simultaneously, so the
+/// aggregate footprint is the sum of per-shard peaks; throughput is summed
+/// (shards process concurrently); elapsed is the max over shards;
+/// avg latency is re-weighted by emission count and max latency is the max.
+/// All non-wall-clock fields stay deterministic for a fixed shard count.
+void MergeRunMetrics(RunMetrics& into, const RunMetrics& from);
 
 /// Receives query results as their windows close. Implementations must not
 /// retain the reference past the call.
@@ -173,7 +221,7 @@ class Session {
   /// Ingests one event. Events must be strictly increasing in time (the
   /// engines' contract) and at or after the last AdvanceTo watermark;
   /// violations return kInvalidArgument naming the offending timestamp and
-  /// leave the session state untouched.
+  /// leave the session state untouched. After Close: kFailedPrecondition.
   Status Push(const Event& event);
 
   /// Ingests a time-ordered batch; stops at the first invalid event.
@@ -185,8 +233,9 @@ class Session {
   Status AdvanceTo(Timestamp watermark);
 
   /// Flushes all remaining open windows and returns the final metrics.
-  /// Idempotent; Push/AdvanceTo after Close are rejected.
-  RunMetrics Close();
+  /// A second Close returns kFailedPrecondition (the first call's metrics
+  /// remain available through MetricsSnapshot).
+  Result<RunMetrics> Close();
 
   /// Metrics accumulated so far, without flushing open windows (live
   /// dashboards; emission-dependent fields lag until windows close).
@@ -206,7 +255,6 @@ class Session {
   void CloseExpiredWindows(GroupRunner& runner, Timestamp now);
   void OpenDueWindows(GroupRunner& runner, Timestamp pane_start,
                       bool retroactive);
-  Status CheckOrdered(Timestamp event_time) const;
   void EmitExecValue(int exec_id, int64_t group_key, Timestamp window_start,
                      Timestamp window_end, double value, double arrival_wall);
   void FillMetrics(RunMetrics* m) const;
@@ -228,12 +276,7 @@ class Session {
   int64_t events_ = 0;
   Timestamp pane_start_ = 0;
   bool pane_started_ = false;
-  /// Ordering state: events must strictly exceed the last event time and
-  /// reach at least the last watermark.
-  Timestamp last_event_time_ = 0;
-  bool has_event_ = false;
-  Timestamp watermark_ = 0;
-  bool has_watermark_ = false;
+  OrderingGate gate_;
   /// Sum of wall time spent inside session calls.
   double busy_seconds_ = 0.0;
   bool closed_ = false;

@@ -1,0 +1,305 @@
+#include "src/runtime/sharded_session.h"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "src/common/rng.h"
+#include "src/common/spsc_queue.h"
+
+namespace hamlet {
+
+namespace {
+
+/// One ingress-queue entry: an event, a watermark, or the stop signal.
+struct ShardMsg {
+  enum class Kind : uint8_t { kEvent, kWatermark, kStop };
+  Kind kind = Kind::kEvent;
+  Event event;
+  Timestamp watermark = 0;
+};
+
+/// Wraps the user's sink so all shards deliver under one mutex; see the
+/// header's "Emissions" note.
+class SerializedSink : public EmissionSink {
+ public:
+  SerializedSink(EmissionSink* target, std::mutex* mu)
+      : target_(target), mu_(mu) {}
+
+  void OnEmission(const Emission& emission) override {
+    std::lock_guard<std::mutex> lock(*mu_);
+    target_->OnEmission(emission);
+  }
+
+ private:
+  EmissionSink* target_;
+  std::mutex* mu_;
+};
+
+/// Deterministic group-key -> shard spreader (SplitMix64, the repo's
+/// standard mixer). Adjacent group keys must not land on adjacent shards,
+/// or workloads with few groups would pile onto a shard prefix.
+uint64_t MixGroupKey(int64_t key) {
+  return Rng(static_cast<uint64_t>(key)).NextU64();
+}
+
+/// How many processed messages between worker snapshot refreshes; idle
+/// workers refresh immediately, so this only bounds snapshot staleness
+/// under sustained load.
+constexpr int kSnapshotEveryMsgs = 4096;
+/// Consumer-side spin budget before parking on the condition variable.
+constexpr int kIdleSpins = 64;
+/// Parked workers re-poll at this interval even without a wake-up, which
+/// bounds the cost of any missed notify to one period.
+constexpr auto kParkInterval = std::chrono::microseconds(500);
+
+}  // namespace
+
+struct ShardedSession::Shard {
+  explicit Shard(size_t queue_capacity) : queue(queue_capacity) {}
+
+  SpscQueue<ShardMsg> queue;
+  /// The unmodified single-threaded machinery; touched only by `worker`
+  /// after the thread starts.
+  std::unique_ptr<Session> session;
+  std::unique_ptr<SerializedSink> sink;
+  std::thread worker;
+
+  /// Idle-parking handshake: the worker sets `parked` (then re-checks the
+  /// queue) before a timed wait; the producer notifies when it observes it.
+  std::mutex wake_mu;
+  std::condition_variable wake_cv;
+  std::atomic<bool> parked{false};
+
+  /// Worker-maintained copy of session->MetricsSnapshot(), refreshed when
+  /// idle and every kSnapshotEveryMsgs messages.
+  mutable std::mutex snapshot_mu;
+  RunMetrics snapshot;
+  /// Written by the worker on stop, read by the front after join().
+  RunMetrics final_metrics;
+
+  /// Producer-side enqueue with backpressure and parked-consumer wake-up.
+  void Send(ShardMsg msg) {
+    if (!queue.TryPush(std::move(msg))) {
+      // Bounded-queue backpressure: the shard is saturated; yield the
+      // producer until the worker frees a slot.
+      do {
+        std::this_thread::yield();
+      } while (!queue.TryPush(std::move(msg)));
+    }
+    if (parked.load(std::memory_order_seq_cst)) {
+      // Taking wake_mu orders this notify against the worker's parked-store
+      // / queue-recheck, so the worker sees either the message or the wake.
+      std::lock_guard<std::mutex> lock(wake_mu);
+      wake_cv.notify_one();
+    }
+  }
+};
+
+Result<std::unique_ptr<ShardedSession>> ShardedSession::Open(
+    const WorkloadPlan& plan, const RunConfig& config, EmissionSink* sink) {
+  Status valid = ValidateRunConfig(config);
+  if (!valid.ok()) return valid;
+  // A consistent event->shard route needs one partition attribute: with
+  // mixed group-by attributes, the same event would belong to different
+  // groups (hence shards) per component.
+  AttrId partition_attr = Schema::kInvalidId;
+  bool have_attr = false;
+  for (const ExecQuery& eq : plan.exec_queries) {
+    if (!have_attr) {
+      partition_attr = eq.group_by;
+      have_attr = true;
+    } else if (eq.group_by != partition_attr && config.num_shards > 1) {
+      return Status::Unsupported(
+          "ShardedSession with num_shards > 1 requires all queries to share "
+          "one group-by attribute; plan mixes attr " +
+          std::to_string(partition_attr) + " and attr " +
+          std::to_string(eq.group_by));
+    }
+  }
+  std::unique_ptr<ShardedSession> s(new ShardedSession());
+  s->plan_ = &plan;
+  s->config_ = config;
+  s->partition_attr_ = partition_attr;
+  s->shards_.reserve(static_cast<size_t>(config.num_shards));
+  for (int i = 0; i < config.num_shards; ++i) {
+    auto shard = std::make_unique<Shard>(
+        static_cast<size_t>(config.shard_queue_capacity));
+    EmissionSink* shard_sink = nullptr;
+    if (sink != nullptr) {
+      shard->sink = std::make_unique<SerializedSink>(sink, &s->emission_mu_);
+      shard_sink = shard->sink.get();
+    }
+    Result<std::unique_ptr<Session>> session =
+        Session::Open(plan, config, shard_sink);
+    if (!session.ok()) return session.status();
+    shard->session = std::move(session).value();
+    s->shards_.push_back(std::move(shard));
+  }
+  for (auto& shard : s->shards_) {
+    shard->worker = std::thread(&ShardedSession::WorkerLoop, shard.get());
+  }
+  return s;
+}
+
+ShardedSession::~ShardedSession() {
+  if (!closed_) Close();
+}
+
+void ShardedSession::WorkerLoop(Shard* shard) {
+  auto refresh_snapshot = [shard] {
+    RunMetrics m = shard->session->MetricsSnapshot();
+    std::lock_guard<std::mutex> lock(shard->snapshot_mu);
+    shard->snapshot = m;
+  };
+  int since_snapshot = 0;
+  for (;;) {
+    ShardMsg msg;
+    if (!shard->queue.TryPop(&msg)) {
+      // Refresh once when the queue drains, not on every idle poll — a
+      // quiescent shard must not recompute identical metrics 2000x/s.
+      if (since_snapshot > 0) {
+        refresh_snapshot();
+        since_snapshot = 0;
+      }
+      bool got = false;
+      for (int i = 0; i < kIdleSpins && !got; ++i) {
+        std::this_thread::yield();
+        got = shard->queue.TryPop(&msg);
+      }
+      if (!got) {
+        std::unique_lock<std::mutex> lock(shard->wake_mu);
+        shard->parked.store(true, std::memory_order_seq_cst);
+        // Re-check after publishing `parked`: a push that raced the store
+        // either sees the flag (and notifies) or lands in this poll.
+        if (shard->queue.Empty()) shard->wake_cv.wait_for(lock, kParkInterval);
+        shard->parked.store(false, std::memory_order_relaxed);
+        continue;
+      }
+    }
+    switch (msg.kind) {
+      case ShardMsg::Kind::kEvent: {
+        // The front already validated ordering, and a subsequence of a
+        // strictly increasing stream is strictly increasing.
+        Status st = shard->session->Push(msg.event);
+        HAMLET_CHECK(st.ok());
+        break;
+      }
+      case ShardMsg::Kind::kWatermark: {
+        Status st = shard->session->AdvanceTo(msg.watermark);
+        HAMLET_CHECK(st.ok());
+        break;
+      }
+      case ShardMsg::Kind::kStop: {
+        Result<RunMetrics> final = shard->session->Close();
+        HAMLET_CHECK(final.ok());
+        shard->final_metrics = final.value();
+        std::lock_guard<std::mutex> lock(shard->snapshot_mu);
+        shard->snapshot = shard->final_metrics;
+        return;
+      }
+    }
+    if (++since_snapshot >= kSnapshotEveryMsgs) {
+      refresh_snapshot();
+      since_snapshot = 0;
+    }
+  }
+}
+
+size_t ShardedSession::ShardOf(const Event& event) const {
+  if (shards_.size() == 1) return 0;
+  int64_t key = 0;
+  if (partition_attr_ != Schema::kInvalidId &&
+      partition_attr_ < static_cast<AttrId>(event.num_attrs)) {
+    key = static_cast<int64_t>(std::llround(event.attr(partition_attr_)));
+  }
+  return static_cast<size_t>(MixGroupKey(key) % shards_.size());
+}
+
+void ShardedSession::Enqueue(const Event& event) {
+  ShardMsg msg;
+  msg.kind = ShardMsg::Kind::kEvent;
+  msg.event = event;
+  shards_[ShardOf(event)]->Send(std::move(msg));
+}
+
+Status ShardedSession::Push(const Event& event) {
+  if (closed_) {
+    return Status::FailedPrecondition("Push on a closed session");
+  }
+  Status ordered = gate_.CheckEvent(event.time);
+  if (!ordered.ok()) return ordered;
+  gate_.CommitEvent(event.time);
+  Enqueue(event);
+  return Status::Ok();
+}
+
+Status ShardedSession::PushBatch(std::span<const Event> events) {
+  if (closed_) {
+    return Status::FailedPrecondition("PushBatch on a closed session");
+  }
+  for (const Event& e : events) {
+    Status ordered = gate_.CheckEvent(e.time);
+    if (!ordered.ok()) return ordered;
+    gate_.CommitEvent(e.time);
+    Enqueue(e);
+  }
+  return Status::Ok();
+}
+
+Status ShardedSession::AdvanceTo(Timestamp watermark) {
+  if (closed_) {
+    return Status::FailedPrecondition("AdvanceTo on a closed session");
+  }
+  Status ordered = gate_.CheckWatermark(watermark);
+  if (!ordered.ok()) return ordered;
+  gate_.CommitWatermark(watermark);
+  for (auto& shard : shards_) {
+    ShardMsg msg;
+    msg.kind = ShardMsg::Kind::kWatermark;
+    msg.watermark = watermark;
+    shard->Send(std::move(msg));
+  }
+  return Status::Ok();
+}
+
+Result<RunMetrics> ShardedSession::Close() {
+  if (closed_) {
+    return Status::FailedPrecondition(
+        "Close on a closed session (first Close already returned the final "
+        "metrics; use MetricsSnapshot to re-read them)");
+  }
+  for (auto& shard : shards_) {
+    ShardMsg msg;
+    msg.kind = ShardMsg::Kind::kStop;
+    shard->Send(std::move(msg));
+  }
+  RunMetrics merged;
+  for (auto& shard : shards_) {
+    shard->worker.join();
+    MergeRunMetrics(merged, shard->final_metrics);
+  }
+  final_metrics_ = merged;
+  closed_.store(true, std::memory_order_release);
+  return merged;
+}
+
+RunMetrics ShardedSession::MetricsSnapshot() const {
+  if (closed_.load(std::memory_order_acquire)) return final_metrics_;
+  RunMetrics merged;
+  for (const auto& shard : shards_) {
+    RunMetrics m;
+    {
+      std::lock_guard<std::mutex> lock(shard->snapshot_mu);
+      m = shard->snapshot;
+    }
+    MergeRunMetrics(merged, m);
+  }
+  return merged;
+}
+
+}  // namespace hamlet

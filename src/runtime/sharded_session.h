@@ -1,0 +1,131 @@
+// Sharded parallel Session: the same push API, spread across worker threads.
+//
+// The paper's pre-processing step (§3.1) partitions each component's stream
+// by its group-by attribute precisely because groups never interact: a
+// trend, window, graphlet or snapshot only ever involves events of one
+// group. ShardedSession exploits that independence for parallelism: it
+// hash-partitions incoming events by group-by key across
+// RunConfig::num_shards worker shards, each running the unmodified
+// single-threaded Session machinery over the subsequence of events whose
+// groups it owns. Because a group's whole stream lands on one shard, every
+// per-group result is bitwise identical to a single-threaded run — only the
+// interleaving of emissions across groups differs.
+//
+// A drop-in superset of Session (src/runtime/session.h):
+//   Result<std::unique_ptr<ShardedSession>> s =
+//       ShardedSession::Open(plan, config, &sink);   // config.num_shards
+//   s.value()->Push(event);                          // routed to one shard
+//   s.value()->AdvanceTo(watermark);                 // broadcast to all
+//   RunMetrics m = s.value()->Close().value();       // join + merged metrics
+//
+// Mechanics:
+//  * Ingress: one bounded SPSC ring (src/common/spsc_queue.h) per shard.
+//    Push is wait-free while the queue has space; a full queue applies
+//    backpressure by spinning the caller (the shard is saturated). Idle
+//    workers park on a condition variable with a timed wait, so an idle
+//    ShardedSession burns (almost) no CPU.
+//  * Watermarks: AdvanceTo validates once at the front, then broadcasts the
+//    watermark to every shard so pane-aligned window closure happens on all
+//    shards — including those that saw no recent events.
+//  * Emissions: every shard delivers through one shared mutex, so any
+//    EmissionSink written for the single-threaded Session works unmodified.
+//    Calls are serialized but arrive on worker threads; sinks keying on
+//    thread identity (thread-locals, TLS caches) are the one exception.
+//  * Metrics: Close() joins the workers and merges per-shard RunMetrics via
+//    MergeRunMetrics — counters and peak memory sum, throughput sums,
+//    latency max/avg combine. Count and memory fields are deterministic for
+//    a fixed shard count.
+//
+// Threading contract: Open/Push/PushBatch/AdvanceTo/Close must all be
+// called from one thread at a time (single producer — matching the SPSC
+// ingress). MetricsSnapshot may be called concurrently with pushes.
+//
+// Requirement: all exec queries in the plan must share one group-by
+// attribute (true for every paper workload; Definition 5 gives it per
+// component). Open returns kUnsupported for num_shards > 1 otherwise,
+// since a consistent event->shard route would not exist.
+#ifndef HAMLET_RUNTIME_SHARDED_SESSION_H_
+#define HAMLET_RUNTIME_SHARDED_SESSION_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "src/runtime/session.h"
+
+namespace hamlet {
+
+/// See file comment. The plan must outlive the session; the sink (if any)
+/// must outlive every Push/AdvanceTo/Close call.
+class ShardedSession {
+ public:
+  /// Validates `config` (including num_shards/shard_queue_capacity), builds
+  /// one Session per shard and starts the workers. `sink` may be nullptr to
+  /// drop emissions; otherwise it receives serialized OnEmission calls from
+  /// worker threads.
+  static Result<std::unique_ptr<ShardedSession>> Open(
+      const WorkloadPlan& plan, const RunConfig& config, EmissionSink* sink);
+
+  /// Stops and joins the workers (an implicit Close when still open;
+  /// the metrics of an implicit Close are discarded).
+  ~ShardedSession();
+
+  ShardedSession(const ShardedSession&) = delete;
+  ShardedSession& operator=(const ShardedSession&) = delete;
+
+  /// Same contract as Session::Push: strictly increasing event times, never
+  /// behind the last watermark; violations return kInvalidArgument naming
+  /// the offending timestamp. After Close: kFailedPrecondition. A valid
+  /// event is enqueued to the shard owning its group (backpressure blocks
+  /// here when that shard's queue is full).
+  Status Push(const Event& event);
+
+  /// Ingests a time-ordered batch; stops at the first invalid event.
+  Status PushBatch(std::span<const Event> events);
+
+  /// Validates the watermark once, then broadcasts it to every shard so all
+  /// panes/windows ending at or before it close. Same contract as
+  /// Session::AdvanceTo.
+  Status AdvanceTo(Timestamp watermark);
+
+  /// Sends stop to every shard, joins the workers, and returns the merged
+  /// final metrics. A second Close returns kFailedPrecondition (the first
+  /// call's metrics remain available through MetricsSnapshot).
+  Result<RunMetrics> Close();
+
+  /// Merged metrics over what the shards have processed so far (queued but
+  /// unprocessed events are not yet counted). Safe to call while pushing.
+  RunMetrics MetricsSnapshot() const;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+ private:
+  struct Shard;
+
+  ShardedSession() = default;
+
+  size_t ShardOf(const Event& event) const;
+  void Enqueue(const Event& event);
+  static void WorkerLoop(Shard* shard);
+
+  const WorkloadPlan* plan_ = nullptr;
+  RunConfig config_;
+  /// Serializes sink delivery across shards (file comment, "Emissions").
+  std::mutex emission_mu_;
+  /// Group-by attribute shared by all exec queries; Schema::kInvalidId when
+  /// the workload has no GROUPBY (every event then routes to shard 0).
+  AttrId partition_attr_ = -1;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  OrderingGate gate_;
+  /// Atomic (release on Close, acquire in MetricsSnapshot) so a monitor
+  /// thread polling MetricsSnapshot during Close sees final_metrics_ fully
+  /// written, never a half-merged value.
+  std::atomic<bool> closed_{false};
+  RunMetrics final_metrics_;
+};
+
+}  // namespace hamlet
+
+#endif  // HAMLET_RUNTIME_SHARDED_SESSION_H_

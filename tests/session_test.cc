@@ -65,7 +65,7 @@ ChunkedResult RunChunked(const WorkloadPlan& plan, const RunConfig& config,
     EXPECT_TRUE(session.value()->AdvanceTo(ev.back().time).ok());
   }
   ChunkedResult out;
-  out.metrics = session.value()->Close();
+  out.metrics = session.value()->Close().value();
   out.emissions = sink.Take();
   return out;
 }
@@ -263,7 +263,7 @@ TEST_F(SessionContractTest, PushRejectsOutOfOrderNamingTimestamp) {
   EXPECT_EQ(session.value()->Push(Make(50, "B")).code(),
             StatusCode::kInvalidArgument);
   EXPECT_TRUE(session.value()->Push(Make(60, "B")).ok());
-  RunMetrics m = session.value()->Close();
+  RunMetrics m = session.value()->Close().value();
   EXPECT_EQ(m.events, 2);
 }
 
@@ -307,20 +307,29 @@ TEST_F(SessionContractTest, AdvanceToClosesWindowsWithoutEvents) {
   session.value()->Close();
 }
 
-TEST_F(SessionContractTest, CloseIsIdempotentAndFinal) {
+// Everything after Close — a second Close included — fails fast with
+// kFailedPrecondition instead of relying on caller discipline; the final
+// metrics stay readable through MetricsSnapshot.
+TEST_F(SessionContractTest, UseAfterCloseIsFailedPrecondition) {
   Result<std::unique_ptr<Session>> session =
       Session::Open(*plan_, RunConfig(), nullptr);
   ASSERT_TRUE(session.ok());
   ASSERT_TRUE(session.value()->Push(Make(10, "A")).ok());
-  RunMetrics first = session.value()->Close();
+  Result<RunMetrics> first = session.value()->Close();
+  ASSERT_TRUE(first.ok());
   EXPECT_EQ(session.value()->Push(Make(20, "B")).code(),
-            StatusCode::kInvalidArgument);
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(session.value()->PushBatch({}).code(),
+            StatusCode::kFailedPrecondition);
   EXPECT_EQ(session.value()->AdvanceTo(200).code(),
-            StatusCode::kInvalidArgument);
-  RunMetrics second = session.value()->Close();
-  EXPECT_EQ(first.events, second.events);
-  EXPECT_EQ(first.emissions, second.emissions);
-  EXPECT_EQ(first.elapsed_seconds, second.elapsed_seconds);
+            StatusCode::kFailedPrecondition);
+  Result<RunMetrics> second = session.value()->Close();
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kFailedPrecondition);
+  RunMetrics snapshot = session.value()->MetricsSnapshot();
+  EXPECT_EQ(first.value().events, snapshot.events);
+  EXPECT_EQ(first.value().emissions, snapshot.emissions);
+  EXPECT_EQ(first.value().elapsed_seconds, snapshot.elapsed_seconds);
 }
 
 TEST_F(SessionContractTest, CsvSinkStreamsRows) {
@@ -333,7 +342,7 @@ TEST_F(SessionContractTest, CsvSinkStreamsRows) {
     ASSERT_TRUE(session.ok());
     ASSERT_TRUE(session.value()->Push(Make(10, "A")).ok());
     ASSERT_TRUE(session.value()->Push(Make(20, "B")).ok());
-    RunMetrics m = session.value()->Close();
+    RunMetrics m = session.value()->Close().value();
     EXPECT_EQ(sink.rows_written(), m.emissions);
     EXPECT_GT(sink.rows_written(), 0);
   }
