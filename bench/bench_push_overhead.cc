@@ -7,15 +7,28 @@
 // busy-time sampling).
 //
 // Part 2 — scaling: the same stream through ShardedSession at 1/2/4/8
-// shards (capped by --threads=N) on a multi-group workload. Reported as
-// end-to-end wall-clock events/s (first push to Close-join inclusive),
-// since summed per-shard busy-time throughput would hide queueing effects.
-// Expect near-linear speedup up to the machine's core count; beyond it the
-// extra shards only add hand-off overhead.
+// shards (capped by --threads=N) on a multi-group workload, three ingress
+// granularities per shard count:
+//  * hand-off: shard_batch_size=1, one queue message per event — the
+//    pre-batching baseline the batched path must beat;
+//  * batched: the default staging batch, one message per
+//    shard_batch_size events;
+//  * prepart: PushPrePartitioned over batches built ahead of time with the
+//    session's ShardRouter, so the timed loop does no per-event hashing at
+//    all — the closest measurable proxy for real multi-core engine scaling.
+// Reported as end-to-end wall-clock events/s (first push to Close-join
+// inclusive), since summed per-shard busy-time throughput would hide
+// queueing effects. Expect near-linear speedup up to the machine's core
+// count; beyond it the extra shards only add hand-off overhead.
+//
+// Pass --json to append one machine-readable `JSON: {...}` line per table
+// so future PRs can track the scaling numbers.
 #include <chrono>
+#include <string>
 
 #include "src/benchlib/harness.h"
 #include "src/runtime/executor.h"
+#include "src/stream/shard_router.h"
 
 namespace hamlet {
 namespace {
@@ -51,6 +64,14 @@ double PushEps(const WorkloadPlan& plan, const RunConfig& config,
   return session.value()->Close().value().throughput_eps;
 }
 
+double WallEps(size_t events,
+               std::chrono::steady_clock::time_point start) {
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return wall <= 0 ? 0 : static_cast<double>(events) / wall;
+}
+
 /// Wall-clock events/s through a ShardedSession: pre-materialized stream,
 /// PushBatch(512) chunks, timed from first push through Close (join
 /// included), so queue hand-off and imbalance count against the number.
@@ -69,10 +90,26 @@ double ShardedWallEps(const WorkloadPlan& plan, const RunConfig& config,
                      .ok());
   }
   HAMLET_CHECK(session.value()->Close().ok());
-  const double wall =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
-  return wall <= 0 ? 0 : static_cast<double>(events.size()) / wall;
+  return WallEps(events.size(), start);
+}
+
+/// Same measurement over PushPrePartitioned: the per-shard sub-batches are
+/// built before the clock starts (shard-aware generation), so the timed
+/// region is pure hand-off + engine work.
+double PrePartitionedWallEps(const WorkloadPlan& plan,
+                             const RunConfig& config,
+                             const EventVector& events) {
+  Result<std::unique_ptr<ShardedSession>> session =
+      ShardedSession::Open(plan, config, /*sink=*/nullptr);
+  HAMLET_CHECK(session.ok());
+  std::vector<PartitionedBatch> chunks =
+      PartitionBatches(events, session.value()->router(), /*batch_events=*/512);
+  const auto start = std::chrono::steady_clock::now();
+  for (PartitionedBatch& chunk : chunks) {
+    HAMLET_CHECK(session.value()->PushPrePartitioned(std::move(chunk)).ok());
+  }
+  HAMLET_CHECK(session.value()->Close().ok());
+  return WallEps(events.size(), start);
 }
 
 void RunOverhead(const BenchWorkload& bw, const EventVector& events) {
@@ -98,27 +135,53 @@ void RunOverhead(const BenchWorkload& bw, const EventVector& events) {
 }
 
 void RunScaling(const BenchWorkload& bw, const EventVector& events,
-                int max_shards) {
-  Table table({"shards", "wall eps", "speedup vs 1"});
+                int max_shards, bool json) {
+  Table table({"shards", "hand-off eps", "batched eps", "prepart eps",
+               "speedup vs 1"});
+  std::string json_rows;
   double base = 0;
   for (int shards = 1; shards <= max_shards; shards *= 2) {
     RunConfig config;
     config.kind = EngineKind::kHamletDynamic;
     config.num_shards = shards;
-    const double eps = ShardedWallEps(*bw.plan, config, events);
-    if (shards == 1) base = eps;
+    // Per-event hand-off baseline: one queue message per event.
+    RunConfig handoff_config = config;
+    handoff_config.shard_batch_size = 1;
+    const double handoff = ShardedWallEps(*bw.plan, handoff_config, events);
+    const double batched = ShardedWallEps(*bw.plan, config, events);
+    const double prepart = PrePartitionedWallEps(*bw.plan, config, events);
+    if (shards == 1) base = batched;
     char speedup[32];
     std::snprintf(speedup, sizeof(speedup), "%.2fx",
-                  base <= 0 ? 0.0 : eps / base);
-    table.AddRow({std::to_string(shards), bench::Eps(eps), speedup});
+                  base <= 0 ? 0.0 : batched / base);
+    table.AddRow({std::to_string(shards), bench::Eps(handoff),
+                  bench::Eps(batched), bench::Eps(prepart), speedup});
+    if (json) {
+      char row[256];
+      std::snprintf(row, sizeof(row),
+                    "%s{\"shards\":%d,\"handoff_eps\":%.1f,"
+                    "\"batched_eps\":%.1f,\"prepartitioned_eps\":%.1f,"
+                    "\"speedup_batched\":%.3f}",
+                    json_rows.empty() ? "" : ",", shards, handoff, batched,
+                    prepart, base <= 0 ? 0.0 : batched / base);
+      json_rows += row;
+    }
   }
   bench::PrintFigure(
       "Shard scaling",
-      "ShardedSession wall-clock throughput, hamlet dynamic, multi-group",
+      "ShardedSession wall-clock throughput by ingress granularity, "
+      "hamlet dynamic, multi-group",
       table);
+  if (json) {
+    std::printf(
+        "JSON: {\"bench\":\"push_overhead\",\"table\":\"shard_scaling\","
+        "\"max_shards\":%d,\"events\":%zu,\"rows\":[%s]}\n",
+        max_shards, events.size(), json_rows.c_str());
+    std::fflush(stdout);
+  }
 }
 
-void Run(int max_shards) {
+void Run(int max_shards, bool json) {
   {
     BenchWorkload bw = MakeWorkload1("ridesharing", 8,
                                      /*window_ms=*/2 * kMillisPerSecond);
@@ -146,7 +209,7 @@ void Run(int max_shards) {
     gen.burstiness = 0.9;
     gen.max_burst = 120;
     EventVector events = bw.generator->Generate(gen);
-    RunScaling(bw, events, max_shards);
+    RunScaling(bw, events, max_shards, json);
   }
 }
 
@@ -154,7 +217,9 @@ void Run(int max_shards) {
 }  // namespace hamlet
 
 int main(int argc, char** argv) {
-  // --threads=N caps the scaling curve (default 8: 1/2/4/8).
-  hamlet::Run(hamlet::bench::ThreadsFlag(argc, argv, /*fallback=*/8));
+  // --threads=N caps the scaling curve (default 8: 1/2/4/8); --json appends
+  // a machine-readable line per table.
+  hamlet::Run(hamlet::bench::ThreadsFlag(argc, argv, /*fallback=*/8),
+              hamlet::bench::JsonFlag(argc, argv));
   return 0;
 }

@@ -3,11 +3,15 @@
 //
 // Streams a bursty ridesharing feed through a hamlet::ShardedSession one
 // event at a time — the shape of a production ingest loop — and prints
-// every query result the moment its window closes (no end-of-run
+// every query result shortly after its window closes (no end-of-run
 // buffering), plus a periodic status line with the dynamic optimizer's
 // per-burst sharing decisions. The CallbackSink below is the same
-// single-threaded sink a plain Session would use: ShardedSession
-// serializes delivery, so it needs no locking of its own. Contrast with
+// single-threaded sink a plain Session would use: the shards buffer their
+// emissions and the session fans them in to the sink on THIS thread during
+// Push/AdvanceTo/Close, so the sink needs no locking and may even use
+// thread-locals. Delivery granularity follows the ingress batch
+// (RunConfig::shard_batch_size); we shrink it here so dashboard lines
+// appear promptly at this example's modest event rate. Contrast with
 // examples/quickstart.cpp, which uses the batch Run() wrapper.
 //
 // Pass --threads=N to change the shard count (default 2).
@@ -56,6 +60,7 @@ int main(int argc, char** argv) {
   RunConfig config;
   config.kind = EngineKind::kHamletDynamic;
   config.num_shards = num_shards;  // validated at Open like every knob
+  config.shard_batch_size = 16;    // small batches = prompt dashboard lines
   Result<std::unique_ptr<ShardedSession>> session =
       ShardedSession::Open(*plan, config, &sink);
   HAMLET_CHECK(session.ok());

@@ -30,6 +30,13 @@ int ThreadsFlag(int argc, char** argv, int fallback) {
   return threads;
 }
 
+bool JsonFlag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") return true;
+  }
+  return false;
+}
+
 namespace {
 
 /// Session and ShardedSession share the push surface but no base class;

@@ -31,6 +31,11 @@ int Scale(int fast, int full);
 /// figure can be re-run sharded without editing code.
 int ThreadsFlag(int argc, char** argv, int fallback = 1);
 
+/// True when `--json` is in argv. Benches that support it append one
+/// `JSON: {...}` line per figure so scripts can track numbers across PRs
+/// without scraping the aligned tables.
+bool JsonFlag(int argc, char** argv);
+
 /// Streams the generator through a push session (no sink, no O(stream)
 /// input buffer — paper-scale rates fit in O(rate) memory) and returns the
 /// run's metrics. peak_memory_bytes therefore charges engine state only,

@@ -10,6 +10,16 @@
 
 namespace hamlet {
 
+/// One SplitMix64 output step as a stateless mixer: the repo's standard
+/// integer hash (shard routing, key spreading). Statistically equivalent to
+/// drawing the first value of `Rng(x)` without constructing an Rng.
+inline uint64_t SplitMix64Mix(uint64_t x) {
+  uint64_t z = x + 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
 /// SplitMix64 PRNG: tiny state, good statistical quality for workload
 /// synthesis, and fully deterministic across platforms.
 class Rng {
@@ -18,10 +28,9 @@ class Rng {
 
   /// Uniform 64-bit value.
   uint64_t NextU64() {
-    uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
-    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-    return z ^ (z >> 31);
+    const uint64_t out = SplitMix64Mix(state_);
+    state_ += 0x9E3779B97F4A7C15ull;
+    return out;
   }
 
   /// Uniform integer in [0, bound). `bound` must be positive.

@@ -74,6 +74,11 @@ Status ValidateRunConfig(const RunConfig& config) {
         "shard_queue_capacity must be >= 2, got " +
         std::to_string(config.shard_queue_capacity));
   }
+  if (config.shard_batch_size < 1) {
+    return Status::InvalidArgument(
+        "shard_batch_size must be >= 1, got " +
+        std::to_string(config.shard_batch_size));
+  }
   return Status::Ok();
 }
 
@@ -118,9 +123,16 @@ void MergeRunMetrics(RunMetrics& into, const RunMetrics& from) {
   into.elapsed_seconds = std::max(into.elapsed_seconds, from.elapsed_seconds);
   into.max_latency_seconds =
       std::max(into.max_latency_seconds, from.max_latency_seconds);
-  into.throughput_eps += from.throughput_eps;
+  // Shards run concurrently over overlapping busy intervals: summing their
+  // rates would report ~N x the real rate at N shards. Recompute the merged
+  // rate from the merged totals instead.
+  into.throughput_eps =
+      into.elapsed_seconds <= 0
+          ? 0.0
+          : static_cast<double>(into.events) / into.elapsed_seconds;
   into.peak_memory_bytes += from.peak_memory_bytes;
   into.dnf_windows += from.dnf_windows;
+  into.evicted_compositions += from.evicted_compositions;
   into.hamlet.events += from.hamlet.events;
   into.hamlet.bursts_total += from.hamlet.bursts_total;
   into.hamlet.bursts_shared += from.hamlet.bursts_shared;
@@ -176,6 +188,9 @@ struct Session::Component {
   /// Unique window specs with the members using each; two-step/SHARON run
   /// one engine per (cohort, window instance).
   std::vector<std::pair<WindowSpec, QuerySet>> cohorts;
+  /// Union of the member exec queries' type masks, per cohort — the
+  /// cohort-kind analogue of Session::exec_type_masks_.
+  std::vector<std::vector<bool>> cohort_type_masks;
   std::unique_ptr<SharingPolicy> policy;
   std::map<int64_t, std::unique_ptr<GroupRunner>> groups;
 };
@@ -235,14 +250,25 @@ Session::Session(const WorkloadPlan& plan, const RunConfig& config,
     comp->members.Insert(i);
   }
   const int num_types = plan.workload->schema()->num_types();
+  exec_type_masks_.resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    exec_type_masks_[static_cast<size_t>(i)].assign(
+        static_cast<size_t>(num_types), false);
+    for (TypeId t :
+         plan.exec_queries[static_cast<size_t>(i)].tmpl.pattern.AllTypes()) {
+      exec_type_masks_[static_cast<size_t>(i)][static_cast<size_t>(t)] = true;
+    }
+  }
   for (auto& comp : components_) {
     comp->type_mask.assign(static_cast<size_t>(num_types), false);
     comp->members.ForEach([&](QueryId q) {
       const ExecQuery& eq = plan.exec_queries[static_cast<size_t>(q)];
       // Members of a component share the group-by attribute (Definition 5).
       comp->group_by = eq.group_by;
-      for (TypeId t : eq.tmpl.pattern.AllTypes())
-        comp->type_mask[static_cast<size_t>(t)] = true;
+      const std::vector<bool>& qm = exec_type_masks_[static_cast<size_t>(q)];
+      for (size_t t = 0; t < qm.size(); ++t) {
+        if (qm[t]) comp->type_mask[t] = true;
+      }
       bool found = false;
       for (auto& [spec, set] : comp->cohorts) {
         if (spec == eq.window) {
@@ -252,6 +278,17 @@ Session::Session(const WorkloadPlan& plan, const RunConfig& config,
       }
       if (!found) comp->cohorts.push_back({eq.window, QuerySet::Single(q)});
     });
+    comp->cohort_type_masks.resize(comp->cohorts.size());
+    for (size_t c = 0; c < comp->cohorts.size(); ++c) {
+      std::vector<bool>& mask = comp->cohort_type_masks[c];
+      mask.assign(static_cast<size_t>(num_types), false);
+      comp->cohorts[c].second.ForEach([&](QueryId q) {
+        const std::vector<bool>& qm = exec_type_masks_[static_cast<size_t>(q)];
+        for (size_t t = 0; t < qm.size(); ++t) {
+          if (qm[t]) mask[t] = true;
+        }
+      });
+    }
     switch (config_.kind) {
       case EngineKind::kHamletDynamic:
         comp->policy =
@@ -401,6 +438,27 @@ void Session::CloseExpiredWindows(GroupRunner& runner, Timestamp now) {
   }
 }
 
+void Session::EvictDeadCompositions(Timestamp boundary) {
+  for (auto it = pending_compositions_.begin();
+       it != pending_compositions_.end();) {
+    // Every branch of a source query shares its window spec, so the entry's
+    // window is [ws, ws + within). Once that window closed (all branch
+    // engines emitted or gave up at `boundary`), a still-pending entry has a
+    // branch that will never arrive — DNF'd two-step windows and
+    // SHARON-unsupported queries emit nothing.
+    const QueryId source = std::get<0>(it->first);
+    const Timestamp ws = std::get<2>(it->first);
+    const Timestamp within =
+        plan_->workload->query(source).window.within;
+    if (ws + within <= boundary) {
+      ++evicted_compositions_;
+      it = pending_compositions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 int64_t Session::CurrentMemory() const {
   int64_t bytes = 0;
   for (const auto& comp : components_) {
@@ -412,6 +470,13 @@ int64_t Session::CurrentMemory() const {
         if (w.sharon) bytes += w.sharon->MemoryBytes();
       }
     }
+  }
+  // Pending branch values awaiting OR/AND composition are runtime state
+  // too; charging them here is what makes a composition leak visible in
+  // peak_memory_bytes.
+  for (const auto& [key, values] : pending_compositions_) {
+    bytes += static_cast<int64_t>(sizeof(key) + sizeof(values) +
+                                  values.capacity() * sizeof(double));
   }
   return bytes;
 }
@@ -431,6 +496,9 @@ void Session::AdvancePaneTo(Timestamp new_pane_start) {
         if (runner->hamlet) runner->hamlet->OnPaneStart(boundary);
       }
     }
+    // All engines for windows ending at `boundary` have now emitted or
+    // declined; whatever composition entries remain for them are dead.
+    EvictDeadCompositions(boundary);
     pane_start_ = boundary;
     pane_started_ = true;
     peak_memory_ = std::max(peak_memory_, CurrentMemory());
@@ -471,12 +539,32 @@ void Session::ProcessEvent(const Event& e, double arrival) {
     } else {
       runner = it->second.get();
     }
-    for (WindowSlot& w : runner->windows) w.last_arrival_wall = arrival;
+    // Latency attribution: an event resets the arrival clock only of
+    // windows it can contribute to — it must fall inside the window span
+    // and its type must appear in the owner query's (or cohort's) pattern.
+    // Stamping every open slot would under-report the emission latency of
+    // sibling queries and sliding instances the event does not belong to.
+    const bool cohort_kind = config_.kind == EngineKind::kTwoStep ||
+                             config_.kind == EngineKind::kSharon;
+    auto stamp_if_relevant = [&](WindowSlot& w) {
+      const std::vector<bool>& owner_mask =
+          cohort_kind ? comp.cohort_type_masks[static_cast<size_t>(w.owner)]
+                      : exec_type_masks_[static_cast<size_t>(w.owner)];
+      if (owner_mask[static_cast<size_t>(e.type)]) {
+        w.last_arrival_wall = arrival;
+      }
+    };
     if (runner->hamlet) {
-      runner->hamlet->OnEvent(e);
-    } else {
       for (WindowSlot& w : runner->windows) {
         if (e.time < w.ws || e.time >= w.we) continue;
+        stamp_if_relevant(w);
+      }
+      runner->hamlet->OnEvent(e);
+    } else {
+      // One pass: stamp and dispatch share the window-span check.
+      for (WindowSlot& w : runner->windows) {
+        if (e.time < w.ws || e.time >= w.we) continue;
+        stamp_if_relevant(w);
         if (w.greta) w.greta->OnEvent(e);
         if (w.two_step) w.two_step->OnEvent(e);
         if (w.sharon) w.sharon->OnEvent(e);
@@ -486,24 +574,33 @@ void Session::ProcessEvent(const Event& e, double arrival) {
 }
 
 Status Session::Push(const Event& event) {
-  BusyScope busy(&busy_seconds_);
+  // Rejected calls accrue no busy time: they do no engine work, and
+  // charging them would deflate the reported throughput of a caller that
+  // retries after errors.
   if (closed_) {
     return Status::FailedPrecondition("Push on a closed session");
   }
   Status ordered = gate_.CheckEvent(event.time);
   if (!ordered.ok()) return ordered;
+  BusyScope busy(&busy_seconds_);
   gate_.CommitEvent(event.time);
-  // The call-entry wall doubles as the event's arrival time, keeping the
+  // The scope-entry wall doubles as the event's arrival time, keeping the
   // per-event Push hot path at two clock reads total.
   ProcessEvent(event, busy.start());
   return Status::Ok();
 }
 
 Status Session::PushBatch(std::span<const Event> events) {
-  BusyScope busy(&busy_seconds_);
   if (closed_) {
     return Status::FailedPrecondition("PushBatch on a closed session");
   }
+  if (events.empty()) return Status::Ok();
+  // A batch rejected at its first event accrues no busy time; a mid-batch
+  // rejection keeps the time already spent on the valid prefix (that work
+  // was real and its effects stand).
+  Status first = gate_.CheckEvent(events.front().time);
+  if (!first.ok()) return first;
+  BusyScope busy(&busy_seconds_);
   for (const Event& e : events) {
     Status ordered = gate_.CheckEvent(e.time);
     if (!ordered.ok()) return ordered;
@@ -514,12 +611,12 @@ Status Session::PushBatch(std::span<const Event> events) {
 }
 
 Status Session::AdvanceTo(Timestamp watermark) {
-  BusyScope busy(&busy_seconds_);
   if (closed_) {
     return Status::FailedPrecondition("AdvanceTo on a closed session");
   }
   Status ordered = gate_.CheckWatermark(watermark);
   if (!ordered.ok()) return ordered;
+  BusyScope busy(&busy_seconds_);
   gate_.CommitWatermark(watermark);
   const Timestamp pane = plan_->pane_size;
   const Timestamp target = (watermark / pane) * pane;
@@ -539,6 +636,7 @@ void Session::FillMetrics(RunMetrics* m) const {
                           : static_cast<double>(events_) / m->elapsed_seconds;
   m->peak_memory_bytes = std::max(peak_memory_, CurrentMemory());
   m->dnf_windows = dnf_windows_;
+  m->evicted_compositions = evicted_compositions_;
   for (const auto& comp : components_) {
     for (const auto& [key, runner] : comp->groups) {
       if (!runner->hamlet) continue;

@@ -70,9 +70,17 @@ struct RunConfig {
   /// events are hash-partitioned by group-by key across this many threads.
   /// Must be in [1, kMaxShards]. Plain Session ignores it (always 1).
   int num_shards = 1;
-  /// Per-shard ingress queue capacity (events + control messages) before
-  /// Push applies backpressure. Must be >= 2. Rounded up to a power of two.
+  /// Per-shard ingress queue capacity in *messages* (event batches + control
+  /// messages) before Push applies backpressure. Must be >= 2. Rounded up to
+  /// a power of two.
   int shard_queue_capacity = 8192;
+  /// ShardedSession ingress granularity: events staged per shard before the
+  /// producer hands one batch message to that shard's queue. 1 reproduces
+  /// per-event hand-off; larger values amortize the queue traffic across the
+  /// batch. Watermarks, Close and PushPrePartitioned flush staging, so
+  /// results never depend on this knob. Must be >= 1. Plain Session ignores
+  /// it.
+  int shard_batch_size = 128;
 };
 
 /// Upper bound on RunConfig::num_shards — far above any sane core count,
@@ -134,6 +142,10 @@ struct RunMetrics {
   int64_t peak_memory_bytes = 0;
   /// Two-step windows that exceeded the trend budget.
   int64_t dnf_windows = 0;
+  /// Partial OR/AND composition entries discarded because their window
+  /// closed with at least one branch never emitting (two-step DNF, SHARON
+  /// unsupported queries). Nonzero values flag dropped composed results.
+  int64_t evicted_compositions = 0;
   /// Aggregated HAMLET statistics (HAMLET kinds only).
   HamletStats hamlet;
   /// Sharing decisions taken (dynamic policy only).
@@ -141,12 +153,16 @@ struct RunMetrics {
 };
 
 /// Folds `from` into `into` the way ShardedSession combines per-shard
-/// metrics: counters (events, emissions, DNFs, decisions, HAMLET stats) and
-/// peak memory are summed — shards hold their state simultaneously, so the
-/// aggregate footprint is the sum of per-shard peaks; throughput is summed
-/// (shards process concurrently); elapsed is the max over shards;
-/// avg latency is re-weighted by emission count and max latency is the max.
-/// All non-wall-clock fields stay deterministic for a fixed shard count.
+/// metrics: counters (events, emissions, DNFs, evictions, decisions, HAMLET
+/// stats) and peak memory are summed — shards hold their state
+/// simultaneously, so the aggregate footprint is the sum of per-shard
+/// peaks; elapsed is the max over shards (shards run concurrently over
+/// overlapping busy intervals, so summing busy time would double-count
+/// wall time); throughput is recomputed as merged events / merged elapsed —
+/// never summed, since summing per-shard rates over overlapping intervals
+/// inflates the merge by up to the shard count; avg latency is re-weighted
+/// by emission count and max latency is the max. All non-wall-clock fields
+/// stay deterministic for a fixed shard count.
 void MergeRunMetrics(RunMetrics& into, const RunMetrics& from);
 
 /// Receives query results as their windows close. Implementations must not
@@ -257,6 +273,10 @@ class Session {
                       bool retroactive);
   void EmitExecValue(int exec_id, int64_t group_key, Timestamp window_start,
                      Timestamp window_end, double value, double arrival_wall);
+  /// Drops pending composition entries whose window closed at or before
+  /// `boundary` with a branch missing — they can never complete (see
+  /// RunMetrics::evicted_compositions).
+  void EvictDeadCompositions(Timestamp boundary);
   void FillMetrics(RunMetrics* m) const;
   int64_t CurrentMemory() const;
 
@@ -264,9 +284,14 @@ class Session {
   RunConfig config_;
   EmissionSink* sink_;
   std::vector<std::unique_ptr<Component>> components_;
+  /// Per exec query: which event types its pattern mentions. Drives latency
+  /// attribution — only events a query can react to stamp its windows'
+  /// arrival clocks.
+  std::vector<std::vector<bool>> exec_type_masks_;
   /// Branch values awaiting composition: (query, group, window) -> values.
   std::map<std::tuple<QueryId, int64_t, Timestamp>, std::vector<double>>
       pending_compositions_;
+  int64_t evicted_compositions_ = 0;
   /// Latency samples per emission.
   double latency_sum_ = 0.0;
   double latency_max_ = 0.0;

@@ -2,55 +2,48 @@
 
 #include <atomic>
 #include <chrono>
-#include <cmath>
 #include <condition_variable>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 
-#include "src/common/rng.h"
 #include "src/common/spsc_queue.h"
 
 namespace hamlet {
 
 namespace {
 
-/// One ingress-queue entry: an event, a watermark, or the stop signal.
+/// One ingress-queue entry: a batch of events, a watermark, or the stop
+/// signal. Batch-granular hand-off is the point — one queue slot (and one
+/// wake-up check) per RunConfig::shard_batch_size events instead of per
+/// event.
 struct ShardMsg {
-  enum class Kind : uint8_t { kEvent, kWatermark, kStop };
-  Kind kind = Kind::kEvent;
-  Event event;
+  enum class Kind : uint8_t { kBatch, kWatermark, kStop };
+  Kind kind = Kind::kBatch;
+  EventVector batch;
   Timestamp watermark = 0;
 };
 
-/// Wraps the user's sink so all shards deliver under one mutex; see the
-/// header's "Emissions" note.
-class SerializedSink : public EmissionSink {
+/// Worker-local emission buffer. Only the shard's worker thread touches it
+/// (via its Session); the worker publishes the contents to the shard's
+/// outbox at message boundaries — see Shard::PublishEmissions.
+class BufferingSink : public EmissionSink {
  public:
-  SerializedSink(EmissionSink* target, std::mutex* mu)
-      : target_(target), mu_(mu) {}
-
   void OnEmission(const Emission& emission) override {
-    std::lock_guard<std::mutex> lock(*mu_);
-    target_->OnEmission(emission);
+    buffered_.push_back(emission);
   }
 
+  std::vector<Emission>& buffered() { return buffered_; }
+
  private:
-  EmissionSink* target_;
-  std::mutex* mu_;
+  std::vector<Emission> buffered_;
 };
 
-/// Deterministic group-key -> shard spreader (SplitMix64, the repo's
-/// standard mixer). Adjacent group keys must not land on adjacent shards,
-/// or workloads with few groups would pile onto a shard prefix.
-uint64_t MixGroupKey(int64_t key) {
-  return Rng(static_cast<uint64_t>(key)).NextU64();
-}
-
-/// How many processed messages between worker snapshot refreshes; idle
+/// How many processed events between worker snapshot refreshes; idle
 /// workers refresh immediately, so this only bounds snapshot staleness
 /// under sustained load.
-constexpr int kSnapshotEveryMsgs = 4096;
+constexpr int kSnapshotEveryEvents = 4096;
 /// Consumer-side spin budget before parking on the condition variable.
 constexpr int kIdleSpins = 64;
 /// Parked workers re-poll at this interval even without a wake-up, which
@@ -60,13 +53,22 @@ constexpr auto kParkInterval = std::chrono::microseconds(500);
 }  // namespace
 
 struct ShardedSession::Shard {
-  explicit Shard(size_t queue_capacity) : queue(queue_capacity) {}
+  explicit Shard(size_t queue_capacity)
+      : queue(queue_capacity), recycle(queue_capacity) {}
 
   SpscQueue<ShardMsg> queue;
+  /// Worker -> producer return path for consumed batch buffers: the
+  /// producer reuses their capacity for the next staging flush, so
+  /// steady-state ingest allocates nothing. Best-effort — a full recycle
+  /// ring just lets the buffer deallocate.
+  SpscQueue<EventVector> recycle;
+  /// Producer-side staging buffer (front thread only): events accumulate
+  /// here until shard_batch_size or a barrier flushes them as one message.
+  EventVector staging;
   /// The unmodified single-threaded machinery; touched only by `worker`
   /// after the thread starts.
   std::unique_ptr<Session> session;
-  std::unique_ptr<SerializedSink> sink;
+  std::unique_ptr<BufferingSink> sink;
   std::thread worker;
 
   /// Idle-parking handshake: the worker sets `parked` (then re-checks the
@@ -76,11 +78,24 @@ struct ShardedSession::Shard {
   std::atomic<bool> parked{false};
 
   /// Worker-maintained copy of session->MetricsSnapshot(), refreshed when
-  /// idle and every kSnapshotEveryMsgs messages.
+  /// idle and every kSnapshotEveryEvents events.
   mutable std::mutex snapshot_mu;
   RunMetrics snapshot;
   /// Written by the worker on stop, read by the front after join().
   RunMetrics final_metrics;
+
+  /// Emission fan-in hand-off: the worker appends under outbox_mu, the
+  /// front swaps the vector out under the same mutex. Contention is
+  /// worker-vs-front within one shard only — shards never share a lock —
+  /// and both sides take it once per *message*, not per emission.
+  std::mutex outbox_mu;
+  std::vector<Emission> outbox;
+  /// Cheap "anything to drain?" hint so the front skips the lock when the
+  /// outbox is empty (the common case on the per-push drain).
+  std::atomic<bool> outbox_ready{false};
+  /// Session-wide drain hint (ShardedSession::any_outbox_ready_): set after
+  /// outbox_ready so the front's single load covers all shards.
+  std::atomic<bool>* any_outbox_ready = nullptr;
 
   /// Producer-side enqueue with backpressure and parked-consumer wake-up.
   void Send(ShardMsg msg) {
@@ -98,12 +113,31 @@ struct ShardedSession::Shard {
       wake_cv.notify_one();
     }
   }
+
+  /// Worker side: moves the locally buffered emissions into the outbox.
+  void PublishEmissions() {
+    if (sink == nullptr || sink->buffered().empty()) return;
+    std::vector<Emission>& local = sink->buffered();
+    std::lock_guard<std::mutex> lock(outbox_mu);
+    if (outbox.empty()) {
+      outbox.swap(local);
+    } else {
+      outbox.insert(outbox.end(), std::make_move_iterator(local.begin()),
+                    std::make_move_iterator(local.end()));
+      local.clear();
+    }
+    outbox_ready.store(true, std::memory_order_release);
+    any_outbox_ready->store(true, std::memory_order_release);
+  }
 };
 
-Result<std::unique_ptr<ShardedSession>> ShardedSession::Open(
-    const WorkloadPlan& plan, const RunConfig& config, EmissionSink* sink) {
-  Status valid = ValidateRunConfig(config);
-  if (!valid.ok()) return valid;
+Result<ShardRouter> ShardedSession::RouterFor(const WorkloadPlan& plan,
+                                              int num_shards) {
+  if (num_shards < 1 || num_shards > kMaxShards) {
+    return Status::InvalidArgument(
+        "num_shards must be in [1, " + std::to_string(kMaxShards) +
+        "], got " + std::to_string(num_shards));
+  }
   // A consistent event->shard route needs one partition attribute: with
   // mixed group-by attributes, the same event would belong to different
   // groups (hence shards) per component.
@@ -113,7 +147,7 @@ Result<std::unique_ptr<ShardedSession>> ShardedSession::Open(
     if (!have_attr) {
       partition_attr = eq.group_by;
       have_attr = true;
-    } else if (eq.group_by != partition_attr && config.num_shards > 1) {
+    } else if (eq.group_by != partition_attr && num_shards > 1) {
       return Status::Unsupported(
           "ShardedSession with num_shards > 1 requires all queries to share "
           "one group-by attribute; plan mixes attr " +
@@ -121,17 +155,29 @@ Result<std::unique_ptr<ShardedSession>> ShardedSession::Open(
           std::to_string(eq.group_by));
     }
   }
+  return ShardRouter(partition_attr, num_shards);
+}
+
+Result<std::unique_ptr<ShardedSession>> ShardedSession::Open(
+    const WorkloadPlan& plan, const RunConfig& config, EmissionSink* sink) {
+  Status valid = ValidateRunConfig(config);
+  if (!valid.ok()) return valid;
+  Result<ShardRouter> router = RouterFor(plan, config.num_shards);
+  if (!router.ok()) return router.status();
   std::unique_ptr<ShardedSession> s(new ShardedSession());
   s->plan_ = &plan;
   s->config_ = config;
-  s->partition_attr_ = partition_attr;
+  s->sink_ = sink;
+  s->router_ = router.value();
   s->shards_.reserve(static_cast<size_t>(config.num_shards));
   for (int i = 0; i < config.num_shards; ++i) {
     auto shard = std::make_unique<Shard>(
         static_cast<size_t>(config.shard_queue_capacity));
+    shard->staging.reserve(static_cast<size_t>(config.shard_batch_size));
+    shard->any_outbox_ready = &s->any_outbox_ready_;
     EmissionSink* shard_sink = nullptr;
     if (sink != nullptr) {
-      shard->sink = std::make_unique<SerializedSink>(sink, &s->emission_mu_);
+      shard->sink = std::make_unique<BufferingSink>();
       shard_sink = shard->sink.get();
     }
     Result<std::unique_ptr<Session>> session =
@@ -182,49 +228,95 @@ void ShardedSession::WorkerLoop(Shard* shard) {
       }
     }
     switch (msg.kind) {
-      case ShardMsg::Kind::kEvent: {
+      case ShardMsg::Kind::kBatch: {
         // The front already validated ordering, and a subsequence of a
         // strictly increasing stream is strictly increasing.
-        Status st = shard->session->Push(msg.event);
+        Status st = shard->session->PushBatch(msg.batch);
         HAMLET_CHECK(st.ok());
+        since_snapshot += static_cast<int>(msg.batch.size());
+        msg.batch.clear();
+        // Return the buffer's capacity to the producer (best-effort).
+        shard->recycle.TryPush(std::move(msg.batch));
         break;
       }
       case ShardMsg::Kind::kWatermark: {
         Status st = shard->session->AdvanceTo(msg.watermark);
         HAMLET_CHECK(st.ok());
+        ++since_snapshot;
         break;
       }
       case ShardMsg::Kind::kStop: {
         Result<RunMetrics> final = shard->session->Close();
         HAMLET_CHECK(final.ok());
+        shard->PublishEmissions();
         shard->final_metrics = final.value();
         std::lock_guard<std::mutex> lock(shard->snapshot_mu);
         shard->snapshot = shard->final_metrics;
         return;
       }
     }
-    if (++since_snapshot >= kSnapshotEveryMsgs) {
+    shard->PublishEmissions();
+    if (since_snapshot >= kSnapshotEveryEvents) {
       refresh_snapshot();
       since_snapshot = 0;
     }
   }
 }
 
-size_t ShardedSession::ShardOf(const Event& event) const {
-  if (shards_.size() == 1) return 0;
-  int64_t key = 0;
-  if (partition_attr_ != Schema::kInvalidId &&
-      partition_attr_ < static_cast<AttrId>(event.num_attrs)) {
-    key = static_cast<int64_t>(std::llround(event.attr(partition_attr_)));
+void ShardedSession::StageEvent(const Event& event) {
+  Shard& shard = *shards_[router_.ShardOf(event)];
+  shard.staging.push_back(event);
+  if (shard.staging.size() >=
+      static_cast<size_t>(config_.shard_batch_size)) {
+    FlushShard(shard);
   }
-  return static_cast<size_t>(MixGroupKey(key) % shards_.size());
 }
 
-void ShardedSession::Enqueue(const Event& event) {
+void ShardedSession::FlushShard(Shard& shard) {
+  if (shard.staging.empty()) return;
   ShardMsg msg;
-  msg.kind = ShardMsg::Kind::kEvent;
-  msg.event = event;
-  shards_[ShardOf(event)]->Send(std::move(msg));
+  msg.kind = ShardMsg::Kind::kBatch;
+  // Reuse a worker-returned buffer's capacity when one is available.
+  if (shard.recycle.TryPop(&msg.batch)) msg.batch.clear();
+  msg.batch.swap(shard.staging);
+  shard.Send(std::move(msg));
+}
+
+void ShardedSession::FlushAllShards() {
+  for (auto& shard : shards_) FlushShard(*shard);
+}
+
+void ShardedSession::DrainEmissions() {
+  if (sink_ == nullptr) return;
+  // One load covers all shards in the common nothing-to-drain case, so a
+  // per-event Push ingest does not pay num_shards flag reads per event.
+  // Clearing before the scan cannot lose a publication: any per-shard flag
+  // set before the clear is still observed by the scan below, and one set
+  // after it re-raises this hint for the next drain (Close drains
+  // unconditionally).
+  if (!any_outbox_ready_.load(std::memory_order_acquire)) return;
+  // Sinks run on this thread, so a feedback-style sink may legally call
+  // Push/AdvanceTo from OnEmission — which recurses into this function
+  // while drain_scratch_ is mid-iteration. The guard turns the nested
+  // drain into a no-op; whatever it would have delivered goes out with the
+  // enclosing drain's next shard or the next call.
+  if (draining_) return;
+  draining_ = true;
+  any_outbox_ready_.store(false, std::memory_order_relaxed);
+  for (auto& shard : shards_) {
+    if (!shard->outbox_ready.load(std::memory_order_acquire)) continue;
+    drain_scratch_.clear();
+    {
+      std::lock_guard<std::mutex> lock(shard->outbox_mu);
+      drain_scratch_.swap(shard->outbox);
+      shard->outbox_ready.store(false, std::memory_order_relaxed);
+    }
+    // Deliver outside the lock: a slow sink must not stall the worker.
+    for (const Emission& emission : drain_scratch_) {
+      sink_->OnEmission(emission);
+    }
+  }
+  draining_ = false;
 }
 
 Status ShardedSession::Push(const Event& event) {
@@ -234,7 +326,8 @@ Status ShardedSession::Push(const Event& event) {
   Status ordered = gate_.CheckEvent(event.time);
   if (!ordered.ok()) return ordered;
   gate_.CommitEvent(event.time);
-  Enqueue(event);
+  StageEvent(event);
+  DrainEmissions();
   return Status::Ok();
 }
 
@@ -246,8 +339,65 @@ Status ShardedSession::PushBatch(std::span<const Event> events) {
     Status ordered = gate_.CheckEvent(e.time);
     if (!ordered.ok()) return ordered;
     gate_.CommitEvent(e.time);
-    Enqueue(e);
+    StageEvent(e);
   }
+  DrainEmissions();
+  return Status::Ok();
+}
+
+Status ShardedSession::PushPrePartitioned(PartitionedBatch batches) {
+  if (closed_) {
+    return Status::FailedPrecondition(
+        "PushPrePartitioned on a closed session");
+  }
+  if (batches.size() != shards_.size()) {
+    return Status::InvalidArgument(
+        "PushPrePartitioned got " + std::to_string(batches.size()) +
+        " sub-batches for " + std::to_string(shards_.size()) + " shards");
+  }
+  // Validate everything before committing anything: each sub-batch must be
+  // internally strictly increasing and start after the previous call's
+  // events and watermark. Cross-shard interleaving inside the chunk is
+  // deliberately unconstrained — each shard's Session only ever compares
+  // timestamps within its own subsequence.
+  Timestamp max_time = 0;
+  bool any = false;
+  for (size_t i = 0; i < batches.size(); ++i) {
+    const EventVector& batch = batches[i];
+    if (batch.empty()) continue;
+    Status ordered = gate_.CheckEvent(batch.front().time);
+    if (!ordered.ok()) return ordered;
+    for (size_t j = 1; j < batch.size(); ++j) {
+      if (batch[j].time <= batch[j - 1].time) {
+        return Status::InvalidArgument(
+            "out-of-order event at t=" + std::to_string(batch[j].time) +
+            " in shard " + std::to_string(i) +
+            " sub-batch (previous at t=" +
+            std::to_string(batch[j - 1].time) + ")");
+      }
+    }
+#ifndef NDEBUG
+    for (const Event& e : batch) {
+      HAMLET_DCHECK(router_.ShardOf(e) == i);
+    }
+#endif
+    max_time = any ? std::max(max_time, batch.back().time)
+                   : batch.back().time;
+    any = true;
+  }
+  if (!any) return Status::Ok();
+  gate_.CommitEvent(max_time);
+  // Staged events predate this chunk; flush them first so every shard's
+  // queue stays in per-shard time order.
+  FlushAllShards();
+  for (size_t i = 0; i < batches.size(); ++i) {
+    if (batches[i].empty()) continue;
+    ShardMsg msg;
+    msg.kind = ShardMsg::Kind::kBatch;
+    msg.batch = std::move(batches[i]);
+    shards_[i]->Send(std::move(msg));
+  }
+  DrainEmissions();
   return Status::Ok();
 }
 
@@ -258,12 +408,16 @@ Status ShardedSession::AdvanceTo(Timestamp watermark) {
   Status ordered = gate_.CheckWatermark(watermark);
   if (!ordered.ok()) return ordered;
   gate_.CommitWatermark(watermark);
+  // The watermark is a barrier: staged events logically precede it, so
+  // they must reach their shards first.
+  FlushAllShards();
   for (auto& shard : shards_) {
     ShardMsg msg;
     msg.kind = ShardMsg::Kind::kWatermark;
     msg.watermark = watermark;
     shard->Send(std::move(msg));
   }
+  DrainEmissions();
   return Status::Ok();
 }
 
@@ -273,6 +427,7 @@ Result<RunMetrics> ShardedSession::Close() {
         "Close on a closed session (first Close already returned the final "
         "metrics; use MetricsSnapshot to re-read them)");
   }
+  FlushAllShards();
   for (auto& shard : shards_) {
     ShardMsg msg;
     msg.kind = ShardMsg::Kind::kStop;
@@ -285,6 +440,28 @@ Result<RunMetrics> ShardedSession::Close() {
   }
   final_metrics_ = merged;
   closed_.store(true, std::memory_order_release);
+  // Workers published every remaining emission before exiting; this final
+  // fan-in empties all outboxes into the sink. It runs after the session
+  // is marked closed, so a feedback sink pushing from OnEmission gets
+  // kFailedPrecondition instead of staging events no worker will ever
+  // process. It must NOT share DrainEmissions' guard/scratch: a sink may
+  // call Close from OnEmission mid-drain, and a guarded no-op here would
+  // silently lose the stop-flushed emissions of shards the interrupted
+  // drain already passed (nothing drains after Close). A local buffer
+  // keeps the interrupted drain's scratch intact.
+  if (sink_ != nullptr) {
+    for (auto& shard : shards_) {
+      std::vector<Emission> remaining;
+      {
+        std::lock_guard<std::mutex> lock(shard->outbox_mu);
+        remaining.swap(shard->outbox);
+        shard->outbox_ready.store(false, std::memory_order_relaxed);
+      }
+      for (const Emission& emission : remaining) {
+        sink_->OnEmission(emission);
+      }
+    }
+  }
   return merged;
 }
 

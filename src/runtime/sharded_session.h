@@ -14,31 +14,48 @@
 // A drop-in superset of Session (src/runtime/session.h):
 //   Result<std::unique_ptr<ShardedSession>> s =
 //       ShardedSession::Open(plan, config, &sink);   // config.num_shards
-//   s.value()->Push(event);                          // routed to one shard
-//   s.value()->AdvanceTo(watermark);                 // broadcast to all
+//   s.value()->Push(event);                          // staged to one shard
+//   s.value()->AdvanceTo(watermark);                 // flush + broadcast
 //   RunMetrics m = s.value()->Close().value();       // join + merged metrics
 //
-// Mechanics:
-//  * Ingress: one bounded SPSC ring (src/common/spsc_queue.h) per shard.
-//    Push is wait-free while the queue has space; a full queue applies
-//    backpressure by spinning the caller (the shard is saturated). Idle
-//    workers park on a condition variable with a timed wait, so an idle
-//    ShardedSession burns (almost) no CPU.
-//  * Watermarks: AdvanceTo validates once at the front, then broadcasts the
-//    watermark to every shard so pane-aligned window closure happens on all
-//    shards — including those that saw no recent events.
-//  * Emissions: every shard delivers through one shared mutex, so any
-//    EmissionSink written for the single-threaded Session works unmodified.
-//    Calls are serialized but arrive on worker threads; sinks keying on
-//    thread identity (thread-locals, TLS caches) are the one exception.
+// Mechanics (batch-granular end to end):
+//  * Ingress: Push/PushBatch validate ordering once at the front, then
+//    stage each event into its shard's staging buffer; a buffer reaching
+//    RunConfig::shard_batch_size is handed to that shard's bounded SPSC
+//    ring (src/common/spsc_queue.h) as ONE batch message, so the per-event
+//    hot path is a hash plus an append — no queue traffic. Watermarks,
+//    Close and PushPrePartitioned flush all staging first (they are
+//    barriers), so results never depend on the batch size. A full queue
+//    applies backpressure by spinning the caller; idle workers park on a
+//    condition variable with a timed wait. Consumed batch buffers are
+//    recycled back to the producer through a second SPSC ring, so
+//    steady-state ingest allocates nothing.
+//  * Pre-partitioned ingress: PushPrePartitioned accepts per-shard
+//    sub-batches built ahead of time with the session's ShardRouter
+//    (src/stream/shard_router.h) — e.g. by a shard-aware generator cursor —
+//    and enqueues each directly, skipping the per-event hash entirely.
+//  * Watermarks: AdvanceTo validates once, flushes staging, then broadcasts
+//    the watermark to every shard so pane-aligned window closure happens on
+//    all shards — including those that saw no recent events.
+//  * Emissions: each shard buffers its emissions locally and publishes them
+//    to a per-shard outbox at message boundaries (batch/watermark/stop);
+//    the caller thread fans them in to the user sink during subsequent
+//    Push/PushBatch/AdvanceTo calls and at Close. No cross-shard lock
+//    exists on the emission path, every OnEmission call happens on the
+//    caller thread, and per-group emissions arrive in window order
+//    (cross-group interleaving is unspecified). Any single-threaded sink
+//    works unmodified — including thread-local-keyed ones, which the old
+//    worker-side serialized delivery broke.
 //  * Metrics: Close() joins the workers and merges per-shard RunMetrics via
-//    MergeRunMetrics — counters and peak memory sum, throughput sums,
-//    latency max/avg combine. Count and memory fields are deterministic for
-//    a fixed shard count.
+//    MergeRunMetrics — counters and peak memory sum, latency max/avg
+//    combine, elapsed is the max, and throughput is recomputed from merged
+//    events / elapsed (shards overlap in time, so rates never sum). Count
+//    and memory fields are deterministic for a fixed shard count.
 //
-// Threading contract: Open/Push/PushBatch/AdvanceTo/Close must all be
-// called from one thread at a time (single producer — matching the SPSC
-// ingress). MetricsSnapshot may be called concurrently with pushes.
+// Threading contract: Open/Push/PushBatch/PushPrePartitioned/AdvanceTo/
+// Close must all be called from one thread at a time (single producer —
+// matching the SPSC ingress). MetricsSnapshot may be called concurrently
+// with pushes.
 //
 // Requirement: all exec queries in the plan must share one group-by
 // attribute (true for every paper workload; Definition 5 gives it per
@@ -49,11 +66,11 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
 #include "src/runtime/session.h"
+#include "src/stream/shard_router.h"
 
 namespace hamlet {
 
@@ -61,15 +78,24 @@ namespace hamlet {
 /// must outlive every Push/AdvanceTo/Close call.
 class ShardedSession {
  public:
-  /// Validates `config` (including num_shards/shard_queue_capacity), builds
-  /// one Session per shard and starts the workers. `sink` may be nullptr to
-  /// drop emissions; otherwise it receives serialized OnEmission calls from
-  /// worker threads.
+  /// Validates `config` (including num_shards/shard_queue_capacity/
+  /// shard_batch_size), builds one Session per shard and starts the
+  /// workers. `sink` may be nullptr to drop emissions; otherwise it
+  /// receives OnEmission calls on the caller thread (see file comment,
+  /// "Emissions").
   static Result<std::unique_ptr<ShardedSession>> Open(
       const WorkloadPlan& plan, const RunConfig& config, EmissionSink* sink);
 
+  /// The event->shard map Open derived from the plan, without building a
+  /// session — for shard-aware stream sources that pre-partition batches.
+  /// Fails exactly when Open would: invalid num_shards, or num_shards > 1
+  /// on a plan whose exec queries mix group-by attributes.
+  static Result<ShardRouter> RouterFor(const WorkloadPlan& plan,
+                                       int num_shards);
+
   /// Stops and joins the workers (an implicit Close when still open;
-  /// the metrics of an implicit Close are discarded).
+  /// the metrics of an implicit Close are discarded, its emissions are
+  /// still delivered).
   ~ShardedSession();
 
   ShardedSession(const ShardedSession&) = delete;
@@ -78,47 +104,76 @@ class ShardedSession {
   /// Same contract as Session::Push: strictly increasing event times, never
   /// behind the last watermark; violations return kInvalidArgument naming
   /// the offending timestamp. After Close: kFailedPrecondition. A valid
-  /// event is enqueued to the shard owning its group (backpressure blocks
-  /// here when that shard's queue is full).
+  /// event is staged to the shard owning its group; the staging buffer is
+  /// enqueued when it reaches shard_batch_size (backpressure blocks here
+  /// when that shard's queue is full).
   Status Push(const Event& event);
 
   /// Ingests a time-ordered batch; stops at the first invalid event.
   Status PushBatch(std::span<const Event> events);
 
-  /// Validates the watermark once, then broadcasts it to every shard so all
-  /// panes/windows ending at or before it close. Same contract as
-  /// Session::AdvanceTo.
+  /// Ingests one pre-partitioned chunk: batches[i] is shard i's
+  /// subsequence, in stream order (build with router() — e.g. via
+  /// PartitionedBatchCursor / PartitionBatches). Requires
+  /// batches.size() == num_shards(), each sub-batch strictly
+  /// time-increasing, and every event after the previous call's events and
+  /// watermark. Events of *different* shards may carry equal timestamps
+  /// (the per-shard sessions never compare them). Takes ownership so each
+  /// sub-batch moves into its shard's queue without copying.
+  Status PushPrePartitioned(PartitionedBatch batches);
+
+  /// Validates the watermark once, flushes all staged events, then
+  /// broadcasts it to every shard so all panes/windows ending at or before
+  /// it close. Same contract as Session::AdvanceTo.
   Status AdvanceTo(Timestamp watermark);
 
-  /// Sends stop to every shard, joins the workers, and returns the merged
+  /// Flushes staging, sends stop to every shard, joins the workers,
+  /// delivers all remaining emissions to the sink, and returns the merged
   /// final metrics. A second Close returns kFailedPrecondition (the first
   /// call's metrics remain available through MetricsSnapshot).
   Result<RunMetrics> Close();
 
-  /// Merged metrics over what the shards have processed so far (queued but
-  /// unprocessed events are not yet counted). Safe to call while pushing.
+  /// Merged metrics over what the shards have processed so far (staged or
+  /// queued but unprocessed events are not yet counted). Safe to call while
+  /// pushing.
   RunMetrics MetricsSnapshot() const;
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// The session's event->shard map (identical to RouterFor on the same
+  /// plan and shard count).
+  const ShardRouter& router() const { return router_; }
 
  private:
   struct Shard;
 
   ShardedSession() = default;
 
-  size_t ShardOf(const Event& event) const;
-  void Enqueue(const Event& event);
+  void StageEvent(const Event& event);
+  /// Hands the shard's staged events to its queue as one batch message.
+  void FlushShard(Shard& shard);
+  void FlushAllShards();
+  /// Fans shard outboxes in to the user sink (caller thread only).
+  void DrainEmissions();
   static void WorkerLoop(Shard* shard);
 
   const WorkloadPlan* plan_ = nullptr;
   RunConfig config_;
-  /// Serializes sink delivery across shards (file comment, "Emissions").
-  std::mutex emission_mu_;
-  /// Group-by attribute shared by all exec queries; Schema::kInvalidId when
-  /// the workload has no GROUPBY (every event then routes to shard 0).
-  AttrId partition_attr_ = -1;
+  EmissionSink* sink_ = nullptr;
+  ShardRouter router_;
   std::vector<std::unique_ptr<Shard>> shards_;
   OrderingGate gate_;
+  /// Reused scratch for DrainEmissions, so steady-state fan-in allocates
+  /// nothing.
+  std::vector<Emission> drain_scratch_;
+  /// Reentrancy guard: a sink that calls Push/AdvanceTo from OnEmission
+  /// recurses into DrainEmissions while drain_scratch_ is mid-iteration;
+  /// the nested drain must no-op (its emissions leave on the next drain).
+  bool draining_ = false;
+  /// Set by any worker publishing to its outbox, cleared by the front when
+  /// it drains: the per-push "anything to drain?" check is one load
+  /// regardless of shard count.
+  std::atomic<bool> any_outbox_ready_{false};
   /// Atomic (release on Close, acquire in MetricsSnapshot) so a monitor
   /// thread polling MetricsSnapshot during Close sees final_metrics_ fully
   /// written, never a half-merged value.

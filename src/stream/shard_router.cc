@@ -1,0 +1,44 @@
+#include "src/stream/shard_router.h"
+
+#include "src/common/check.h"
+
+namespace hamlet {
+
+PartitionedBatchCursor::PartitionedBatchCursor(EventCursor* cursor,
+                                               const ShardRouter& router,
+                                               size_t batch_events)
+    : cursor_(cursor), router_(router), batch_events_(batch_events) {
+  HAMLET_CHECK(cursor != nullptr);
+  HAMLET_CHECK(batch_events >= 1);
+}
+
+bool PartitionedBatchCursor::NextBatch(PartitionedBatch* out) {
+  out->resize(static_cast<size_t>(router_.num_shards()));
+  for (EventVector& shard_batch : *out) shard_batch.clear();
+  size_t pulled = 0;
+  Event e;
+  while (pulled < batch_events_ && cursor_->Next(&e)) {
+    (*out)[router_.ShardOf(e)].push_back(e);
+    ++pulled;
+  }
+  return pulled > 0;
+}
+
+std::vector<PartitionedBatch> PartitionBatches(std::span<const Event> events,
+                                               const ShardRouter& router,
+                                               size_t batch_events) {
+  HAMLET_CHECK(batch_events >= 1);
+  std::vector<PartitionedBatch> chunks;
+  chunks.reserve(events.size() / batch_events + 1);
+  for (size_t i = 0; i < events.size(); i += batch_events) {
+    PartitionedBatch batch(static_cast<size_t>(router.num_shards()));
+    const size_t end = std::min(events.size(), i + batch_events);
+    for (size_t j = i; j < end; ++j) {
+      batch[router.ShardOf(events[j])].push_back(events[j]);
+    }
+    chunks.push_back(std::move(batch));
+  }
+  return chunks;
+}
+
+}  // namespace hamlet

@@ -1,0 +1,104 @@
+// Deterministic event -> shard routing, shared by the sharded runtime and
+// the shard-aware stream sources.
+//
+// The paper's pre-processing (§3.1) partitions each component's stream by
+// its group-by attribute because groups never interact. ShardRouter is that
+// partition function made explicit: a pure, copyable value object mapping an
+// event's group-by key to one of N shards via a SplitMix64 mix (adjacent
+// group keys must not land on adjacent shards, or workloads with few groups
+// would pile onto a shard prefix).
+//
+// Exposing the route as a value lets work move off the ingest hot path:
+//  * ShardedSession (src/runtime/sharded_session.h) routes internally with
+//    the same object it returns from router(), and
+//  * PartitionedBatchCursor / PartitionBatches below pre-partition a stream
+//    into per-shard sub-batches *at generation time*, so the ingest thread
+//    hands ready-made batches to the shard queues without hashing a single
+//    event (ShardedSession::PushPrePartitioned).
+#ifndef HAMLET_STREAM_SHARD_ROUTER_H_
+#define HAMLET_STREAM_SHARD_ROUTER_H_
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/stream/event.h"
+#include "src/stream/generator.h"
+#include "src/stream/schema.h"
+
+namespace hamlet {
+
+/// Pure event->shard map: hash(group-by key) % num_shards. Copyable and
+/// cheap; identical inputs route identically on every platform.
+class ShardRouter {
+ public:
+  /// Identity router: everything to shard 0.
+  ShardRouter() = default;
+
+  /// `partition_attr` is the group-by attribute shared by all exec queries
+  /// (Schema::kInvalidId when the workload has no GROUPBY — every event
+  /// then routes to shard 0). `num_shards` must be >= 1.
+  ShardRouter(AttrId partition_attr, int num_shards)
+      : partition_attr_(partition_attr), num_shards_(num_shards) {}
+
+  size_t ShardOf(const Event& event) const {
+    if (num_shards_ == 1) return 0;
+    int64_t key = 0;
+    if (partition_attr_ != Schema::kInvalidId &&
+        partition_attr_ < static_cast<AttrId>(event.num_attrs)) {
+      key = static_cast<int64_t>(std::llround(event.attr(partition_attr_)));
+    }
+    return static_cast<size_t>(SplitMix64Mix(static_cast<uint64_t>(key)) %
+                               static_cast<uint64_t>(num_shards_));
+  }
+
+  int num_shards() const { return num_shards_; }
+  AttrId partition_attr() const { return partition_attr_; }
+
+ private:
+  AttrId partition_attr_ = Schema::kInvalidId;
+  int num_shards_ = 1;
+};
+
+/// One pre-partitioned ingest unit: per_shard[i] holds, in stream order, the
+/// chunk's events routed to shard i. Within a chunk each per-shard
+/// subsequence is strictly time-increasing; subsequences of *different*
+/// shards may interleave arbitrarily (only per-shard order matters to the
+/// sharded runtime).
+using PartitionedBatch = std::vector<EventVector>;
+
+/// Shard-aware cursor adapter: drains an EventCursor in chunks of
+/// `batch_events` events, routing each into its shard's sub-batch. The
+/// bench harness uses this so shard-scaling runs measure engine work, not
+/// front-thread hashing.
+class PartitionedBatchCursor {
+ public:
+  /// `cursor` must outlive this object and yield strictly time-increasing
+  /// events. `batch_events` (>= 1) is the total chunk size across shards.
+  PartitionedBatchCursor(EventCursor* cursor, const ShardRouter& router,
+                         size_t batch_events);
+
+  /// Fills `*out` (resized to router.num_shards()) with the next chunk's
+  /// per-shard sub-batches; returns false when the stream is exhausted.
+  bool NextBatch(PartitionedBatch* out);
+
+  const ShardRouter& router() const { return router_; }
+
+ private:
+  EventCursor* cursor_;
+  ShardRouter router_;
+  size_t batch_events_;
+};
+
+/// Materializes a whole stream as pre-partitioned chunks of `batch_events`
+/// events each (the benchmark-side helper: build outside the timed region,
+/// then feed chunks to ShardedSession::PushPrePartitioned).
+std::vector<PartitionedBatch> PartitionBatches(std::span<const Event> events,
+                                               const ShardRouter& router,
+                                               size_t batch_events);
+
+}  // namespace hamlet
+
+#endif  // HAMLET_STREAM_SHARD_ROUTER_H_

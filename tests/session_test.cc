@@ -9,10 +9,12 @@
 // after Close) and the sink implementations.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <span>
 #include <string>
+#include <thread>
 
 #include "src/benchlib/workloads.h"
 #include "src/common/rng.h"
@@ -355,6 +357,156 @@ TEST_F(SessionContractTest, CsvSinkStreamsRows) {
   while (std::fgets(line, sizeof(line), tmp) != nullptr) ++data_rows;
   EXPECT_GT(data_rows, 0);
   std::fclose(tmp);
+}
+
+// Rejected calls do no engine work, so they must not accrue busy time —
+// otherwise a caller retrying after errors deflates reported throughput.
+TEST_F(SessionContractTest, RejectedCallsAccrueNoBusyTime) {
+  Result<std::unique_ptr<Session>> session =
+      Session::Open(*plan_, RunConfig(), nullptr);
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.value()->Push(Make(50, "A")).ok());
+  const double busy_after_accept =
+      session.value()->MetricsSnapshot().elapsed_seconds;
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_FALSE(session.value()->Push(Make(10, "B")).ok());
+    EXPECT_FALSE(session.value()->AdvanceTo(5).ok());
+  }
+  EventVector behind = {Make(7, "B"), Make(8, "B")};
+  EXPECT_FALSE(session.value()->PushBatch(behind).ok());
+  // Bitwise-unchanged: none of the 401 rejections touched the accumulator.
+  EXPECT_EQ(session.value()->MetricsSnapshot().elapsed_seconds,
+            busy_after_accept);
+}
+
+// MergeRunMetrics must not sum per-shard rates: shards run concurrently
+// over overlapping busy intervals, so a summed 4-shard merge would report
+// ~4x the real rate. The merged rate is merged events / merged elapsed.
+TEST(MergeRunMetricsTest, ThroughputRecomputedFromMergedTotals) {
+  RunMetrics a;
+  a.events = 3000;
+  a.elapsed_seconds = 3.0;
+  a.throughput_eps = 1000.0;
+  a.emissions = 10;
+  a.avg_latency_seconds = 0.5;
+  a.max_latency_seconds = 1.0;
+  a.evicted_compositions = 2;
+  RunMetrics b;
+  b.events = 1000;
+  b.elapsed_seconds = 2.0;
+  b.throughput_eps = 500.0;
+  b.emissions = 30;
+  b.avg_latency_seconds = 0.1;
+  b.max_latency_seconds = 2.0;
+  b.evicted_compositions = 3;
+  RunMetrics merged;
+  MergeRunMetrics(merged, a);
+  MergeRunMetrics(merged, b);
+  EXPECT_EQ(merged.events, 4000);
+  EXPECT_DOUBLE_EQ(merged.elapsed_seconds, 3.0);
+  // 4000 events over the 3.0s busy envelope — not 1500 (the old sum).
+  EXPECT_DOUBLE_EQ(merged.throughput_eps, 4000 / 3.0);
+  EXPECT_DOUBLE_EQ(merged.max_latency_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(merged.avg_latency_seconds, (0.5 * 10 + 0.1 * 30) / 40);
+  EXPECT_EQ(merged.evicted_compositions, 5);
+}
+
+// A composition branch that never emits (here: a two-step window that DNFs
+// on one OR branch while the other completes) must not leave its partial
+// (query, group, window) entry in the pending map forever.
+TEST(CompositionEviction, DeadBranchesEvictedAndMemoryBounded) {
+  Schema schema;
+  schema.AddAttr("v");
+  schema.AddAttr("g");
+  Workload workload(&schema);
+  ASSERT_TRUE(workload
+                  .Add(ParseQuery("RETURN COUNT(*) PATTERN SEQ(A, B+) OR "
+                                  "SEQ(C, D+) GROUPBY g WITHIN 100 ms")
+                           .value())
+                  .ok());
+  WorkloadPlan plan = AnalyzeWorkload(workload).value();
+  RunConfig config;
+  config.kind = EngineKind::kTwoStep;
+  // Low enough that the 18-B burst below always blows the budget (~2^18
+  // trends), high enough that the C/D+ branch (3 trends) completes.
+  config.two_step_budget = 1000;
+  auto run = [&](int windows) {
+    EventVector ev;
+    for (int w = 0; w < windows; ++w) {
+      Timestamp t = static_cast<Timestamp>(w) * 100 + 1;
+      auto add = [&](const char* type) {
+        Event e(t++, schema.AddType(type));
+        e.set_attr(0, 1.0);
+        e.set_attr(1, 0.0);
+        ev.push_back(e);
+      };
+      add("A");
+      for (int i = 0; i < 18; ++i) add("B");
+      add("C");
+      add("D");
+      add("D");
+    }
+    Result<std::unique_ptr<Session>> session =
+        Session::Open(plan, config, nullptr);
+    HAMLET_CHECK(session.ok());
+    HAMLET_CHECK(session.value()->PushBatch(ev).ok());
+    return session.value()->Close().value();
+  };
+  RunMetrics short_run = run(20);
+  RunMetrics long_run = run(200);
+  // Every window DNFs the A/B+ branch, so its C/D+ partial entry can never
+  // compose; each closed window must evict exactly one entry and emit
+  // nothing.
+  EXPECT_EQ(short_run.dnf_windows, 20);
+  EXPECT_EQ(short_run.evicted_compositions, 20);
+  EXPECT_EQ(short_run.emissions, 0);
+  EXPECT_EQ(long_run.evicted_compositions, 200);
+  // The leak made session memory grow with stream length; with per-window
+  // eviction the memory profile is periodic, so a 10x longer stream peaks
+  // exactly where the short one did (pending entries are charged to
+  // CurrentMemory, so a reintroduced leak shows up here).
+  EXPECT_EQ(long_run.peak_memory_bytes, short_run.peak_memory_bytes);
+}
+
+// An event only resets the emission-latency clock of windows it can
+// contribute to. Here C is relevant to the second query only: pushing it
+// late must not mask how long the first query's result actually waited.
+TEST(LatencyAttribution, IrrelevantEventsDoNotResetArrivalClock) {
+  Schema schema;
+  schema.AddAttr("v");
+  schema.AddAttr("g");
+  Workload workload(&schema);
+  for (const char* text :
+       {"RETURN COUNT(*) PATTERN SEQ(A, B+) GROUPBY g WITHIN 100 ms",
+        "RETURN COUNT(*) PATTERN SEQ(C, B+) GROUPBY g WITHIN 100 ms"}) {
+    ASSERT_TRUE(workload.Add(ParseQuery(text).value()).ok());
+  }
+  WorkloadPlan plan = AnalyzeWorkload(workload).value();
+  RunConfig config;
+  config.kind = EngineKind::kHamletDynamic;
+  Result<std::unique_ptr<Session>> session =
+      Session::Open(plan, config, nullptr);
+  ASSERT_TRUE(session.ok());
+  auto make = [&](Timestamp t, const char* type) {
+    Event e(t, schema.AddType(type));
+    e.set_attr(0, 1.0);
+    e.set_attr(1, 0.0);
+    return e;
+  };
+  ASSERT_TRUE(session.value()->Push(make(10, "A")).ok());
+  ASSERT_TRUE(session.value()->Push(make(20, "B")).ok());
+  // The first query's [0,100) window last saw a relevant event here; its
+  // emission latency must include this wait.
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  ASSERT_TRUE(session.value()->Push(make(30, "C")).ok());
+  ASSERT_TRUE(session.value()->AdvanceTo(100).ok());
+  RunMetrics m = session.value()->Close().value();
+  // [0,100) for both queries, plus the watermark-opened [100,200) pair
+  // flushed empty by Close.
+  EXPECT_EQ(m.emissions, 4);
+  // Pre-fix, the late C stamped the first query's window too, reporting
+  // ~0 latency for a result that waited >= 120 ms.
+  EXPECT_GE(m.max_latency_seconds, 0.1);
 }
 
 // CollectingSink::Take matches the documented batch order even when windows

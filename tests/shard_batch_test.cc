@@ -1,0 +1,505 @@
+// Batched shard ingress + pre-partitioned ingest tests.
+//
+// The core property extends shard-count invariance to ingress granularity:
+// for every EngineKind, shard count (1/2/4/8) and shard_batch_size
+// (1 = per-event hand-off through 1024 ≫ stream chunks), the emission set
+// of a ShardedSession equals the single-threaded batch Run() on the same
+// stream — staging, batch flushes, watermark barriers and the emission
+// fan-in must never change *what* is computed, only how it is handed off.
+// Also covered: PushPrePartitioned fed by the shard-aware
+// PartitionedBatchCursor (src/stream/shard_router.h), its fail-fast
+// contract (sub-batch count, per-shard ordering, cross-call ordering),
+// RouterFor consistency with the session's own router, and backpressure
+// with tiny queues and tiny batches at once.
+//
+// Registered in the ASan and TSan CI jobs next to sharded_session_test:
+// together they drive every cross-thread path of the batched runtime —
+// SPSC batch hand-off, buffer recycling, parking, outbox fan-in — under
+// real concurrency.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/benchlib/workloads.h"
+#include "src/query/parser.h"
+#include "src/runtime/executor.h"
+#include "src/runtime/sharded_session.h"
+#include "src/stream/shard_router.h"
+
+namespace hamlet {
+namespace {
+
+constexpr EngineKind kAllKinds[] = {
+    EngineKind::kHamletDynamic, EngineKind::kHamletStatic,
+    EngineKind::kHamletNoShare, EngineKind::kGretaGraph,
+    EngineKind::kGretaPrefix,   EngineKind::kTwoStep,
+    EngineKind::kSharon};
+
+// Exact (bitwise) equality, except that two NaNs compare equal.
+void ExpectSameValue(double a, double b, const std::string& label) {
+  if (std::isnan(a) && std::isnan(b)) return;
+  EXPECT_EQ(a, b) << label;
+}
+
+// Set equality via the shared normalized order: one emission per
+// (query, group, window) makes the sorted sequences directly comparable.
+void ExpectSameEmissionSet(const std::vector<Emission>& expected,
+                           const std::vector<Emission>& actual,
+                           const std::string& label) {
+  ASSERT_EQ(expected.size(), actual.size()) << label;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    const Emission& a = expected[i];
+    const Emission& b = actual[i];
+    const std::string at = label + " emission #" + std::to_string(i);
+    EXPECT_EQ(a.query, b.query) << at;
+    EXPECT_EQ(a.query_name, b.query_name) << at;
+    EXPECT_EQ(a.group_key, b.group_key) << at;
+    EXPECT_EQ(a.window_start, b.window_start) << at;
+    EXPECT_EQ(a.window_end, b.window_end) << at;
+    ExpectSameValue(a.value, b.value, at);
+  }
+}
+
+struct ShardedResult {
+  std::vector<Emission> emissions;
+  RunMetrics metrics;
+};
+
+// Pushes `ev` through a ShardedSession in mixed granularity (singles via
+// Push, chunks via PushBatch) with occasional interleaved watermarks (each
+// one a staging-flush barrier) and a trailing watermark, then Close.
+ShardedResult RunSharded(const WorkloadPlan& plan, RunConfig config,
+                         int num_shards, int batch_size,
+                         const EventVector& ev, int queue_capacity = 8192) {
+  config.num_shards = num_shards;
+  config.shard_batch_size = batch_size;
+  config.shard_queue_capacity = queue_capacity;
+  CollectingSink sink;
+  Result<std::unique_ptr<ShardedSession>> session =
+      ShardedSession::Open(plan, config, &sink);
+  HAMLET_CHECK(session.ok());
+  Rng rng(static_cast<uint64_t>(num_shards) * 1000 +
+          static_cast<uint64_t>(batch_size));
+  size_t i = 0;
+  while (i < ev.size()) {
+    size_t len = 1 + static_cast<size_t>(rng.NextBelow(100));
+    len = std::min(len, ev.size() - i);
+    Status s = len == 1 ? session.value()->Push(ev[i])
+                        : session.value()->PushBatch(
+                              std::span<const Event>(ev.data() + i, len));
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    i += len;
+    if (i < ev.size() && rng.NextBelow(8) == 0) {
+      EXPECT_TRUE(session.value()->AdvanceTo(ev[i].time - 1).ok());
+    }
+  }
+  if (!ev.empty()) {
+    EXPECT_TRUE(session.value()->AdvanceTo(ev.back().time).ok());
+  }
+  ShardedResult out;
+  out.metrics = session.value()->Close().value();
+  out.emissions = sink.Take();
+  return out;
+}
+
+EventVector RidesharingStream(uint64_t seed, int num_groups) {
+  GeneratorConfig gen;
+  gen.seed = seed;
+  gen.events_per_minute = 600;
+  gen.duration_minutes = 1;
+  gen.num_groups = num_groups;
+  gen.burstiness = 0.6;
+  gen.max_burst = 8;
+  return MakeGenerator("ridesharing")->Generate(gen);
+}
+
+TEST(BatchGranularityEquivalence, AllEnginesAllShardCounts) {
+  BenchWorkload bw =
+      MakeWorkload1("ridesharing", 6, /*window_ms=*/5 * kMillisPerSecond);
+  EventVector ev = RidesharingStream(/*seed=*/91, /*num_groups=*/8);
+  for (EngineKind kind : kAllKinds) {
+    RunConfig config;
+    config.kind = kind;
+    StreamExecutor executor(*bw.plan, config);
+    RunOutput batch = executor.Run(ev);
+    ASSERT_TRUE(batch.status.ok()) << batch.status.ToString();
+    ASSERT_GT(batch.emissions.size(), 0u) << EngineKindName(kind);
+    for (int shards : {1, 2, 4, 8}) {
+      ShardedResult sharded =
+          RunSharded(*bw.plan, config, shards, /*batch_size=*/7, ev);
+      const std::string label = std::string(EngineKindName(kind)) + "/N=" +
+                                std::to_string(shards);
+      ExpectSameEmissionSet(batch.emissions, sharded.emissions, label);
+      EXPECT_EQ(batch.metrics.events, sharded.metrics.events) << label;
+      EXPECT_EQ(batch.metrics.emissions, sharded.metrics.emissions) << label;
+      EXPECT_EQ(batch.metrics.dnf_windows, sharded.metrics.dnf_windows)
+          << label;
+    }
+  }
+}
+
+TEST(BatchGranularityEquivalence, BatchSizeSweep) {
+  BenchWorkload bw =
+      MakeWorkload1("ridesharing", 6, /*window_ms=*/5 * kMillisPerSecond);
+  EventVector ev = RidesharingStream(/*seed=*/92, /*num_groups=*/8);
+  RunConfig config;
+  config.kind = EngineKind::kHamletDynamic;
+  StreamExecutor executor(*bw.plan, config);
+  RunOutput batch = executor.Run(ev);
+  ASSERT_TRUE(batch.status.ok());
+  // 1 is the per-event hand-off baseline; 1024 exceeds every chunk, so all
+  // flushes come from the watermark/Close barriers.
+  for (int batch_size : {1, 2, 64, 1024}) {
+    ShardedResult sharded =
+        RunSharded(*bw.plan, config, /*num_shards=*/3, batch_size, ev);
+    const std::string label = "batch=" + std::to_string(batch_size);
+    ExpectSameEmissionSet(batch.emissions, sharded.emissions, label);
+    EXPECT_EQ(batch.metrics.events, sharded.metrics.events) << label;
+  }
+}
+
+// Tiny everything: a two-slot queue and three-event batches force the
+// producer through backpressure on nearly every flush; results must not
+// change.
+TEST(BatchGranularityEquivalence, TinyQueueTinyBatchBackpressure) {
+  BenchWorkload bw =
+      MakeWorkload1("ridesharing", 4, /*window_ms=*/2 * kMillisPerSecond);
+  EventVector ev = RidesharingStream(/*seed=*/93, /*num_groups=*/8);
+  RunConfig config;
+  config.kind = EngineKind::kHamletDynamic;
+  StreamExecutor executor(*bw.plan, config);
+  RunOutput batch = executor.Run(ev);
+  ASSERT_TRUE(batch.status.ok());
+  ShardedResult sharded =
+      RunSharded(*bw.plan, config, /*num_shards=*/3, /*batch_size=*/3, ev,
+                 /*queue_capacity=*/2);
+  ExpectSameEmissionSet(batch.emissions, sharded.emissions, "tiny");
+  EXPECT_EQ(batch.metrics.events, sharded.metrics.events);
+}
+
+// PushPrePartitioned driven by the shard-aware cursor: same emissions as
+// batch Run() for every shard count, without the session hashing a single
+// event.
+TEST(PrePartitionedEquivalence, CursorDrivenAllShardCounts) {
+  BenchWorkload bw =
+      MakeWorkload1("ridesharing", 6, /*window_ms=*/5 * kMillisPerSecond);
+  GeneratorConfig gen;
+  gen.seed = 94;
+  gen.events_per_minute = 600;
+  gen.duration_minutes = 1;
+  gen.num_groups = 8;
+  gen.burstiness = 0.6;
+  gen.max_burst = 8;
+  EventVector ev = bw.generator->Generate(gen);
+  for (EngineKind kind : {EngineKind::kHamletDynamic, EngineKind::kSharon}) {
+    RunConfig config;
+    config.kind = kind;
+    StreamExecutor executor(*bw.plan, config);
+    RunOutput batch = executor.Run(ev);
+    ASSERT_TRUE(batch.status.ok());
+    for (int shards : {1, 2, 4, 8}) {
+      config.num_shards = shards;
+      CollectingSink sink;
+      Result<std::unique_ptr<ShardedSession>> session =
+          ShardedSession::Open(*bw.plan, config, &sink);
+      ASSERT_TRUE(session.ok());
+      std::unique_ptr<EventCursor> cursor = bw.generator->Stream(gen);
+      PartitionedBatchCursor batches(cursor.get(), session.value()->router(),
+                                     /*batch_events=*/64);
+      PartitionedBatch chunk;
+      while (batches.NextBatch(&chunk)) {
+        Status s = session.value()->PushPrePartitioned(std::move(chunk));
+        ASSERT_TRUE(s.ok()) << s.ToString();
+      }
+      ASSERT_TRUE(session.value()->AdvanceTo(ev.back().time).ok());
+      RunMetrics m = session.value()->Close().value();
+      const std::string label = std::string(EngineKindName(kind)) +
+                                "/prepart/N=" + std::to_string(shards);
+      EXPECT_EQ(batch.metrics.events, m.events) << label;
+      ExpectSameEmissionSet(batch.emissions, sink.Take(), label);
+    }
+  }
+}
+
+// Mixing the three ingest styles (Push, PushBatch, PushPrePartitioned) in
+// one run stays equivalent: staging flushes keep every shard's queue in
+// per-shard time order.
+TEST(PrePartitionedEquivalence, MixedIngestStyles) {
+  BenchWorkload bw =
+      MakeWorkload1("ridesharing", 4, /*window_ms=*/2 * kMillisPerSecond);
+  EventVector ev = RidesharingStream(/*seed=*/95, /*num_groups=*/8);
+  RunConfig config;
+  config.kind = EngineKind::kHamletDynamic;
+  StreamExecutor executor(*bw.plan, config);
+  RunOutput batch = executor.Run(ev);
+  ASSERT_TRUE(batch.status.ok());
+  config.num_shards = 3;
+  config.shard_batch_size = 5;
+  CollectingSink sink;
+  Result<std::unique_ptr<ShardedSession>> session =
+      ShardedSession::Open(*bw.plan, config, &sink);
+  ASSERT_TRUE(session.ok());
+  const ShardRouter& router = session.value()->router();
+  Rng rng(7);
+  size_t i = 0;
+  while (i < ev.size()) {
+    const uint64_t style = rng.NextBelow(3);
+    size_t len = 1 + static_cast<size_t>(rng.NextBelow(40));
+    len = std::min(len, ev.size() - i);
+    std::span<const Event> chunk(ev.data() + i, len);
+    Status s;
+    if (style == 0) {
+      s = session.value()->Push(ev[i]);
+      len = 1;
+    } else if (style == 1) {
+      s = session.value()->PushBatch(chunk);
+    } else {
+      std::vector<PartitionedBatch> parts =
+          PartitionBatches(chunk, router, len);
+      s = session.value()->PushPrePartitioned(std::move(parts.front()));
+    }
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    i += len;
+  }
+  ASSERT_TRUE(session.value()->AdvanceTo(ev.back().time).ok());
+  RunMetrics m = session.value()->Close().value();
+  EXPECT_EQ(batch.metrics.events, m.events);
+  ExpectSameEmissionSet(batch.emissions, sink.Take(), "mixed-ingest");
+}
+
+class PrePartitionedContractTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_.AddAttr("v");
+    schema_.AddAttr("g");
+    ASSERT_TRUE(
+        workload_
+            .Add(ParseQuery("RETURN COUNT(*) PATTERN SEQ(A, B+) GROUPBY g "
+                            "WITHIN 100 ms")
+                     .value())
+            .ok());
+    plan_ = std::make_unique<WorkloadPlan>(
+        AnalyzeWorkload(workload_).value());
+  }
+
+  Event Make(Timestamp t, const char* type, double group = 0.0) {
+    Event e(t, schema_.AddType(type));
+    e.set_attr(0, 1.0);
+    e.set_attr(1, group);
+    return e;
+  }
+
+  // A chunk routed with the session's router (all events into group 0's
+  // shard here, which is what the single group implies).
+  PartitionedBatch Routed(const ShardedSession& session,
+                          std::vector<Event> events) {
+    PartitionedBatch batch(
+        static_cast<size_t>(session.num_shards()));
+    for (const Event& e : events) {
+      batch[session.router().ShardOf(e)].push_back(e);
+    }
+    return batch;
+  }
+
+  Schema schema_;
+  Workload workload_{&schema_};
+  std::unique_ptr<WorkloadPlan> plan_;
+};
+
+TEST_F(PrePartitionedContractTest, RejectsWrongSubBatchCount) {
+  RunConfig config;
+  config.num_shards = 3;
+  Result<std::unique_ptr<ShardedSession>> session =
+      ShardedSession::Open(*plan_, config, nullptr);
+  ASSERT_TRUE(session.ok());
+  PartitionedBatch two(2);
+  Status s = session.value()->PushPrePartitioned(std::move(two));
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("sub-batches"), std::string::npos);
+}
+
+TEST_F(PrePartitionedContractTest, RejectsOutOfOrderWithinShard) {
+  RunConfig config;
+  config.num_shards = 2;
+  Result<std::unique_ptr<ShardedSession>> session =
+      ShardedSession::Open(*plan_, config, nullptr);
+  ASSERT_TRUE(session.ok());
+  PartitionedBatch batch = Routed(*session.value(),
+                                  {Make(10, "A"), Make(20, "B")});
+  // Corrupt per-shard order in whichever sub-batch got the events.
+  for (EventVector& sub : batch) {
+    if (sub.size() == 2) std::swap(sub[0], sub[1]);
+  }
+  Status s = session.value()->PushPrePartitioned(std::move(batch));
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("t=10"), std::string::npos);
+  // Nothing was committed: the same events in order are still accepted.
+  EXPECT_TRUE(session.value()
+                  ->PushPrePartitioned(Routed(
+                      *session.value(), {Make(10, "A"), Make(20, "B")}))
+                  .ok());
+  EXPECT_EQ(session.value()->Close().value().events, 2);
+}
+
+TEST_F(PrePartitionedContractTest, RejectsEventsBehindPreviousCall) {
+  RunConfig config;
+  config.num_shards = 2;
+  Result<std::unique_ptr<ShardedSession>> session =
+      ShardedSession::Open(*plan_, config, nullptr);
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.value()->Push(Make(50, "A")).ok());
+  Status s = session.value()->PushPrePartitioned(
+      Routed(*session.value(), {Make(20, "B")}));
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("t=20"), std::string::npos);
+  // Empty chunks are fine (a shard-aware source may have nothing buffered).
+  EXPECT_TRUE(session.value()
+                  ->PushPrePartitioned(PartitionedBatch(2))
+                  .ok());
+  RunMetrics m = session.value()->Close().value();
+  EXPECT_EQ(m.events, 1);
+  EXPECT_EQ(session.value()
+                ->PushPrePartitioned(PartitionedBatch(2))
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(PrePartitionedContractTest, RouterForMatchesSessionRouter) {
+  RunConfig config;
+  config.num_shards = 4;
+  Result<std::unique_ptr<ShardedSession>> session =
+      ShardedSession::Open(*plan_, config, nullptr);
+  ASSERT_TRUE(session.ok());
+  Result<ShardRouter> standalone = ShardedSession::RouterFor(*plan_, 4);
+  ASSERT_TRUE(standalone.ok());
+  EXPECT_EQ(standalone.value().num_shards(), 4);
+  EXPECT_EQ(standalone.value().partition_attr(),
+            session.value()->router().partition_attr());
+  for (int g = 0; g < 64; ++g) {
+    Event e = Make(10 + g, "A", /*group=*/static_cast<double>(g));
+    EXPECT_EQ(standalone.value().ShardOf(e),
+              session.value()->router().ShardOf(e))
+        << g;
+  }
+  ASSERT_TRUE(session.value()->Close().ok());
+  // RouterFor fails exactly like Open on garbage shard counts.
+  EXPECT_EQ(ShardedSession::RouterFor(*plan_, 0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// Sinks run on the caller thread, so a feedback-style sink may call Push
+// from OnEmission. The reentrant call must neither corrupt the fan-in
+// scratch (reentrancy guard) nor, during Close's final drain, stage events
+// no worker will ever process (the session is closed by then).
+TEST_F(PrePartitionedContractTest, ReentrantFeedbackSinkIsSafe) {
+  RunConfig config;
+  config.num_shards = 2;
+  config.shard_batch_size = 1;  // surface emissions promptly
+  ShardedSession* raw = nullptr;
+  int accepted = 0;
+  int rejected = 0;
+  // Far past every driver watermark below, near enough that Close's
+  // pane-by-pane flush to the feedback windows stays cheap.
+  Timestamp next_feedback = 100'000;
+  CallbackSink sink([&](const Emission&) {
+    if (raw == nullptr) return;
+    Status s = raw->Push(Make(next_feedback++, "A"));
+    if (s.ok()) {
+      ++accepted;
+    } else {
+      EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+      ++rejected;
+    }
+  });
+  Result<std::unique_ptr<ShardedSession>> session =
+      ShardedSession::Open(*plan_, config, &sink);
+  ASSERT_TRUE(session.ok());
+  raw = session.value().get();
+  ASSERT_TRUE(raw->Push(Make(10, "A")).ok());
+  ASSERT_TRUE(raw->Push(Make(20, "B")).ok());
+  // Drive drains with growing watermarks until the [0,100) emission fans in
+  // and the sink's reentrant Push lands (then stop: the feedback events are
+  // far in the future, so further small watermarks would regress).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  Timestamp w = 500;
+  while (accepted == 0 && std::chrono::steady_clock::now() < deadline) {
+    ASSERT_TRUE(raw->AdvanceTo(w++).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(accepted, 1);
+  // Close flushes the feedback events' windows; their emissions hit the
+  // sink during the final drain, when the session is already closed.
+  RunMetrics m = raw->Close().value();
+  EXPECT_EQ(m.events, 2 + accepted);
+  EXPECT_GE(rejected, 1);
+}
+
+// A sink that calls Close() from OnEmission ("stop after first alert")
+// interrupts a drain mid-iteration. Close's final fan-in must still
+// deliver every remaining emission — including those of shards the
+// interrupted drain had already passed — and nothing may be delivered
+// twice.
+TEST_F(PrePartitionedContractTest, CloseFromSinkDeliversEverything) {
+  RunConfig config;
+  config.num_shards = 4;
+  config.shard_batch_size = 1;
+  ShardedSession* raw = nullptr;
+  int received = 0;
+  bool closed = false;
+  int64_t emissions_at_close = -1;
+  CallbackSink sink([&](const Emission&) {
+    ++received;
+    if (raw != nullptr && !closed) {
+      closed = true;
+      Result<RunMetrics> m = raw->Close();  // nested: inside a drain
+      ASSERT_TRUE(m.ok());
+      emissions_at_close = m.value().emissions;
+    }
+  });
+  Result<std::unique_ptr<ShardedSession>> session =
+      ShardedSession::Open(*plan_, config, &sink);
+  ASSERT_TRUE(session.ok());
+  raw = session.value().get();
+  // Several groups so multiple shards hold emissions when Close interrupts.
+  for (int g = 0; g < 8; ++g) {
+    ASSERT_TRUE(raw->Push(Make(10 + g, "A", static_cast<double>(g))).ok());
+  }
+  for (int g = 0; g < 8; ++g) {
+    ASSERT_TRUE(
+        raw->Push(Make(30 + g * 2, "B", static_cast<double>(g))).ok());
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  Timestamp w = 200;
+  while (!closed && std::chrono::steady_clock::now() < deadline) {
+    Status s = raw->AdvanceTo(w++);
+    if (!s.ok()) break;  // the sink closed the session mid-drive
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(closed);
+  // Every emission the closed session counted reached the sink exactly
+  // once, despite the drain interruption.
+  EXPECT_EQ(received, emissions_at_close);
+  EXPECT_EQ(raw->Close().status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(PrePartitionedContractTest, OpenValidatesShardBatchSize) {
+  RunConfig config;
+  config.shard_batch_size = 0;
+  Result<std::unique_ptr<ShardedSession>> r =
+      ShardedSession::Open(*plan_, config, nullptr);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("shard_batch_size"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hamlet

@@ -12,9 +12,10 @@
 // kInvalidArgument naming the timestamp, kFailedPrecondition after Close,
 // num_shards validation, mixed group-by rejection).
 //
-// This suite is the primary TSan target (the `tsan` CMake preset / CI job):
-// it drives every cross-thread path — SPSC hand-off, parking, serialized
-// sink, snapshot mirror — under real concurrency.
+// This suite is a primary TSan target (the `tsan` CMake preset / CI job,
+// together with shard_batch_test): it drives every cross-thread path —
+// SPSC batch hand-off, parking, the emission outbox fan-in, snapshot
+// mirror — under real concurrency.
 #include <gtest/gtest.h>
 
 #include <chrono>
@@ -101,6 +102,7 @@ void ExpectSameCounters(const RunMetrics& a, const RunMetrics& b,
   EXPECT_EQ(a.events, b.events) << label;
   EXPECT_EQ(a.emissions, b.emissions) << label;
   EXPECT_EQ(a.dnf_windows, b.dnf_windows) << label;
+  EXPECT_EQ(a.evicted_compositions, b.evicted_compositions) << label;
   EXPECT_EQ(a.decisions, b.decisions) << label;
   EXPECT_EQ(a.hamlet.events, b.hamlet.events) << label;
   EXPECT_EQ(a.hamlet.bursts_total, b.hamlet.bursts_total) << label;
