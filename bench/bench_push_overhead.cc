@@ -7,12 +7,15 @@
 // busy-time sampling).
 //
 // Part 2 — scaling: the same stream through ShardedSession at 1/2/4/8
-// shards (capped by --threads=N) on a multi-group workload, three ingress
+// shards (capped by --threads=N) on a multi-group workload, four ingress
 // granularities per shard count:
 //  * hand-off: shard_batch_size=1, one queue message per event — the
 //    pre-batching baseline the batched path must beat;
 //  * batched: the default staging batch, one message per
 //    shard_batch_size events;
+//  * adaptive: RunConfig::adaptive_batching — the per-shard controller
+//    picks the batch size per burst (full speed here, so it should ramp to
+//    the fixed ceiling and match the batched column);
 //  * prepart: PushPrePartitioned over batches built ahead of time with the
 //    session's ShardRouter, so the timed loop does no per-event hashing at
 //    all — the closest measurable proxy for real multi-core engine scaling.
@@ -21,10 +24,28 @@
 // queueing effects. Expect near-linear speedup up to the machine's core
 // count; beyond it the extra shards only add hand-off overhead.
 //
+// Part 3 — bursty ingress (fixed vs adaptive): the stream is replayed as
+// alternating full-speed bursts and paced lulls (2 ms inter-arrival). Burst
+// throughput is timed over the burst phases only; after each lull phase the
+// bench probes how long the lull tail takes to REACH its shard worker
+// (spin on MetricsSnapshot, capped at 4 ms) — the staging residency that
+// fixed batching turns into emission-delivery latency. Fixed batching
+// should win bursts and lose lulls badly (events sit staged until the next
+// burst fills the batch); adaptive should match burst throughput while
+// delivering lull events in microseconds.
+//
+// Part 4 — skewed groups (hash vs rebalance): a hot-key stream (30% of
+// events on one group, the rest spread over 63 progressively appearing
+// groups) at 4 shards, pure-hash routing versus
+// RunConfig::shard_rebalance_threshold. Reported: wall events/s, the
+// busiest shard's event share (the bottleneck the rebalancer removes), and
+// the diverted-key count.
+//
 // Pass --json to append one machine-readable `JSON: {...}` line per table
 // so future PRs can track the scaling numbers.
 #include <chrono>
 #include <string>
+#include <thread>
 
 #include "src/benchlib/harness.h"
 #include "src/runtime/executor.h"
@@ -136,8 +157,8 @@ void RunOverhead(const BenchWorkload& bw, const EventVector& events) {
 
 void RunScaling(const BenchWorkload& bw, const EventVector& events,
                 int max_shards, bool json) {
-  Table table({"shards", "hand-off eps", "batched eps", "prepart eps",
-               "speedup vs 1"});
+  Table table({"shards", "hand-off eps", "batched eps", "adaptive eps",
+               "prepart eps", "speedup vs 1"});
   std::string json_rows;
   double base = 0;
   for (int shards = 1; shards <= max_shards; shards *= 2) {
@@ -147,23 +168,28 @@ void RunScaling(const BenchWorkload& bw, const EventVector& events,
     // Per-event hand-off baseline: one queue message per event.
     RunConfig handoff_config = config;
     handoff_config.shard_batch_size = 1;
+    RunConfig adaptive_config = config;
+    adaptive_config.adaptive_batching = true;
     const double handoff = ShardedWallEps(*bw.plan, handoff_config, events);
     const double batched = ShardedWallEps(*bw.plan, config, events);
+    const double adaptive = ShardedWallEps(*bw.plan, adaptive_config, events);
     const double prepart = PrePartitionedWallEps(*bw.plan, config, events);
     if (shards == 1) base = batched;
     char speedup[32];
     std::snprintf(speedup, sizeof(speedup), "%.2fx",
                   base <= 0 ? 0.0 : batched / base);
     table.AddRow({std::to_string(shards), bench::Eps(handoff),
-                  bench::Eps(batched), bench::Eps(prepart), speedup});
+                  bench::Eps(batched), bench::Eps(adaptive),
+                  bench::Eps(prepart), speedup});
     if (json) {
-      char row[256];
+      char row[320];
       std::snprintf(row, sizeof(row),
                     "%s{\"shards\":%d,\"handoff_eps\":%.1f,"
-                    "\"batched_eps\":%.1f,\"prepartitioned_eps\":%.1f,"
+                    "\"batched_eps\":%.1f,\"adaptive_eps\":%.1f,"
+                    "\"prepartitioned_eps\":%.1f,"
                     "\"speedup_batched\":%.3f}",
                     json_rows.empty() ? "" : ",", shards, handoff, batched,
-                    prepart, base <= 0 ? 0.0 : batched / base);
+                    adaptive, prepart, base <= 0 ? 0.0 : batched / base);
       json_rows += row;
     }
   }
@@ -177,6 +203,201 @@ void RunScaling(const BenchWorkload& bw, const EventVector& events,
         "JSON: {\"bench\":\"push_overhead\",\"table\":\"shard_scaling\","
         "\"max_shards\":%d,\"events\":%zu,\"rows\":[%s]}\n",
         max_shards, events.size(), json_rows.c_str());
+    std::fflush(stdout);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Part 3: bursty ingress, fixed vs adaptive.
+// ---------------------------------------------------------------------------
+
+struct BurstyNumbers {
+  double burst_eps = 0.0;
+  double lull_handoff_mean_us = 0.0;
+  double lull_handoff_max_us = 0.0;
+  int64_t batches = 0;
+  int64_t max_queue_depth = 0;
+};
+
+/// Replays `events` as alternating full-speed bursts (PushBatch chunks) and
+/// paced lulls (single Push every kLullGap), probing after each lull how
+/// long its tail needs to reach the shard workers. See file comment.
+BurstyNumbers RunBurstyOnce(const WorkloadPlan& plan, const RunConfig& config,
+                            const EventVector& events) {
+  Result<std::unique_ptr<ShardedSession>> session =
+      ShardedSession::Open(plan, config, /*sink=*/nullptr);
+  HAMLET_CHECK(session.ok());
+  constexpr size_t kBurstLen = 4096;
+  constexpr size_t kLullLen = 16;
+  constexpr size_t kChunk = 256;
+  constexpr auto kLullGap = std::chrono::milliseconds(2);
+  constexpr auto kProbeCap = std::chrono::milliseconds(4);
+  BurstyNumbers out;
+  double burst_seconds = 0.0;
+  size_t burst_events = 0;
+  double probe_sum_us = 0.0;
+  int probes = 0;
+  size_t i = 0;
+  bool burst = true;
+  while (i < events.size()) {
+    if (burst) {
+      const size_t end = std::min(events.size(), i + kBurstLen);
+      burst_events += end - i;
+      const auto t0 = std::chrono::steady_clock::now();
+      while (i < end) {
+        const size_t len = std::min(kChunk, end - i);
+        HAMLET_CHECK(session.value()
+                         ->PushBatch(std::span<const Event>(
+                             events.data() + i, len))
+                         .ok());
+        i += len;
+      }
+      burst_seconds += std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+    } else {
+      const size_t end = std::min(events.size(), i + kLullLen);
+      while (i < end) {
+        std::this_thread::sleep_for(kLullGap);
+        HAMLET_CHECK(session.value()->Push(events[i]).ok());
+        ++i;
+      }
+      // Hand-off probe: a lull event that sits in staging is an emission
+      // the user sees late. Spin until every pushed event has reached its
+      // shard worker — or give up at the cap (fixed batching holds the lull
+      // tail hostage until the next burst fills the batch).
+      const auto t0 = std::chrono::steady_clock::now();
+      while (session.value()->MetricsSnapshot().events <
+                 static_cast<int64_t>(i) &&
+             std::chrono::steady_clock::now() - t0 < kProbeCap) {
+        std::this_thread::yield();
+      }
+      const double us = std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      probe_sum_us += us;
+      out.lull_handoff_max_us = std::max(out.lull_handoff_max_us, us);
+      ++probes;
+    }
+    burst = !burst;
+  }
+  RunMetrics m = session.value()->Close().value();
+  out.burst_eps = burst_seconds <= 0
+                      ? 0.0
+                      : static_cast<double>(burst_events) / burst_seconds;
+  out.lull_handoff_mean_us = probes == 0 ? 0.0 : probe_sum_us / probes;
+  for (int64_t bucket : m.shard_batch_hist) out.batches += bucket;
+  out.max_queue_depth = m.max_queue_depth_msgs;
+  return out;
+}
+
+void RunBursty(const BenchWorkload& bw, const EventVector& events,
+               int max_shards, bool json) {
+  const int shards = std::min(max_shards, 2);
+  Table table({"ingress", "burst eps", "lull hand-off us (mean)",
+               "lull hand-off us (max)", "batches", "max qdepth"});
+  std::string json_rows;
+  for (bool adaptive : {false, true}) {
+    RunConfig config;
+    config.kind = EngineKind::kHamletDynamic;
+    config.num_shards = shards;
+    config.adaptive_batching = adaptive;
+    BurstyNumbers n = RunBurstyOnce(*bw.plan, config, events);
+    char mean_us[32], max_us[32];
+    std::snprintf(mean_us, sizeof(mean_us), "%.0f", n.lull_handoff_mean_us);
+    std::snprintf(max_us, sizeof(max_us), "%.0f", n.lull_handoff_max_us);
+    table.AddRow({adaptive ? "adaptive" : "fixed", bench::Eps(n.burst_eps),
+                  mean_us, max_us, std::to_string(n.batches),
+                  std::to_string(n.max_queue_depth)});
+    if (json) {
+      char row[320];
+      std::snprintf(
+          row, sizeof(row),
+          "%s{\"mode\":\"%s\",\"burst_eps\":%.1f,"
+          "\"lull_handoff_mean_us\":%.1f,\"lull_handoff_max_us\":%.1f,"
+          "\"batches\":%lld,\"max_queue_depth\":%lld}",
+          json_rows.empty() ? "" : ",", adaptive ? "adaptive" : "fixed",
+          n.burst_eps, n.lull_handoff_mean_us, n.lull_handoff_max_us,
+          static_cast<long long>(n.batches),
+          static_cast<long long>(n.max_queue_depth));
+      json_rows += row;
+    }
+  }
+  bench::PrintFigure(
+      "Adaptive ingress (bursty preset)",
+      "alternating full-speed bursts and 2 ms-paced lulls; hand-off = "
+      "staging residency of the lull tail (capped at 4000 us)",
+      table);
+  if (json) {
+    std::printf(
+        "JSON: {\"bench\":\"push_overhead\",\"table\":\"adaptive_bursty\","
+        "\"shards\":%d,\"events\":%zu,\"rows\":[%s]}\n",
+        shards, events.size(), json_rows.c_str());
+    std::fflush(stdout);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Part 4: skewed groups, pure hash vs skew-aware rebalancing.
+// ---------------------------------------------------------------------------
+
+void RunSkewed(const BenchWorkload& bw, const EventVector& events,
+               int max_shards, bool json) {
+  const int shards = std::min(max_shards, 4);
+  Table table({"routing", "wall eps", "max shard share", "rebalanced keys"});
+  std::string json_rows;
+  for (int64_t threshold : {int64_t{0}, int64_t{64}}) {
+    RunConfig config;
+    config.kind = EngineKind::kHamletDynamic;
+    config.num_shards = shards;
+    config.shard_rebalance_threshold = threshold;
+    Result<std::unique_ptr<ShardedSession>> session =
+        ShardedSession::Open(*bw.plan, config, /*sink=*/nullptr);
+    HAMLET_CHECK(session.ok());
+    constexpr size_t kChunk = 512;
+    const auto start = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < events.size(); i += kChunk) {
+      const size_t len = std::min(kChunk, events.size() - i);
+      HAMLET_CHECK(session.value()
+                       ->PushBatch(std::span<const Event>(
+                           events.data() + i, len))
+                       .ok());
+    }
+    RunMetrics m = session.value()->Close().value();
+    const double eps = WallEps(events.size(), start);
+    int64_t busiest = 0;
+    for (int64_t per_shard : m.shard_events) {
+      busiest = std::max(busiest, per_shard);
+    }
+    const double share =
+        m.events <= 0 ? 0.0
+                      : static_cast<double>(busiest) /
+                            static_cast<double>(m.events);
+    char share_str[32];
+    std::snprintf(share_str, sizeof(share_str), "%.1f%%", share * 100.0);
+    table.AddRow({threshold == 0 ? "hash" : "rebalance", bench::Eps(eps),
+                  share_str, std::to_string(m.rebalanced_keys)});
+    if (json) {
+      char row[256];
+      std::snprintf(row, sizeof(row),
+                    "%s{\"mode\":\"%s\",\"wall_eps\":%.1f,"
+                    "\"max_shard_share\":%.4f,\"rebalanced_keys\":%lld}",
+                    json_rows.empty() ? "" : ",",
+                    threshold == 0 ? "hash" : "rebalance", eps, share,
+                    static_cast<long long>(m.rebalanced_keys));
+      json_rows += row;
+    }
+  }
+  bench::PrintFigure(
+      "Skew routing (hot-key preset)",
+      "30% hot key + 63 progressively appearing groups; max shard share = "
+      "the bottleneck shard's fraction of all events",
+      table);
+  if (json) {
+    std::printf(
+        "JSON: {\"bench\":\"push_overhead\",\"table\":\"skew_routing\","
+        "\"shards\":%d,\"events\":%zu,\"rows\":[%s]}\n",
+        shards, events.size(), json_rows.c_str());
     std::fflush(stdout);
   }
 }
@@ -210,6 +431,13 @@ void Run(int max_shards, bool json) {
     gen.max_burst = 120;
     EventVector events = bw.generator->Generate(gen);
     RunScaling(bw, events, max_shards, json);
+    RunBursty(bw, events, max_shards, json);
+    // Skewed preset: same workload, group keys rewritten to a hot-key
+    // distribution with progressively appearing cold groups.
+    EventVector skewed = events;
+    SkewGroups(skewed, bw.plan->exec_queries[0].group_by, /*num_groups=*/64,
+               /*hot_fraction=*/0.3, /*seed=*/21);
+    RunSkewed(bw, skewed, max_shards, json);
   }
 }
 

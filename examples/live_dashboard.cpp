@@ -9,9 +9,11 @@
 // single-threaded sink a plain Session would use: the shards buffer their
 // emissions and the session fans them in to the sink on THIS thread during
 // Push/AdvanceTo/Close, so the sink needs no locking and may even use
-// thread-locals. Delivery granularity follows the ingress batch
-// (RunConfig::shard_batch_size); we shrink it here so dashboard lines
-// appear promptly at this example's modest event rate. Contrast with
+// thread-locals. Delivery granularity follows the ingress batch: with
+// RunConfig::adaptive_batching (used here) each shard shrinks its batch
+// toward per-event hand-off whenever the feed goes quiet — dashboard lines
+// appear promptly through lulls — and grows it back toward
+// shard_batch_size when a burst needs amortizing. Contrast with
 // examples/quickstart.cpp, which uses the batch Run() wrapper.
 //
 // Pass --threads=N to change the shard count (default 2).
@@ -60,7 +62,8 @@ int main(int argc, char** argv) {
   RunConfig config;
   config.kind = EngineKind::kHamletDynamic;
   config.num_shards = num_shards;  // validated at Open like every knob
-  config.shard_batch_size = 16;    // small batches = prompt dashboard lines
+  config.shard_batch_size = 16;    // ceiling for the adaptive controller
+  config.adaptive_batching = true;  // hand-off shrinks to 1 during lulls
   Result<std::unique_ptr<ShardedSession>> session =
       ShardedSession::Open(*plan, config, &sink);
   HAMLET_CHECK(session.ok());

@@ -179,4 +179,32 @@ BenchWorkload MakeWorkload2(int num_queries) {
   return bw;
 }
 
+void SkewGroups(EventVector& events, AttrId group_attr, int num_groups,
+                double hot_fraction, uint64_t seed) {
+  HAMLET_CHECK(num_groups >= 2);
+  HAMLET_CHECK(hot_fraction >= 0.0 && hot_fraction <= 1.0);
+  Rng rng(seed);
+  const size_t n = events.size();
+  const int cold_keys = num_groups - 1;
+  for (size_t i = 0; i < n; ++i) {
+    int64_t key;
+    if (rng.NextBelow(1'000'000) <
+        static_cast<uint64_t>(hot_fraction * 1'000'000)) {
+      key = 0;
+    } else {
+      // Progressive introduction: by position i, only the first
+      // ceil((i+1)/n * cold_keys) cold keys exist yet.
+      const int available = n == 0 ? cold_keys
+                                   : static_cast<int>(((i + 1) *
+                                                       static_cast<size_t>(
+                                                           cold_keys) +
+                                                       n - 1) /
+                                                      n);
+      key = 1 + static_cast<int64_t>(rng.NextBelow(
+                    static_cast<uint64_t>(available < 1 ? 1 : available)));
+    }
+    events[i].set_attr(group_attr, static_cast<double>(key));
+  }
+}
+
 }  // namespace hamlet

@@ -40,6 +40,17 @@ BenchWorkload MakeWorkload1(const std::string& dataset, int num_queries,
 /// and edge predicates on a fraction of queries (the snapshot drivers).
 BenchWorkload MakeWorkload2(int num_queries);
 
+/// Rewrites `events`' group-by attribute into a hot-key distribution: a
+/// `hot_fraction` share of events carries group key 0, the rest spreads
+/// uniformly over keys [1, num_groups). Cold keys are INTRODUCED
+/// PROGRESSIVELY — cold event i may only draw keys whose first possible
+/// occurrence is before i — modeling new groups appearing over the stream's
+/// lifetime, which is the case skew-aware shard routing can fix (keys that
+/// all appear in the first instant give the rebalancer no load history to
+/// react to). Deterministic in `seed`; timestamps are untouched.
+void SkewGroups(EventVector& events, AttrId group_attr, int num_groups,
+                double hot_fraction, uint64_t seed);
+
 }  // namespace hamlet
 
 #endif  // HAMLET_BENCHLIB_WORKLOADS_H_

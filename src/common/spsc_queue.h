@@ -1,8 +1,8 @@
 // Bounded single-producer / single-consumer ring queue.
 //
 // The ShardedSession ingress path (src/runtime/sharded_session.h) moves one
-// message per event from the caller thread to a shard worker; this queue
-// keeps that hand-off wait-free in the common case: one release store per
+// batch message per staging flush from the caller thread to a shard worker;
+// this queue keeps that hand-off wait-free in the common case: one release store per
 // TryPush, one release store per TryPop, no locks, no allocation after
 // construction. Exactly one thread may call TryPush and exactly one thread
 // may call TryPop; the queue itself never blocks — callers decide how to
@@ -54,6 +54,11 @@ class SpscQueue {
     const uint64_t head = head_.load(std::memory_order_relaxed);
     if (head == tail_.load(std::memory_order_acquire)) return false;
     *out = std::move(slots_[head & mask_]);
+    // Reset the slot: a moved-from T may legally keep its heap storage
+    // (std::vector does), and without the reset up to `capacity` popped
+    // payloads would stay alive inside the ring — invisible retained
+    // memory for heap-backed message types like event batches.
+    slots_[head & mask_] = T{};
     head_.store(head + 1, std::memory_order_release);
     return true;
   }
@@ -62,6 +67,16 @@ class SpscQueue {
   bool Empty() const {
     return head_.load(std::memory_order_relaxed) ==
            tail_.load(std::memory_order_acquire);
+  }
+
+  /// Number of occupied slots at some recent instant. Exact from the
+  /// producer thread between its own pushes (the consumer can only have
+  /// drained more); the adaptive batcher uses it as its queue-occupancy
+  /// signal.
+  size_t ApproxSize() const {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    return tail >= head ? static_cast<size_t>(tail - head) : 0;
   }
 
   size_t capacity() const { return mask_ + 1; }

@@ -1,6 +1,7 @@
 #include "src/runtime/session.h"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <cmath>
 #include <functional>
@@ -10,24 +11,30 @@
 
 namespace hamlet {
 
-namespace {
-
-double NowSeconds() {
+double MonotonicSeconds() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
 
+double ClockNow(const std::function<double()>& override_fn) {
+  return override_fn ? override_fn() : MonotonicSeconds();
+}
+
+namespace {
+
 /// RAII accumulator for the session's busy-time metric.
 class BusyScope {
  public:
-  explicit BusyScope(double* total) : total_(total), start_(NowSeconds()) {}
-  ~BusyScope() { *total_ += NowSeconds() - start_; }
+  BusyScope(double* total, const std::function<double()>& clock)
+      : total_(total), clock_(clock), start_(ClockNow(clock)) {}
+  ~BusyScope() { *total_ += ClockNow(clock_) - start_; }
 
   double start() const { return start_; }
 
  private:
   double* total_;
+  const std::function<double()>& clock_;
   double start_;
 };
 
@@ -78,6 +85,33 @@ Status ValidateRunConfig(const RunConfig& config) {
     return Status::InvalidArgument(
         "shard_batch_size must be >= 1, got " +
         std::to_string(config.shard_batch_size));
+  }
+  // shard_queue_capacity counts MESSAGES; the event footprint a full queue
+  // implies is capacity * batch_size, so two individually-sane knobs can
+  // compound into gigabytes of buffered events. Relate them explicitly —
+  // against the power-of-two capacity the ring actually allocates, not the
+  // requested one, so the enforced cap matches the runtime footprint.
+  const int64_t ring_capacity = static_cast<int64_t>(std::bit_ceil(
+      static_cast<uint64_t>(std::max(config.shard_queue_capacity, 2))));
+  const int64_t implied_events =
+      ring_capacity * static_cast<int64_t>(config.shard_batch_size);
+  if (implied_events > kMaxQueuedEventsPerShard) {
+    return Status::InvalidArgument(
+        "shard_queue_capacity is counted in messages, so shard_queue_capacity"
+        " (" +
+        std::to_string(config.shard_queue_capacity) + ", ring-rounded to " +
+        std::to_string(ring_capacity) + ") * shard_batch_size (" +
+        std::to_string(config.shard_batch_size) + ") = " +
+        std::to_string(implied_events) +
+        " buffered events per shard exceeds the " +
+        std::to_string(kMaxQueuedEventsPerShard) +
+        " cap; shrink one of the two knobs");
+  }
+  if (config.shard_rebalance_threshold < 0) {
+    return Status::InvalidArgument(
+        "shard_rebalance_threshold must be >= 0 (0 disables rebalancing), "
+        "got " +
+        std::to_string(config.shard_rebalance_threshold));
   }
   return Status::Ok();
 }
@@ -130,7 +164,13 @@ void MergeRunMetrics(RunMetrics& into, const RunMetrics& from) {
       into.elapsed_seconds <= 0
           ? 0.0
           : static_cast<double>(into.events) / into.elapsed_seconds;
-  into.peak_memory_bytes += from.peak_memory_bytes;
+  // Shards peak at different times: summing per-shard peaks overstates the
+  // concurrent footprint the same way summing rates overstated throughput.
+  // The max is the always-true lower bound; ShardedSession raises it with a
+  // sampled concurrent high-water mark over the sum of live footprints.
+  into.peak_memory_bytes =
+      std::max(into.peak_memory_bytes, from.peak_memory_bytes);
+  into.current_memory_bytes += from.current_memory_bytes;
   into.dnf_windows += from.dnf_windows;
   into.evicted_compositions += from.evicted_compositions;
   into.hamlet.events += from.hamlet.events;
@@ -144,6 +184,17 @@ void MergeRunMetrics(RunMetrics& into, const RunMetrics& from) {
   into.hamlet.merges += from.hamlet.merges;
   into.hamlet.ops += from.hamlet.ops;
   into.decisions += from.decisions;
+  if (into.shard_batch_hist.size() < from.shard_batch_hist.size()) {
+    into.shard_batch_hist.resize(from.shard_batch_hist.size(), 0);
+  }
+  for (size_t i = 0; i < from.shard_batch_hist.size(); ++i) {
+    into.shard_batch_hist[i] += from.shard_batch_hist[i];
+  }
+  into.rebalanced_keys += from.rebalanced_keys;
+  into.max_queue_depth_msgs =
+      std::max(into.max_queue_depth_msgs, from.max_queue_depth_msgs);
+  into.shard_events.insert(into.shard_events.end(), from.shard_events.begin(),
+                           from.shard_events.end());
 }
 
 std::vector<Emission> CollectingSink::Take() {
@@ -317,7 +368,7 @@ void Session::OpenDueWindows(GroupRunner& runner, Timestamp pane_start,
     slot.owner = owner;
     slot.ws = ws;
     slot.we = ws + within;
-    slot.last_arrival_wall = NowSeconds();
+    slot.last_arrival_wall = ClockNow(config_.clock_override);
     if (cohort_kind) {
       const QuerySet& cohort_members =
           comp.cohorts[static_cast<size_t>(owner)].second;
@@ -383,7 +434,7 @@ void Session::EmitExecValue(int exec_id, int64_t group_key,
     final_value = ComposeQueryValue(rule, values);
     pending_compositions_.erase(key);
   }
-  const double latency = NowSeconds() - arrival_wall;
+  const double latency = ClockNow(config_.clock_override) - arrival_wall;
   latency_sum_ += latency;
   latency_max_ = std::max(latency_max_, latency);
   ++latency_count_;
@@ -510,7 +561,7 @@ void Session::ProcessEvent(const Event& e, double arrival) {
   const Timestamp event_pane = (e.time / pane) * pane;
   if (!pane_started_ || event_pane > pane_start_) AdvancePaneTo(event_pane);
   ++events_;
-  if (arrival < 0) arrival = NowSeconds();
+  if (arrival < 0) arrival = ClockNow(config_.clock_override);
   for (auto& compp : components_) {
     Component& comp = *compp;
     if (e.type < 0 || e.type >= static_cast<TypeId>(comp.type_mask.size()) ||
@@ -582,7 +633,7 @@ Status Session::Push(const Event& event) {
   }
   Status ordered = gate_.CheckEvent(event.time);
   if (!ordered.ok()) return ordered;
-  BusyScope busy(&busy_seconds_);
+  BusyScope busy(&busy_seconds_, config_.clock_override);
   gate_.CommitEvent(event.time);
   // The scope-entry wall doubles as the event's arrival time, keeping the
   // per-event Push hot path at two clock reads total.
@@ -600,7 +651,7 @@ Status Session::PushBatch(std::span<const Event> events) {
   // was real and its effects stand).
   Status first = gate_.CheckEvent(events.front().time);
   if (!first.ok()) return first;
-  BusyScope busy(&busy_seconds_);
+  BusyScope busy(&busy_seconds_, config_.clock_override);
   for (const Event& e : events) {
     Status ordered = gate_.CheckEvent(e.time);
     if (!ordered.ok()) return ordered;
@@ -616,7 +667,7 @@ Status Session::AdvanceTo(Timestamp watermark) {
   }
   Status ordered = gate_.CheckWatermark(watermark);
   if (!ordered.ok()) return ordered;
-  BusyScope busy(&busy_seconds_);
+  BusyScope busy(&busy_seconds_, config_.clock_override);
   gate_.CommitWatermark(watermark);
   const Timestamp pane = plan_->pane_size;
   const Timestamp target = (watermark / pane) * pane;
@@ -635,6 +686,7 @@ void Session::FillMetrics(RunMetrics* m) const {
                           ? 0
                           : static_cast<double>(events_) / m->elapsed_seconds;
   m->peak_memory_bytes = std::max(peak_memory_, CurrentMemory());
+  m->current_memory_bytes = CurrentMemory();
   m->dnf_windows = dnf_windows_;
   m->evicted_compositions = evicted_compositions_;
   for (const auto& comp : components_) {
@@ -673,7 +725,7 @@ Result<RunMetrics> Session::Close() {
         "metrics; use MetricsSnapshot to re-read them)");
   }
   {
-    BusyScope busy(&busy_seconds_);
+    BusyScope busy(&busy_seconds_, config_.clock_override);
     // Flush: advance to the last window end (window ends are pane-aligned).
     Timestamp flush_to = pane_started_ ? pane_start_ : 0;
     for (const auto& comp : components_) {

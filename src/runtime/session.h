@@ -70,22 +70,61 @@ struct RunConfig {
   /// events are hash-partitioned by group-by key across this many threads.
   /// Must be in [1, kMaxShards]. Plain Session ignores it (always 1).
   int num_shards = 1;
-  /// Per-shard ingress queue capacity in *messages* (event batches + control
-  /// messages) before Push applies backpressure. Must be >= 2. Rounded up to
-  /// a power of two.
+  /// Per-shard ingress queue capacity in *MESSAGES* — event batches plus
+  /// control messages, NOT events — before Push applies backpressure. Must
+  /// be >= 2; rounded up to a power of two. The implied per-shard event
+  /// buffer is therefore ~shard_queue_capacity * shard_batch_size events;
+  /// Open rejects configs whose product exceeds kMaxQueuedEventsPerShard so
+  /// the two knobs cannot silently compound into gigabytes of queue.
   int shard_queue_capacity = 8192;
   /// ShardedSession ingress granularity: events staged per shard before the
   /// producer hands one batch message to that shard's queue. 1 reproduces
   /// per-event hand-off; larger values amortize the queue traffic across the
   /// batch. Watermarks, Close and PushPrePartitioned flush staging, so
   /// results never depend on this knob. Must be >= 1. Plain Session ignores
-  /// it.
+  /// it. With adaptive_batching this is the CEILING the per-shard effective
+  /// batch grows toward.
   int shard_batch_size = 128;
+  /// Burst-adaptive ingress (ShardedSession only): each shard's effective
+  /// staging batch adapts between 1 and shard_batch_size per staged event —
+  /// growing while the shard's queue is deep/busy (burst: amortize
+  /// messages), shrinking as arrival gaps open or the queue drains (lull:
+  /// cut emission-delivery latency). Driven by
+  /// stream/adaptive_batcher.h; emission sets are invariant either way.
+  bool adaptive_batching = false;
+  /// Skew-aware routing (ShardedSession only): when > 0, a group key seen
+  /// for the FIRST time whose hash shard leads the least-loaded shard by
+  /// more than this many recently staged events is routed to the
+  /// least-loaded shard instead (ShardRouter::EnableRebalancing).
+  /// Assignments are sticky, so per-group window order is preserved. 0
+  /// disables (pure hash); must be >= 0.
+  int64_t shard_rebalance_threshold = 0;
+  /// Test hook: overrides the monotonic wall clock (in seconds) used for
+  /// latency attribution, busy-time accounting and adaptive batching, so
+  /// timing-sensitive tests run deterministically under sanitizer/CI load.
+  /// Null (the default) uses MonotonicSeconds().
+  std::function<double()> clock_override;
 };
 
 /// Upper bound on RunConfig::num_shards — far above any sane core count,
 /// low enough to catch garbage (e.g. an uninitialized int) at Open.
 inline constexpr int kMaxShards = 1024;
+
+/// Upper bound on shard_queue_capacity * shard_batch_size, the per-shard
+/// buffered-event footprint a config may imply (~200 MB of Events at the
+/// default Event size). Catches knob combinations that each look sane alone.
+inline constexpr int64_t kMaxQueuedEventsPerShard = int64_t{1} << 22;
+
+/// Monotonic wall clock in seconds (steady_clock) — the default behind
+/// RunConfig::clock_override, shared by Session, ShardedSession and the
+/// benches so all latency numbers are on one timebase.
+double MonotonicSeconds();
+
+/// Reads a session clock: the given override when set, MonotonicSeconds()
+/// otherwise. The single dispatch point for RunConfig::clock_override, so
+/// the front thread and the per-shard workers can never drift onto
+/// different timebases.
+double ClockNow(const std::function<double()>& override_fn);
 
 /// Checks the config invariants documented above; Session::Open (and thus
 /// Run) fails fast with kInvalidArgument instead of tripping deep inside an
@@ -139,7 +178,15 @@ struct RunMetrics {
   double avg_latency_seconds = 0.0;
   double max_latency_seconds = 0.0;
   double throughput_eps = 0.0;
+  /// Peak engine-state footprint. Per Session: the exact high-water mark.
+  /// Merged (ShardedSession): a sampled CONCURRENT high-water mark — the
+  /// largest observed sum of simultaneous per-shard footprints, never the
+  /// sum of per-shard peaks (shards peak at different times, so that sum
+  /// overstated the concurrent footprint by up to the shard count).
   int64_t peak_memory_bytes = 0;
+  /// Engine-state footprint at the time of the snapshot; per-shard workers
+  /// publish it so the sharded front can sample the concurrent sum.
+  int64_t current_memory_bytes = 0;
   /// Two-step windows that exceeded the trend budget.
   int64_t dnf_windows = 0;
   /// Partial OR/AND composition entries discarded because their window
@@ -150,19 +197,38 @@ struct RunMetrics {
   HamletStats hamlet;
   /// Sharing decisions taken (dynamic policy only).
   int64_t decisions = 0;
+  /// Sharded ingress only (empty/0 for plain Sessions) — the burst-adaptive
+  /// ingress surface:
+  /// Histogram of flushed staging-batch sizes across all shards: bucket i
+  /// counts batch messages of size in [2^i, 2^(i+1)). Under adaptive
+  /// batching the spread shows how the controller moved between hand-off
+  /// (bucket 0) and full batches.
+  std::vector<int64_t> shard_batch_hist;
+  /// Group keys the skew-aware router diverted off their hash shard.
+  int64_t rebalanced_keys = 0;
+  /// Deepest any shard's ingress queue got, in messages (producer-observed).
+  int64_t max_queue_depth_msgs = 0;
+  /// Events processed per shard (index = shard id) — the imbalance surface
+  /// the rebalancer optimizes.
+  std::vector<int64_t> shard_events;
 };
 
 /// Folds `from` into `into` the way ShardedSession combines per-shard
-/// metrics: counters (events, emissions, DNFs, evictions, decisions, HAMLET
-/// stats) and peak memory are summed — shards hold their state
-/// simultaneously, so the aggregate footprint is the sum of per-shard
-/// peaks; elapsed is the max over shards (shards run concurrently over
-/// overlapping busy intervals, so summing busy time would double-count
-/// wall time); throughput is recomputed as merged events / merged elapsed —
-/// never summed, since summing per-shard rates over overlapping intervals
-/// inflates the merge by up to the shard count; avg latency is re-weighted
-/// by emission count and max latency is the max. All non-wall-clock fields
-/// stay deterministic for a fixed shard count.
+/// metrics: counters (events, emissions, DNFs, evictions, decisions,
+/// rebalanced keys, HAMLET stats, batch histogram buckets) and CURRENT
+/// memory are summed; peak memory takes the max — shards peak at different
+/// times, so summing per-shard peaks overstated the concurrent footprint
+/// exactly the way summing per-shard rates overstated throughput, and the
+/// max is the always-true lower bound which ShardedSession then raises with
+/// its sampled concurrent high-water mark (see RunMetrics::
+/// peak_memory_bytes); elapsed and max queue depth are the max over shards
+/// (shards run concurrently over overlapping busy intervals, so summing
+/// busy time would double-count wall time); throughput is recomputed as
+/// merged events / merged elapsed — never summed, since summing per-shard
+/// rates over overlapping intervals inflates the merge by up to the shard
+/// count; avg latency is re-weighted by emission count and max latency is
+/// the max; shard_events concatenates. Count fields stay deterministic for
+/// a fixed shard count.
 void MergeRunMetrics(RunMetrics& into, const RunMetrics& from);
 
 /// Receives query results as their windows close. Implementations must not

@@ -1,6 +1,9 @@
 #include "src/runtime/sharded_session.h"
 
+#include <algorithm>
+#include <array>
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
@@ -9,6 +12,7 @@
 #include <utility>
 
 #include "src/common/spsc_queue.h"
+#include "src/stream/adaptive_batcher.h"
 
 namespace hamlet {
 
@@ -50,11 +54,24 @@ constexpr int kIdleSpins = 64;
 /// bounds the cost of any missed notify to one period.
 constexpr auto kParkInterval = std::chrono::microseconds(500);
 
+/// Batch-size histogram buckets: bucket i counts flushed batches of size in
+/// [2^i, 2^(i+1)); the last bucket absorbs everything larger.
+constexpr size_t kBatchHistBuckets = 16;
+
+/// Concurrent-footprint sampling cadence, in staging flushes (see
+/// FlushShard).
+constexpr int kMemSampleEveryFlushes = 16;
+
+size_t BatchHistBucket(size_t batch_size) {
+  const size_t b = static_cast<size_t>(std::bit_width(batch_size)) - 1;
+  return b < kBatchHistBuckets ? b : kBatchHistBuckets - 1;
+}
+
 }  // namespace
 
 struct ShardedSession::Shard {
-  explicit Shard(size_t queue_capacity)
-      : queue(queue_capacity), recycle(queue_capacity) {}
+  Shard(size_t queue_capacity, int max_batch)
+      : queue(queue_capacity), recycle(queue_capacity), batcher(max_batch) {}
 
   SpscQueue<ShardMsg> queue;
   /// Worker -> producer return path for consumed batch buffers: the
@@ -63,8 +80,22 @@ struct ShardedSession::Shard {
   /// ring just lets the buffer deallocate.
   SpscQueue<EventVector> recycle;
   /// Producer-side staging buffer (front thread only): events accumulate
-  /// here until shard_batch_size or a barrier flushes them as one message.
+  /// here until the batch threshold or a barrier flushes them as one
+  /// message.
   EventVector staging;
+  /// Front-thread burst/lull controller: decides the staging threshold when
+  /// RunConfig::adaptive_batching is on (capped at shard_batch_size).
+  AdaptiveBatchController batcher;
+  /// Histogram of this shard's flushed batch sizes (front thread writes at
+  /// flush, a monitor thread may read through MetricsSnapshot — hence
+  /// relaxed atomics).
+  std::array<std::atomic<int64_t>, kBatchHistBuckets> batch_hist{};
+  /// Deepest the ingress queue has been, in messages (producer-observed
+  /// after each Send).
+  std::atomic<int64_t> max_queue_depth{0};
+  /// Worker-published current engine footprint, refreshed with the metrics
+  /// snapshot; the front sums these to sample the concurrent footprint.
+  std::atomic<int64_t> current_memory{0};
   /// The unmodified single-threaded machinery; touched only by `worker`
   /// after the thread starts.
   std::unique_ptr<Session> session;
@@ -102,9 +133,15 @@ struct ShardedSession::Shard {
     if (!queue.TryPush(std::move(msg))) {
       // Bounded-queue backpressure: the shard is saturated; yield the
       // producer until the worker frees a slot.
+      max_queue_depth.store(static_cast<int64_t>(queue.capacity()),
+                            std::memory_order_relaxed);
       do {
         std::this_thread::yield();
       } while (!queue.TryPush(std::move(msg)));
+    }
+    const int64_t depth = static_cast<int64_t>(queue.ApproxSize());
+    if (depth > max_queue_depth.load(std::memory_order_relaxed)) {
+      max_queue_depth.store(depth, std::memory_order_relaxed);
     }
     if (parked.load(std::memory_order_seq_cst)) {
       // Taking wake_mu orders this notify against the worker's parked-store
@@ -169,10 +206,14 @@ Result<std::unique_ptr<ShardedSession>> ShardedSession::Open(
   s->config_ = config;
   s->sink_ = sink;
   s->router_ = router.value();
+  // Skew-aware routing: sticky per-key assignments shared with every copy
+  // of this router (incl. PartitionedBatchCursor built from router()).
+  s->router_.EnableRebalancing(config.shard_rebalance_threshold);
   s->shards_.reserve(static_cast<size_t>(config.num_shards));
   for (int i = 0; i < config.num_shards; ++i) {
-    auto shard = std::make_unique<Shard>(
-        static_cast<size_t>(config.shard_queue_capacity));
+    auto shard =
+        std::make_unique<Shard>(static_cast<size_t>(config.shard_queue_capacity),
+                                config.shard_batch_size);
     shard->staging.reserve(static_cast<size_t>(config.shard_batch_size));
     shard->any_outbox_ready = &s->any_outbox_ready_;
     EmissionSink* shard_sink = nullptr;
@@ -199,6 +240,11 @@ ShardedSession::~ShardedSession() {
 void ShardedSession::WorkerLoop(Shard* shard) {
   auto refresh_snapshot = [shard] {
     RunMetrics m = shard->session->MetricsSnapshot();
+    // Published for the front's concurrent-footprint sampling, outside the
+    // snapshot mutex (the front reads it on the flush path and must not
+    // contend with a monitor thread holding snapshot_mu).
+    shard->current_memory.store(m.current_memory_bytes,
+                                std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(shard->snapshot_mu);
     shard->snapshot = m;
   };
@@ -250,6 +296,8 @@ void ShardedSession::WorkerLoop(Shard* shard) {
         HAMLET_CHECK(final.ok());
         shard->PublishEmissions();
         shard->final_metrics = final.value();
+        shard->current_memory.store(final.value().current_memory_bytes,
+                                    std::memory_order_relaxed);
         std::lock_guard<std::mutex> lock(shard->snapshot_mu);
         shard->snapshot = shard->final_metrics;
         return;
@@ -263,23 +311,53 @@ void ShardedSession::WorkerLoop(Shard* shard) {
   }
 }
 
-void ShardedSession::StageEvent(const Event& event) {
-  Shard& shard = *shards_[router_.ShardOf(event)];
+double ShardedSession::IngestNow() const {
+  return ClockNow(config_.clock_override);
+}
+
+void ShardedSession::StageEvent(const Event& event, double now_seconds) {
+  Shard& shard = *shards_[router_.Route(event)];
   shard.staging.push_back(event);
-  if (shard.staging.size() >=
-      static_cast<size_t>(config_.shard_batch_size)) {
-    FlushShard(shard);
+  size_t threshold = static_cast<size_t>(config_.shard_batch_size);
+  if (config_.adaptive_batching) {
+    // One burst/lull decision per staged event: deep/busy queue grows the
+    // threshold (amortize), opening gaps or a drained queue shrink it
+    // (deliver promptly). Capped at shard_batch_size either way.
+    threshold = static_cast<size_t>(shard.batcher.Observe(
+        now_seconds, shard.queue.ApproxSize(), shard.queue.capacity()));
   }
+  if (shard.staging.size() >= threshold) FlushShard(shard);
 }
 
 void ShardedSession::FlushShard(Shard& shard) {
   if (shard.staging.empty()) return;
+  const size_t bucket = BatchHistBucket(shard.staging.size());
+  shard.batch_hist[bucket].fetch_add(1, std::memory_order_relaxed);
   ShardMsg msg;
   msg.kind = ShardMsg::Kind::kBatch;
   // Reuse a worker-returned buffer's capacity when one is available.
   if (shard.recycle.TryPop(&msg.batch)) msg.batch.clear();
   msg.batch.swap(shard.staging);
   shard.Send(std::move(msg));
+  // Sample the concurrent footprint at flush boundaries, throttled: with
+  // batch size 1 (hand-off baseline, or adaptive in lull posture) a flush
+  // happens per event, and an O(num_shards) scan there would tax exactly
+  // the per-event path the batching modes are measured against. The peak
+  // is documented as sampled, so coarser sampling loses nothing.
+  if (++flushes_since_mem_sample_ >= kMemSampleEveryFlushes) {
+    flushes_since_mem_sample_ = 0;
+    SampleConcurrentMemory();
+  }
+}
+
+void ShardedSession::SampleConcurrentMemory() {
+  int64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->current_memory.load(std::memory_order_relaxed);
+  }
+  if (total > mem_high_water_.load(std::memory_order_relaxed)) {
+    mem_high_water_.store(total, std::memory_order_relaxed);
+  }
 }
 
 void ShardedSession::FlushAllShards() {
@@ -326,7 +404,7 @@ Status ShardedSession::Push(const Event& event) {
   Status ordered = gate_.CheckEvent(event.time);
   if (!ordered.ok()) return ordered;
   gate_.CommitEvent(event.time);
-  StageEvent(event);
+  StageEvent(event, config_.adaptive_batching ? IngestNow() : 0.0);
   DrainEmissions();
   return Status::Ok();
 }
@@ -335,11 +413,15 @@ Status ShardedSession::PushBatch(std::span<const Event> events) {
   if (closed_) {
     return Status::FailedPrecondition("PushBatch on a closed session");
   }
+  // One clock read per call, not per event: events of one batch arrived
+  // together, so they share an arrival instant (their inter-arrival gap is
+  // ~0, which is exactly what the burst detector should see).
+  const double now = config_.adaptive_batching ? IngestNow() : 0.0;
   for (const Event& e : events) {
     Status ordered = gate_.CheckEvent(e.time);
     if (!ordered.ok()) return ordered;
     gate_.CommitEvent(e.time);
-    StageEvent(e);
+    StageEvent(e, now);
   }
   DrainEmissions();
   return Status::Ok();
@@ -377,8 +459,14 @@ Status ShardedSession::PushPrePartitioned(PartitionedBatch batches) {
       }
     }
 #ifndef NDEBUG
-    for (const Event& e : batch) {
-      HAMLET_DCHECK(router_.ShardOf(e) == i);
+    // Pure-hash routing has exactly one valid placement per event. With
+    // rebalancing the binding pass below enforces the (looser) contract —
+    // agreement with sticky assignments, first sight binding — in all
+    // builds, so no DCHECK is needed there.
+    if (!router_.rebalancing()) {
+      for (const Event& e : batch) {
+        HAMLET_DCHECK(router_.ShardOf(e) == i);
+      }
     }
 #endif
     max_time = any ? std::max(max_time, batch.back().time)
@@ -386,6 +474,24 @@ Status ShardedSession::PushPrePartitioned(PartitionedBatch batches) {
     any = true;
   }
   if (!any) return Status::Ok();
+  // With skew-aware routing the caller's placement is authoritative for
+  // keys this session has not seen, but must agree with existing
+  // assignments — otherwise one group's stream would be split across two
+  // shards (two independent Sessions, duplicate per-window results). A
+  // chunk built with a pure-hash RouterFor router while this session
+  // rebalances is exactly that hazard. BindChunk validates the whole
+  // chunk, then binds its new keys atomically — a rejected chunk commits
+  // neither events nor routing state.
+  if (router_.rebalancing()) {
+    const int bad_shard = router_.BindChunk(batches);
+    if (bad_shard >= 0) {
+      return Status::InvalidArgument(
+          "PushPrePartitioned sub-batch " + std::to_string(bad_shard) +
+          " places an event of an already-routed group on the wrong shard; "
+          "with shard_rebalance_threshold > 0, build chunks with this "
+          "session's router(), not a standalone RouterFor");
+    }
+  }
   gate_.CommitEvent(max_time);
   // Staged events predate this chunk; flush them first so every shard's
   // queue stays in per-shard time order.
@@ -437,7 +543,9 @@ Result<RunMetrics> ShardedSession::Close() {
   for (auto& shard : shards_) {
     shard->worker.join();
     MergeRunMetrics(merged, shard->final_metrics);
+    merged.shard_events.push_back(shard->final_metrics.events);
   }
+  FillIngressMetrics(merged);
   final_metrics_ = merged;
   closed_.store(true, std::memory_order_release);
   // Workers published every remaining emission before exiting; this final
@@ -465,6 +573,31 @@ Result<RunMetrics> ShardedSession::Close() {
   return merged;
 }
 
+void ShardedSession::FillIngressMetrics(RunMetrics& merged) const {
+  merged.shard_batch_hist.assign(kBatchHistBuckets, 0);
+  int64_t max_depth = 0;
+  for (const auto& shard : shards_) {
+    for (size_t b = 0; b < kBatchHistBuckets; ++b) {
+      merged.shard_batch_hist[b] +=
+          shard->batch_hist[b].load(std::memory_order_relaxed);
+    }
+    max_depth = std::max(
+        max_depth, shard->max_queue_depth.load(std::memory_order_relaxed));
+  }
+  // Drop empty tail buckets so small-batch runs print compactly.
+  while (!merged.shard_batch_hist.empty() &&
+         merged.shard_batch_hist.back() == 0) {
+    merged.shard_batch_hist.pop_back();
+  }
+  merged.max_queue_depth_msgs = max_depth;
+  merged.rebalanced_keys = router_.rebalanced_keys();
+  // The merge left peak at max(per-shard peaks) — the always-true floor;
+  // the sampled concurrent sum can only raise it toward the true
+  // simultaneous footprint (and never past the sum of peaks).
+  merged.peak_memory_bytes = std::max(
+      merged.peak_memory_bytes, mem_high_water_.load(std::memory_order_relaxed));
+}
+
 RunMetrics ShardedSession::MetricsSnapshot() const {
   if (closed_.load(std::memory_order_acquire)) return final_metrics_;
   RunMetrics merged;
@@ -475,7 +608,9 @@ RunMetrics ShardedSession::MetricsSnapshot() const {
       m = shard->snapshot;
     }
     MergeRunMetrics(merged, m);
+    merged.shard_events.push_back(m.events);
   }
+  FillIngressMetrics(merged);
   return merged;
 }
 

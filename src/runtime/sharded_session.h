@@ -21,15 +21,28 @@
 // Mechanics (batch-granular end to end):
 //  * Ingress: Push/PushBatch validate ordering once at the front, then
 //    stage each event into its shard's staging buffer; a buffer reaching
-//    RunConfig::shard_batch_size is handed to that shard's bounded SPSC
+//    the shard's batch threshold is handed to that shard's bounded SPSC
 //    ring (src/common/spsc_queue.h) as ONE batch message, so the per-event
-//    hot path is a hash plus an append — no queue traffic. Watermarks,
+//    hot path is a hash plus an append — no queue traffic. The threshold is
+//    RunConfig::shard_batch_size, or — with RunConfig::adaptive_batching —
+//    a per-shard AdaptiveBatchController (src/stream/adaptive_batcher.h)
+//    that grows toward shard_batch_size while the shard's queue is
+//    deep/busy (burst: amortize messages) and shrinks toward 1 as arrival
+//    gaps open or the queue drains (lull: cut delivery latency), one
+//    decision per staged event, no timers or extra threads. Watermarks,
 //    Close and PushPrePartitioned flush all staging first (they are
-//    barriers), so results never depend on the batch size. A full queue
-//    applies backpressure by spinning the caller; idle workers park on a
-//    condition variable with a timed wait. Consumed batch buffers are
+//    barriers), so results never depend on either batching mode. A full
+//    queue applies backpressure by spinning the caller; idle workers park
+//    on a condition variable with a timed wait. Consumed batch buffers are
 //    recycled back to the producer through a second SPSC ring, so
 //    steady-state ingest allocates nothing.
+//  * Routing: events route to shards by group-by hash. With
+//    RunConfig::shard_rebalance_threshold > 0 the router is skew-aware: a
+//    NEW group key whose hash shard is overloaded (by more than the
+//    threshold over a sliding window of staged events) lands on the
+//    least-loaded shard instead. Assignments are sticky — a group's whole
+//    stream stays on one shard — so per-group results and ordering are
+//    unchanged; only the placement of newly appearing groups adapts.
 //  * Pre-partitioned ingress: PushPrePartitioned accepts per-shard
 //    sub-batches built ahead of time with the session's ShardRouter
 //    (src/stream/shard_router.h) — e.g. by a shard-aware generator cursor —
@@ -47,10 +60,17 @@
 //    works unmodified — including thread-local-keyed ones, which the old
 //    worker-side serialized delivery broke.
 //  * Metrics: Close() joins the workers and merges per-shard RunMetrics via
-//    MergeRunMetrics — counters and peak memory sum, latency max/avg
-//    combine, elapsed is the max, and throughput is recomputed from merged
-//    events / elapsed (shards overlap in time, so rates never sum). Count
-//    and memory fields are deterministic for a fixed shard count.
+//    MergeRunMetrics — counters sum, latency max/avg combine, elapsed is
+//    the max, and throughput is recomputed from merged events / elapsed
+//    (shards overlap in time, so rates never sum). Merged peak memory is a
+//    sampled CONCURRENT high-water mark: workers publish their current
+//    footprint, the front samples the sum at flush boundaries, and the
+//    result is max(samples, max per-shard peak) — never the sum of
+//    per-shard peaks, which overstates the concurrent footprint when
+//    shards peak at different times. The ingress layer also reports a
+//    batch-size histogram, the max queue depth, per-shard event counts and
+//    the rebalanced-key count (RunMetrics ingress fields). Count fields
+//    are deterministic for a fixed shard count; the sampled peak is not.
 //
 // Threading contract: Open/Push/PushBatch/PushPrePartitioned/AdvanceTo/
 // Close must all be called from one thread at a time (single producer —
@@ -149,10 +169,22 @@ class ShardedSession {
 
   ShardedSession() = default;
 
-  void StageEvent(const Event& event);
+  /// `now_seconds` feeds the shard's adaptive batch controller; pass 0 when
+  /// adaptive batching is off (the value is ignored).
+  void StageEvent(const Event& event, double now_seconds);
   /// Hands the shard's staged events to its queue as one batch message.
   void FlushShard(Shard& shard);
   void FlushAllShards();
+  /// Samples the sum of worker-published current footprints into
+  /// mem_high_water_ (called every kMemSampleEveryFlushes staging flushes —
+  /// cheap, amortized even at batch size 1).
+  void SampleConcurrentMemory();
+  /// Reads the ingest clock (RunConfig::clock_override or the monotonic
+  /// clock) — only when adaptive batching needs it.
+  double IngestNow() const;
+  /// Fills the merged metrics' ingress fields (batch histogram, queue
+  /// depth, per-shard events, rebalanced keys, concurrent peak).
+  void FillIngressMetrics(RunMetrics& merged) const;
   /// Fans shard outboxes in to the user sink (caller thread only).
   void DrainEmissions();
   static void WorkerLoop(Shard* shard);
@@ -179,6 +211,12 @@ class ShardedSession {
   /// written, never a half-merged value.
   std::atomic<bool> closed_{false};
   RunMetrics final_metrics_;
+  /// Largest observed sum of simultaneous per-shard footprints (see
+  /// SampleConcurrentMemory). Atomic so MetricsSnapshot may read it from a
+  /// monitor thread while the front samples.
+  std::atomic<int64_t> mem_high_water_{0};
+  /// Front-thread throttle for SampleConcurrentMemory.
+  int flushes_since_mem_sample_ = 0;
 };
 
 }  // namespace hamlet

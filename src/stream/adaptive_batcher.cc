@@ -1,0 +1,45 @@
+#include "src/stream/adaptive_batcher.h"
+
+namespace hamlet {
+
+int AdaptiveBatchController::Observe(double now_seconds, size_t queue_depth,
+                                     size_t queue_capacity) {
+  const double max = static_cast<double>(max_batch_);
+  if (last_arrival_ < 0.0) {
+    // First observation: no gap yet, so only the queue signal applies.
+    last_arrival_ = now_seconds;
+    if (queue_depth > 0) target_ = target_ * kGrow < max ? target_ * kGrow : max;
+    return static_cast<int>(target_);
+  }
+  double gap = now_seconds - last_arrival_;
+  if (gap < 0.0) gap = 0.0;  // a clock override may be held constant
+  last_arrival_ = now_seconds;
+  // The lull test below compares against the cadence BEFORE this gap —
+  // folding the gap in first would silently raise the effective threshold
+  // from kLullGapFactor x to (kLullGapFactor + 1/kGapAlpha - 1) x.
+  const double prior_ewma = ewma_gap_;
+  ewma_gap_ = ewma_gap_ <= 0.0 ? gap
+                               : (1.0 - kGapAlpha) * ewma_gap_ + kGapAlpha * gap;
+  if (queue_capacity > 0 &&
+      static_cast<double>(queue_depth) >=
+          kDeepOccupancy * static_cast<double>(queue_capacity)) {
+    // Deep queue: the worker is far behind; amortize maximally.
+    target_ = max;
+  } else if (queue_depth > 0) {
+    // Worker behind: burst posture, ramp toward max.
+    target_ = target_ * kGrow < max ? target_ * kGrow : max;
+  } else if ((prior_ewma > 0.0 && gap > kLullGapFactor * prior_ewma) ||
+             gap >= kLullGapSeconds) {
+    // Queue drained and the arrival gap is opening (relative to the recent
+    // cadence, or just plain wide): lull posture, shrink so events stop
+    // waiting in staging.
+    target_ = target_ * kShrink > 1.0 ? target_ * kShrink : 1.0;
+  } else {
+    // Queue drained, arrivals steady: the worker keeps up, so batching only
+    // delays delivery; drift down gently.
+    target_ = target_ * kDrainDecay > 1.0 ? target_ * kDrainDecay : 1.0;
+  }
+  return static_cast<int>(target_);
+}
+
+}  // namespace hamlet

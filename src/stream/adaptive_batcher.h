@@ -1,0 +1,90 @@
+// Burst-adaptive staging-batch controller for the sharded ingress path.
+//
+// HAMLET's thesis (§5) is that the right execution decision changes per
+// burst: a choice tuned for steady load loses during bursts and lulls.
+// RunConfig::shard_batch_size is exactly such a static choice — one fixed
+// staging batch for the whole run. A value tuned for bursts (large, to
+// amortize queue messages) over-delays emission delivery during lulls,
+// because staged events sit in the producer's buffer until the batch fills;
+// a value tuned for lulls (small, to hand events off promptly) drowns
+// bursts in per-event queue traffic.
+//
+// AdaptiveBatchController makes the batch size burst-granular, the same way
+// HAMLET makes sharing decisions burst-granular: pure arithmetic on two
+// signals the producer already has in hand — the observed inter-arrival
+// gap (wall clock) and the shard queue's occupancy — no timers, no extra
+// threads, one decision per staged event:
+//
+//  * queue deep (>= 1/4 full): the worker is far behind; jump straight to
+//    the configured maximum so every enqueue amortizes maximally;
+//  * queue non-empty: the worker is behind; grow multiplicatively toward
+//    the maximum (a burst ramps 1 -> max in ~log2(max) events);
+//  * queue drained and the inter-arrival gap opening (>> its EWMA): a lull;
+//    halve toward 1 so each event is handed off — and delivered — promptly;
+//  * queue drained, arrivals steady: the worker keeps up; decay gently
+//    toward 1, since batching is buying nothing but latency.
+//
+// The controller is deterministic in its observation sequence (time enters
+// only through the `now_seconds` argument), so tests drive it with a
+// synthetic clock — the same RunConfig::clock_override hook the session's
+// latency attribution uses. Correctness never depends on its choices: batch
+// boundaries only move events between messages, and the runtime's
+// watermark/Close barriers flush staging regardless (see
+// tests/adaptive_ingress_test.cc for the equivalence proof).
+#ifndef HAMLET_STREAM_ADAPTIVE_BATCHER_H_
+#define HAMLET_STREAM_ADAPTIVE_BATCHER_H_
+
+#include <cstddef>
+
+namespace hamlet {
+
+/// See file comment. One instance per shard, touched only by the ingest
+/// (producer) thread.
+class AdaptiveBatchController {
+ public:
+  /// EWMA weight of the newest inter-arrival gap.
+  static constexpr double kGapAlpha = 0.125;
+  /// Queue occupancy at or above which the target jumps straight to max.
+  static constexpr double kDeepOccupancy = 0.25;
+  /// Multiplicative growth per staged event while the queue is non-empty.
+  static constexpr double kGrow = 2.0;
+  /// Multiplicative shrink per staged event when a lull gap opens.
+  static constexpr double kShrink = 0.5;
+  /// A gap this many times the EWMA gap counts as a lull opening.
+  static constexpr double kLullGapFactor = 4.0;
+  /// Any drained-queue gap at or above this absolute width (1 ms) is a lull
+  /// regardless of the EWMA: at such rates a staged event would wait many
+  /// times the per-message hand-off cost, so batching buys nothing. Without
+  /// an absolute criterion the EWMA adapts to a sustained lull and the
+  /// relative test stops firing with the target still high.
+  static constexpr double kLullGapSeconds = 1e-3;
+  /// Decay per staged event when the queue is drained and arrivals steady.
+  static constexpr double kDrainDecay = 0.98;
+
+  /// `max_batch` (>= 1) is the ceiling the target grows toward — the
+  /// session passes RunConfig::shard_batch_size. The controller starts at
+  /// 1 (lull posture: deliver promptly until a burst proves otherwise).
+  explicit AdaptiveBatchController(int max_batch)
+      : max_batch_(max_batch < 1 ? 1 : max_batch) {}
+
+  /// Records one staged event observed at `now_seconds` (monotonic) with
+  /// the shard's queue holding `queue_depth` of `queue_capacity` messages,
+  /// and returns the updated target batch size in [1, max_batch].
+  int Observe(double now_seconds, size_t queue_depth, size_t queue_capacity);
+
+  /// The current target without recording an observation.
+  int target() const { return static_cast<int>(target_); }
+
+  int max_batch() const { return max_batch_; }
+
+ private:
+  int max_batch_;
+  /// Kept as a double so gentle decay accumulates across events.
+  double target_ = 1.0;
+  double last_arrival_ = -1.0;
+  double ewma_gap_ = 0.0;
+};
+
+}  // namespace hamlet
+
+#endif  // HAMLET_STREAM_ADAPTIVE_BATCHER_H_

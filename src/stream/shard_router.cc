@@ -1,8 +1,78 @@
 #include "src/stream/shard_router.h"
 
+#include <algorithm>
+
 #include "src/common/check.h"
 
 namespace hamlet {
+
+void ShardRouter::EnableRebalancing(int64_t threshold_events) {
+  if (threshold_events <= 0 || num_shards_ <= 1) return;
+  state_ = std::make_shared<RebalanceState>();
+  state_->threshold = threshold_events;
+  state_->current.assign(static_cast<size_t>(num_shards_), 0);
+  state_->previous.assign(static_cast<size_t>(num_shards_), 0);
+}
+
+size_t ShardRouter::Route(const Event& event) const {
+  if (state_ == nullptr) return ShardOf(event);
+  RebalanceState& st = *state_;
+  const int64_t key = KeyOf(event);
+  auto [it, is_new] = st.assignment.try_emplace(key, 0);
+  if (is_new) {
+    size_t shard = ShardOf(event);
+    // Windowed load = previous half-window + current partial half-window.
+    auto load = [&st](size_t s) { return st.previous[s] + st.current[s]; };
+    size_t least = 0;
+    for (size_t s = 1; s < st.current.size(); ++s) {
+      if (load(s) < load(least)) least = s;
+    }
+    if (load(shard) - load(least) > st.threshold) {
+      shard = least;
+      st.rebalanced_keys.fetch_add(1, std::memory_order_relaxed);
+    }
+    it->second = static_cast<uint32_t>(shard);
+  }
+  const size_t shard = it->second;
+  ++st.current[shard];
+  if (++st.in_window >= kRebalanceHalfWindow) {
+    st.previous.swap(st.current);
+    std::fill(st.current.begin(), st.current.end(), 0);
+    st.in_window = 0;
+  }
+  return shard;
+}
+
+size_t ShardRouter::AssignedShard(const Event& event) const {
+  if (state_ != nullptr) {
+    auto it = state_->assignment.find(KeyOf(event));
+    if (it != state_->assignment.end()) return it->second;
+  }
+  return ShardOf(event);
+}
+
+int ShardRouter::BindChunk(const std::vector<EventVector>& batches) const {
+  if (state_ == nullptr) return -1;
+  // Pass 1 — validate only: every event must agree with the key's existing
+  // assignment, and a new key must not appear in two sub-batches.
+  std::unordered_map<int64_t, uint32_t> fresh;
+  for (size_t i = 0; i < batches.size(); ++i) {
+    for (const Event& e : batches[i]) {
+      const int64_t key = KeyOf(e);
+      auto existing = state_->assignment.find(key);
+      if (existing != state_->assignment.end()) {
+        if (existing->second != i) return static_cast<int>(i);
+        continue;
+      }
+      auto [it, is_new] = fresh.try_emplace(key, static_cast<uint32_t>(i));
+      if (!is_new && it->second != i) return static_cast<int>(i);
+    }
+  }
+  // Pass 2 — commit: the whole chunk checked out, bind its new keys. A
+  // rejected chunk therefore never leaves partial bindings behind.
+  state_->assignment.insert(fresh.begin(), fresh.end());
+  return -1;
+}
 
 PartitionedBatchCursor::PartitionedBatchCursor(EventCursor* cursor,
                                                const ShardRouter& router,
@@ -18,7 +88,10 @@ bool PartitionedBatchCursor::NextBatch(PartitionedBatch* out) {
   size_t pulled = 0;
   Event e;
   while (pulled < batch_events_ && cursor_->Next(&e)) {
-    (*out)[router_.ShardOf(e)].push_back(e);
+    // Route (not ShardOf): with a rebalancing router copied from the
+    // session, the cursor's placements share the session's sticky key
+    // assignments and feed the same load window.
+    (*out)[router_.Route(e)].push_back(e);
     ++pulled;
   }
   return pulled > 0;
@@ -34,7 +107,7 @@ std::vector<PartitionedBatch> PartitionBatches(std::span<const Event> events,
     PartitionedBatch batch(static_cast<size_t>(router.num_shards()));
     const size_t end = std::min(events.size(), i + batch_events);
     for (size_t j = i; j < end; ++j) {
-      batch[router.ShardOf(events[j])].push_back(events[j]);
+      batch[router.Route(events[j])].push_back(events[j]);
     }
     chunks.push_back(std::move(batch));
   }

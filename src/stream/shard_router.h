@@ -3,10 +3,15 @@
 //
 // The paper's pre-processing (§3.1) partitions each component's stream by
 // its group-by attribute because groups never interact. ShardRouter is that
-// partition function made explicit: a pure, copyable value object mapping an
+// partition function made explicit: a copyable value object mapping an
 // event's group-by key to one of N shards via a SplitMix64 mix (adjacent
 // group keys must not land on adjacent shards, or workloads with few groups
-// would pile onto a shard prefix).
+// would pile onto a shard prefix). Optionally the hash is overlaid with
+// skew-aware rebalancing (EnableRebalancing): new group keys whose hash
+// shard is overloaded are diverted to the least-loaded shard — the fix for
+// a hot group pinning one shard at 100% while its hash-neighbors idle.
+// Assignments are sticky, so a group's whole stream still lands on exactly
+// one shard and per-group window order is preserved.
 //
 // Exposing the route as a value lets work move off the ingest hot path:
 //  * ShardedSession (src/runtime/sharded_session.h) routes internally with
@@ -18,9 +23,13 @@
 #ifndef HAMLET_STREAM_SHARD_ROUTER_H_
 #define HAMLET_STREAM_SHARD_ROUTER_H_
 
+#include <atomic>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -30,8 +39,14 @@
 
 namespace hamlet {
 
-/// Pure event->shard map: hash(group-by key) % num_shards. Copyable and
-/// cheap; identical inputs route identically on every platform.
+/// Event->shard map: hash(group-by key) % num_shards, optionally overlaid
+/// with skew-aware rebalancing (EnableRebalancing). Copyable and cheap;
+/// without rebalancing, identical inputs route identically on every
+/// platform. Copies of a rebalancing router SHARE the rebalance state (it
+/// sits behind a shared_ptr), so a PartitionedBatchCursor built from
+/// ShardedSession::router() stays consistent with the session's own
+/// routing. All routing calls (Route) must come from one thread at a time —
+/// the single-producer ingest contract the sharded runtime already imposes.
 class ShardRouter {
  public:
   /// Identity router: everything to shard 0.
@@ -43,23 +58,89 @@ class ShardRouter {
   ShardRouter(AttrId partition_attr, int num_shards)
       : partition_attr_(partition_attr), num_shards_(num_shards) {}
 
+  /// The pure hash route, ignoring any rebalance overrides. Stateless.
   size_t ShardOf(const Event& event) const {
     if (num_shards_ == 1) return 0;
-    int64_t key = 0;
-    if (partition_attr_ != Schema::kInvalidId &&
-        partition_attr_ < static_cast<AttrId>(event.num_attrs)) {
-      key = static_cast<int64_t>(std::llround(event.attr(partition_attr_)));
-    }
-    return static_cast<size_t>(SplitMix64Mix(static_cast<uint64_t>(key)) %
-                               static_cast<uint64_t>(num_shards_));
+    return static_cast<size_t>(
+        SplitMix64Mix(static_cast<uint64_t>(KeyOf(event))) %
+        static_cast<uint64_t>(num_shards_));
+  }
+
+  /// Turns on skew-aware routing: a group key seen for the FIRST time whose
+  /// hash shard leads the least-loaded shard by more than `threshold_events`
+  /// staged events (over a sliding window of recent routes) is assigned to
+  /// the least-loaded shard instead. Keys already seen never move — a
+  /// group's whole stream stays on one shard, so per-group window order is
+  /// untouched; only where NEW groups land adapts to the observed skew.
+  /// threshold_events <= 0 leaves the router pure. Call before routing.
+  void EnableRebalancing(int64_t threshold_events);
+
+  bool rebalancing() const { return state_ != nullptr; }
+
+  /// The stateful route: returns the key's assigned shard, deciding the
+  /// assignment on first sight (hash, or least-loaded when the hash shard
+  /// is overloaded — see EnableRebalancing) and recording the event in the
+  /// sliding load window. Without rebalancing this is exactly ShardOf.
+  /// Single-threaded; const because copies share the state object.
+  size_t Route(const Event& event) const;
+
+  /// The shard `event` is (or would be) routed to, without recording it:
+  /// the key's existing assignment if rebalancing knows one, else the hash.
+  size_t AssignedShard(const Event& event) const;
+
+  /// Records the externally-chosen placements of one pre-partitioned chunk
+  /// (sub-batch i = shard i) — the PushPrePartitioned path, where the
+  /// CALLER partitioned the events. Atomic: first validates every event
+  /// (a key already bound to a different shard, or one chunk placing the
+  /// same new key on two shards, would split a group), THEN binds all new
+  /// keys permanently. Returns -1 on success, else the index of the first
+  /// offending sub-batch with NO state mutated. No-op (-1) without
+  /// rebalancing, where the pure hash makes every router agree. Does not
+  /// feed the load window — pre-partitioned traffic was either counted at
+  /// build time (PartitionedBatchCursor routes through Route) or bypasses
+  /// the rebalancer by design.
+  int BindChunk(const std::vector<EventVector>& batches) const;
+
+  /// Group keys diverted off their hash shard so far (0 when pure).
+  int64_t rebalanced_keys() const {
+    return state_ == nullptr
+               ? 0
+               : state_->rebalanced_keys.load(std::memory_order_relaxed);
   }
 
   int num_shards() const { return num_shards_; }
   AttrId partition_attr() const { return partition_attr_; }
 
+  /// Sliding-window half-length, in routed events: windowed load = the
+  /// current half plus the whole previous half, so every load estimate
+  /// covers between one and two halves of recent traffic.
+  static constexpr int64_t kRebalanceHalfWindow = 2048;
+
  private:
+  struct RebalanceState {
+    int64_t threshold = 0;
+    /// Every key ever routed, with its sticky shard assignment.
+    std::unordered_map<int64_t, uint32_t> assignment;
+    /// Two-bucket sliding window of per-shard staged-event counts.
+    std::vector<int64_t> current;
+    std::vector<int64_t> previous;
+    int64_t in_window = 0;
+    /// Atomic so a metrics reader may poll it while the ingest thread
+    /// routes; everything else in here is ingest-thread-only.
+    std::atomic<int64_t> rebalanced_keys{0};
+  };
+
+  int64_t KeyOf(const Event& event) const {
+    if (partition_attr_ != Schema::kInvalidId &&
+        partition_attr_ < static_cast<AttrId>(event.num_attrs)) {
+      return static_cast<int64_t>(std::llround(event.attr(partition_attr_)));
+    }
+    return 0;
+  }
+
   AttrId partition_attr_ = Schema::kInvalidId;
   int num_shards_ = 1;
+  std::shared_ptr<RebalanceState> state_;
 };
 
 /// One pre-partitioned ingest unit: per_shard[i] holds, in stream order, the

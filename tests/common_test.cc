@@ -1,11 +1,15 @@
 // Unit tests for src/common: QuerySet, Rng, Status/Result, Table, stats.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "src/common/memory_meter.h"
 #include "src/common/query_set.h"
 #include "src/common/rng.h"
+#include "src/common/spsc_queue.h"
 #include "src/common/stats.h"
 #include "src/common/status.h"
 #include "src/common/table.h"
@@ -161,6 +165,55 @@ TEST(MemoryMeterTest, TracksPeak) {
   EXPECT_EQ(m.peak(), 150);
   m.SetCurrent(500);
   EXPECT_EQ(m.peak(), 500);
+}
+
+TEST(SpscQueueTest, PushPopFifoAndCapacity) {
+  SpscQueue<int> q(3);  // rounds up to 4
+  EXPECT_EQ(q.capacity(), 4u);
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(q.ApproxSize(), 0u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.TryPush(std::move(i)));
+  EXPECT_EQ(q.ApproxSize(), 4u);
+  int overflow = 99;
+  EXPECT_FALSE(q.TryPush(std::move(overflow)));
+  EXPECT_EQ(overflow, 99);  // left intact for retry
+  for (int i = 0; i < 4; ++i) {
+    int out = -1;
+    EXPECT_TRUE(q.TryPop(&out));
+    EXPECT_EQ(out, i);
+  }
+  int out;
+  EXPECT_FALSE(q.TryPop(&out));
+}
+
+// Regression: TryPop used to leave the moved-from payload in its ring slot,
+// so up to `capacity` popped heap-backed buffers (the sharded runtime's
+// event batches) stayed alive inside the queue — retained memory invisible
+// to the memory meter. A popped slot must release its payload immediately.
+TEST(SpscQueueTest, PopReleasesSlotPayload) {
+  SpscQueue<std::shared_ptr<int>> q(8);
+  const size_t cap = q.capacity();
+  std::vector<std::shared_ptr<int>> payloads;
+  // Several laps around the ring so every slot has held a payload.
+  for (size_t lap = 0; lap < 3; ++lap) {
+    for (size_t i = 0; i < cap; ++i) {
+      auto p = std::make_shared<int>(static_cast<int>(i));
+      payloads.push_back(p);
+      ASSERT_TRUE(q.TryPush(std::move(p)));
+    }
+    for (size_t i = 0; i < cap; ++i) {
+      std::shared_ptr<int> out;
+      ASSERT_TRUE(q.TryPop(&out));
+      ASSERT_NE(out, nullptr);
+      out.reset();
+    }
+  }
+  // The queue is empty and every pop consumer released its copy: nothing
+  // may still co-own the payloads. Pre-fix, the last `cap` pushes were
+  // still referenced by their ring slots (use_count 2).
+  for (const auto& p : payloads) {
+    EXPECT_EQ(p.use_count(), 1) << "ring slot retains a popped payload";
+  }
 }
 
 }  // namespace

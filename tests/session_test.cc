@@ -9,12 +9,10 @@
 // after Close) and the sink implementations.
 #include <gtest/gtest.h>
 
-#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <span>
 #include <string>
-#include <thread>
 
 #include "src/benchlib/workloads.h"
 #include "src/common/rng.h"
@@ -391,6 +389,8 @@ TEST(MergeRunMetricsTest, ThroughputRecomputedFromMergedTotals) {
   a.avg_latency_seconds = 0.5;
   a.max_latency_seconds = 1.0;
   a.evicted_compositions = 2;
+  a.peak_memory_bytes = 100;
+  a.current_memory_bytes = 40;
   RunMetrics b;
   b.events = 1000;
   b.elapsed_seconds = 2.0;
@@ -399,6 +399,8 @@ TEST(MergeRunMetricsTest, ThroughputRecomputedFromMergedTotals) {
   b.avg_latency_seconds = 0.1;
   b.max_latency_seconds = 2.0;
   b.evicted_compositions = 3;
+  b.peak_memory_bytes = 60;
+  b.current_memory_bytes = 25;
   RunMetrics merged;
   MergeRunMetrics(merged, a);
   MergeRunMetrics(merged, b);
@@ -409,6 +411,12 @@ TEST(MergeRunMetricsTest, ThroughputRecomputedFromMergedTotals) {
   EXPECT_DOUBLE_EQ(merged.max_latency_seconds, 2.0);
   EXPECT_DOUBLE_EQ(merged.avg_latency_seconds, (0.5 * 10 + 0.1 * 30) / 40);
   EXPECT_EQ(merged.evicted_compositions, 5);
+  // Peaks at different times never sum: the merge keeps the always-true
+  // floor (the largest single peak, 100 — not 160, the old sum);
+  // ShardedSession raises it with its sampled concurrent high-water mark.
+  // Current footprints are simultaneous by definition, so they do sum.
+  EXPECT_EQ(merged.peak_memory_bytes, 100);
+  EXPECT_EQ(merged.current_memory_bytes, 65);
 }
 
 // A composition branch that never emits (here: a two-step window that DNFs
@@ -471,6 +479,9 @@ TEST(CompositionEviction, DeadBranchesEvictedAndMemoryBounded) {
 // An event only resets the emission-latency clock of windows it can
 // contribute to. Here C is relevant to the second query only: pushing it
 // late must not mask how long the first query's result actually waited.
+// Time comes from RunConfig::clock_override (the same hook the adaptive
+// batch controller's tests use), so the asserted wait is exact and immune
+// to sanitizer/CI scheduling jitter — the sleep-based original flaked.
 TEST(LatencyAttribution, IrrelevantEventsDoNotResetArrivalClock) {
   Schema schema;
   schema.AddAttr("v");
@@ -482,8 +493,10 @@ TEST(LatencyAttribution, IrrelevantEventsDoNotResetArrivalClock) {
     ASSERT_TRUE(workload.Add(ParseQuery(text).value()).ok());
   }
   WorkloadPlan plan = AnalyzeWorkload(workload).value();
+  double fake_now = 100.0;  // seconds; arbitrary epoch
   RunConfig config;
   config.kind = EngineKind::kHamletDynamic;
+  config.clock_override = [&fake_now] { return fake_now; };
   Result<std::unique_ptr<Session>> session =
       Session::Open(plan, config, nullptr);
   ASSERT_TRUE(session.ok());
@@ -495,9 +508,9 @@ TEST(LatencyAttribution, IrrelevantEventsDoNotResetArrivalClock) {
   };
   ASSERT_TRUE(session.value()->Push(make(10, "A")).ok());
   ASSERT_TRUE(session.value()->Push(make(20, "B")).ok());
-  // The first query's [0,100) window last saw a relevant event here; its
-  // emission latency must include this wait.
-  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  // The first query's [0,100) window last saw a relevant event at
+  // fake_now=100; its emission latency must include this 0.12 s wait.
+  fake_now += 0.12;
   ASSERT_TRUE(session.value()->Push(make(30, "C")).ok());
   ASSERT_TRUE(session.value()->AdvanceTo(100).ok());
   RunMetrics m = session.value()->Close().value();
@@ -505,8 +518,10 @@ TEST(LatencyAttribution, IrrelevantEventsDoNotResetArrivalClock) {
   // flushed empty by Close.
   EXPECT_EQ(m.emissions, 4);
   // Pre-fix, the late C stamped the first query's window too, reporting
-  // ~0 latency for a result that waited >= 120 ms.
-  EXPECT_GE(m.max_latency_seconds, 0.1);
+  // 0 latency for a result that waited 0.12 s. The whole run shares the
+  // frozen fake clock, so the maximum is the injected wait (up to the
+  // rounding of the 100.12 - 100.0 subtraction).
+  EXPECT_NEAR(m.max_latency_seconds, 0.12, 1e-9);
 }
 
 // CollectingSink::Take matches the documented batch order even when windows

@@ -152,10 +152,13 @@ TEST(BatchGranularityEquivalence, BatchSizeSweep) {
   RunOutput batch = executor.Run(ev);
   ASSERT_TRUE(batch.status.ok());
   // 1 is the per-event hand-off baseline; 1024 exceeds every chunk, so all
-  // flushes come from the watermark/Close barriers.
+  // flushes come from the watermark/Close barriers. The queue shrinks as
+  // the batch grows: capacity counts messages, and Open rejects
+  // capacity * batch products past kMaxQueuedEventsPerShard.
   for (int batch_size : {1, 2, 64, 1024}) {
     ShardedResult sharded =
-        RunSharded(*bw.plan, config, /*num_shards=*/3, batch_size, ev);
+        RunSharded(*bw.plan, config, /*num_shards=*/3, batch_size, ev,
+                   /*queue_capacity=*/batch_size >= 1024 ? 512 : 8192);
     const std::string label = "batch=" + std::to_string(batch_size);
     ExpectSameEmissionSet(batch.emissions, sharded.emissions, label);
     EXPECT_EQ(batch.metrics.events, sharded.metrics.events) << label;
@@ -499,6 +502,37 @@ TEST_F(PrePartitionedContractTest, OpenValidatesShardBatchSize) {
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
   EXPECT_NE(r.status().message().find("shard_batch_size"), std::string::npos);
+}
+
+// shard_queue_capacity counts MESSAGES, so its event footprint scales with
+// shard_batch_size: capacity=8192/batch=1 buffers at most 8192 events while
+// capacity=8192/batch=128 buffers ~1M. Open relates the two knobs
+// explicitly — both extremes of the documented contract.
+TEST_F(PrePartitionedContractTest, OpenRelatesQueueCapacityToBatchSize) {
+  // Low extreme: a big message queue of single-event batches is a small
+  // event buffer — fine.
+  RunConfig config;
+  config.num_shards = 2;
+  config.shard_queue_capacity = 8192;
+  config.shard_batch_size = 1;
+  EXPECT_TRUE(ShardedSession::Open(*plan_, config, nullptr).ok());
+  // Default-shaped product right at ~1M events — fine.
+  config.shard_batch_size = 128;
+  EXPECT_TRUE(ShardedSession::Open(*plan_, config, nullptr).ok());
+  // High extreme: the same capacity with huge batches implies an event
+  // buffer past kMaxQueuedEventsPerShard; rejected, naming both knobs.
+  config.shard_batch_size = 2048;
+  ASSERT_GT(static_cast<int64_t>(config.shard_queue_capacity) *
+                config.shard_batch_size,
+            kMaxQueuedEventsPerShard);
+  Result<std::unique_ptr<ShardedSession>> r =
+      ShardedSession::Open(*plan_, config, nullptr);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("shard_queue_capacity"),
+            std::string::npos);
+  EXPECT_NE(r.status().message().find("shard_batch_size"), std::string::npos);
+  EXPECT_NE(r.status().message().find("messages"), std::string::npos);
 }
 
 }  // namespace
