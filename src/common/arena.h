@@ -1,0 +1,177 @@
+// Pane-scoped bump allocation for engine hot-loop state.
+//
+// The HAMLET hot loop opens and closes graphlets at burst and pane
+// boundaries; allocating each one from the global heap made steady-state
+// evaluation pay one malloc/free pair per graphlet (and, before the Expr /
+// CtxMap small buffers, several more per event). Arena reserves memory in
+// large blocks and hands out bump-pointer chunks; ObjectPool layers a
+// free-list of recycled objects on top, so graphlets released at pane
+// boundaries are reused — with their internal vector capacities intact —
+// instead of churning the allocator.
+//
+// Metering contract (RunMetrics::current_memory_bytes): arena-backed state
+// is charged by BLOCK RESERVATION (bytes_reserved), never by summing live
+// object sizes. Reservations are what the process actually holds from the
+// OS-facing allocator, they are stable while the pool recycles, and they
+// keep the sharded runtime's concurrent high-water sampling truthful — a
+// sum of per-object sizes would dip at every pane boundary even though no
+// memory was returned.
+#ifndef HAMLET_COMMON_ARENA_H_
+#define HAMLET_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace hamlet {
+
+/// Block bump allocator. Allocate() never fails over to per-object heap
+/// allocations: requests larger than the block size get a dedicated block.
+/// Reset() rewinds every block without releasing it (the "pane-scoped"
+/// lifecycle: reserve once, reuse every pane). Not thread-safe; each engine
+/// owns its own arena, matching the one-engine-per-shard runtime.
+class Arena {
+ public:
+  static constexpr size_t kDefaultBlockBytes = 64 * 1024;
+
+  explicit Arena(size_t block_bytes = kDefaultBlockBytes)
+      : block_bytes_(block_bytes == 0 ? kDefaultBlockBytes : block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `size` bytes aligned to `align` (a power of two). The memory is
+  /// uninitialized and stays valid until Reset() or destruction.
+  void* Allocate(size_t size, size_t align) {
+    HAMLET_DCHECK(align != 0 && (align & (align - 1)) == 0);
+    if (size == 0) size = 1;
+    while (active_ < blocks_.size()) {
+      Block& b = blocks_[active_];
+      // Align the absolute address, not the block offset: operator new[]
+      // only guarantees max_align_t for the block base itself.
+      size_t base = reinterpret_cast<size_t>(b.data.get());
+      size_t offset = AlignUp(base + b.used, align) - base;
+      if (offset + size <= b.size) {
+        b.used = offset + size;
+        used_bytes_ += size;
+        return b.data.get() + offset;
+      }
+      ++active_;
+    }
+    // No block fits: reserve a new one (oversize requests get an exact
+    // block; alignment slack is covered by operator new's guarantee for
+    // std::max_align_t and the AlignUp below for stricter requests).
+    size_t want = size + align;
+    size_t block_size = want > block_bytes_ ? want : block_bytes_;
+    Block b;
+    b.data.reset(new char[block_size]);
+    b.size = block_size;
+    reserved_ += static_cast<int64_t>(block_size);
+    size_t base = reinterpret_cast<size_t>(b.data.get());
+    size_t offset = AlignUp(base, align) - base;
+    b.used = offset + size;
+    used_bytes_ += size;
+    blocks_.push_back(std::move(b));
+    active_ = blocks_.size() - 1;
+    return blocks_.back().data.get() + offset;
+  }
+
+  /// Rewinds every block without releasing memory. Invalidates everything
+  /// previously allocated; bytes_reserved() is unchanged.
+  void Reset() {
+    for (Block& b : blocks_) b.used = 0;
+    active_ = 0;
+    used_bytes_ = 0;
+  }
+
+  /// Total block bytes held from the heap — the metering unit (see file
+  /// comment). Monotone over the arena's lifetime.
+  int64_t bytes_reserved() const { return reserved_; }
+
+  /// Bytes handed out since the last Reset (diagnostics only).
+  int64_t bytes_used() const { return static_cast<int64_t>(used_bytes_); }
+
+  int num_blocks() const { return static_cast<int>(blocks_.size()); }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+    size_t used = 0;
+  };
+
+  static size_t AlignUp(size_t v, size_t align) {
+    return (v + align - 1) & ~(align - 1);
+  }
+
+  std::vector<Block> blocks_;
+  size_t block_bytes_;
+  size_t active_ = 0;  ///< first block with free space
+  size_t used_bytes_ = 0;
+  int64_t reserved_ = 0;
+};
+
+/// Arena-backed object pool. Acquire() returns a default-constructed T
+/// placed in the arena (or a recycled one); Release() calls T::Recycle() —
+/// which must reset logical state while KEEPING internal capacities — and
+/// free-lists the object. Destruction runs ~T() on every object ever
+/// acquired, then the arena drops its blocks.
+template <typename T>
+class ObjectPool {
+ public:
+  explicit ObjectPool(size_t block_bytes = Arena::kDefaultBlockBytes)
+      : arena_(block_bytes) {}
+
+  ~ObjectPool() {
+    for (T* o : all_) o->~T();
+  }
+
+  ObjectPool(const ObjectPool&) = delete;
+  ObjectPool& operator=(const ObjectPool&) = delete;
+
+  T* Acquire() {
+    if (!free_.empty()) {
+      T* o = free_.back();
+      free_.pop_back();
+      return o;
+    }
+    void* mem = arena_.Allocate(sizeof(T), alignof(T));
+    T* o = new (mem) T();
+    all_.push_back(o);
+    return o;
+  }
+
+  void Release(T* o) {
+    HAMLET_DCHECK(o != nullptr);
+    o->Recycle();
+    free_.push_back(o);
+  }
+
+  /// Arena block reservations backing the pooled objects (the metering
+  /// unit); excludes the objects' own heap-held members, which callers
+  /// charge per object via objects().
+  int64_t bytes_reserved() const { return arena_.bytes_reserved(); }
+
+  /// Every object ever acquired (live and free-listed) — recycled objects
+  /// keep their internal capacities, so both populations hold real memory.
+  const std::vector<T*>& objects() const { return all_; }
+
+  int64_t num_live() const {
+    return static_cast<int64_t>(all_.size() - free_.size());
+  }
+  int64_t num_free() const { return static_cast<int64_t>(free_.size()); }
+
+ private:
+  Arena arena_;
+  std::vector<T*> all_;
+  std::vector<T*> free_;
+};
+
+}  // namespace hamlet
+
+#endif  // HAMLET_COMMON_ARENA_H_

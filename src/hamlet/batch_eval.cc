@@ -7,20 +7,12 @@ BatchResult EvalHamletBatch(const WorkloadPlan& plan,
   return EvalHamletBatch(plan, events, policy, HamletEngine::Options());
 }
 
-BatchResult EvalHamletBatch(const WorkloadPlan& plan,
-                            const EventVector& events, SharingPolicy* policy,
-                            HamletEngine::Options options) {
+namespace {
+
+/// Shared epilogue: close contexts, compose query values, fold stats.
+BatchResult FinishBatch(const WorkloadPlan& plan, HamletEngine& engine,
+                        const std::vector<ContextId>& ctxs) {
   BatchResult out;
-  HamletEngine engine(plan, QuerySet::FirstN(plan.num_exec()), policy,
-                      options);
-  const Timestamp start = events.empty() ? 0 : events.front().time;
-  const Timestamp end = events.empty() ? 1 : events.back().time + 1;
-  std::vector<ContextId> ctxs;
-  for (int e = 0; e < plan.num_exec(); ++e)
-    ctxs.push_back(engine.OpenContext(e, start, end));
-  engine.OnPaneStart(start);
-  for (const Event& ev : events) engine.OnEvent(ev);
-  engine.OnPaneEnd();
   out.memory_bytes = engine.MemoryBytes();
   out.exec_values.resize(static_cast<size_t>(plan.num_exec()));
   out.exec_aggs.resize(static_cast<size_t>(plan.num_exec()));
@@ -37,6 +29,64 @@ BatchResult EvalHamletBatch(const WorkloadPlan& plan,
   }
   out.stats = engine.stats();
   return out;
+}
+
+}  // namespace
+
+BatchResult EvalHamletBatch(const WorkloadPlan& plan,
+                            const EventVector& events, SharingPolicy* policy,
+                            HamletEngine::Options options) {
+  HamletEngine engine(plan, QuerySet::FirstN(plan.num_exec()), policy,
+                      options);
+  const Timestamp start = events.empty() ? 0 : events.front().time;
+  const Timestamp end = events.empty() ? 1 : events.back().time + 1;
+  std::vector<ContextId> ctxs;
+  for (int e = 0; e < plan.num_exec(); ++e)
+    ctxs.push_back(engine.OpenContext(e, start, end));
+  engine.OnPaneStart(start);
+  for (const Event& ev : events) engine.OnEvent(ev);
+  engine.OnPaneEnd();
+  return FinishBatch(plan, engine, ctxs);
+}
+
+BatchResult EvalHamletBatchColumnar(const WorkloadPlan& plan,
+                                    const EventBatch& batch,
+                                    SharingPolicy* policy) {
+  return EvalHamletBatchColumnar(plan, batch, policy,
+                                 HamletEngine::Options());
+}
+
+BatchResult EvalHamletBatchColumnar(const WorkloadPlan& plan,
+                                    const EventBatch& batch,
+                                    SharingPolicy* policy,
+                                    HamletEngine::Options options) {
+  Result<PredicateProgram> program = CompilePredicateProgram(plan);
+  HAMLET_CHECK(program.ok());
+  const PredicateProgram& prog = program.value();
+  BatchSelection selection;
+  prog.EvalBatch(batch, &selection);
+  const QuerySet all = QuerySet::FirstN(plan.num_exec());
+
+  HamletEngine engine(plan, all, policy, options);
+  const Timestamp start = batch.empty() ? 0 : batch.time(0);
+  const Timestamp end = batch.empty() ? 1 : batch.time(batch.size() - 1) + 1;
+  std::vector<ContextId> ctxs;
+  for (int e = 0; e < plan.num_exec(); ++e)
+    ctxs.push_back(engine.OpenContext(e, start, end));
+  engine.OnPaneStart(start);
+  Event row;
+  const std::vector<int>& pq = prog.predicated_queries();
+  for (int i = 0; i < batch.size(); ++i) {
+    batch.CopyRow(i, &row);
+    QuerySet passes = all;
+    for (size_t k = 0; k < pq.size(); ++k) {
+      if (!selection.masks[k].Test(i))
+        passes.Erase(pq[static_cast<size_t>(k)]);
+    }
+    engine.OnEventFiltered(row, passes);
+  }
+  engine.OnPaneEnd();
+  return FinishBatch(plan, engine, ctxs);
 }
 
 }  // namespace hamlet

@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "src/hamlet/hamlet_engine.h"
+#include "src/query/columnar_predicate.h"
+#include "src/stream/event_batch.h"
 
 namespace hamlet {
 
@@ -32,6 +34,21 @@ BatchResult EvalHamletBatch(const WorkloadPlan& plan, const EventVector& events,
                             HamletEngine::Options options);
 BatchResult EvalHamletBatch(const WorkloadPlan& plan, const EventVector& events,
                             SharingPolicy* policy);
+
+/// Columnar variant: evaluates the plan's event predicates batch-wide over
+/// the SoA `batch` (one kernel pass per predicate over contiguous columns),
+/// then feeds each row with its precomputed pass-set through
+/// HamletEngine::OnEventFiltered. Results are bit-identical to
+/// EvalHamletBatch over the same rows; the plan's predicate lists must have
+/// compiled (they did if Session::Open would accept the plan) — CHECK-fails
+/// otherwise.
+BatchResult EvalHamletBatchColumnar(const WorkloadPlan& plan,
+                                    const EventBatch& batch,
+                                    SharingPolicy* policy,
+                                    HamletEngine::Options options);
+BatchResult EvalHamletBatchColumnar(const WorkloadPlan& plan,
+                                    const EventBatch& batch,
+                                    SharingPolicy* policy);
 
 }  // namespace hamlet
 

@@ -1,11 +1,18 @@
 // Small flat map keyed by ContextId.
 //
 // The number of simultaneously open contexts is small (one per open window
-// instance per exec query), so linear probing over a flat vector beats
+// instance per exec query), so linear probing over a flat array beats
 // hashing for every table in the HAMLET engine.
+//
+// Small-buffer layout: up to kInlineEntries entries live inline, spilling to
+// a heap vector only beyond that. A tumbling-window workload keeps ONE open
+// context per exec query, so solo node payloads and per-graphlet running
+// sums never touch the heap — part of the hot loop's zero-steady-state-
+// allocation contract (see tests/columnar_test.cc).
 #ifndef HAMLET_HAMLET_CTX_MAP_H_
 #define HAMLET_HAMLET_CTX_MAP_H_
 
+#include <array>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -17,53 +24,112 @@ namespace hamlet {
 template <typename T>
 class CtxMap {
  public:
+  static constexpr int kInlineEntries = 2;
+
+  using Entry = std::pair<ContextId, T>;
+
   /// Value for `ctx`, default-constructed and inserted when absent.
   T& Mut(ContextId ctx) {
-    for (auto& [c, v] : entries_) {
-      if (c == ctx) return v;
+    Entry* data = mutable_data();
+    const int n = size_int();
+    for (int i = 0; i < n; ++i) {
+      if (data[i].first == ctx) return data[i].second;
     }
-    entries_.emplace_back(ctx, T());
-    return entries_.back().second;
+    return Push(ctx);
   }
 
   /// Value for `ctx`, or `fallback` when absent.
   const T& Get(ContextId ctx, const T& fallback) const {
-    for (const auto& [c, v] : entries_) {
-      if (c == ctx) return v;
+    const Entry* data = this->data();
+    const int n = size_int();
+    for (int i = 0; i < n; ++i) {
+      if (data[i].first == ctx) return data[i].second;
     }
     return fallback;
   }
 
   bool Contains(ContextId ctx) const {
-    for (const auto& [c, v] : entries_) {
-      if (c == ctx) return true;
+    const Entry* data = this->data();
+    const int n = size_int();
+    for (int i = 0; i < n; ++i) {
+      if (data[i].first == ctx) return true;
     }
     return false;
   }
 
   void Erase(ContextId ctx) {
-    for (size_t i = 0; i < entries_.size(); ++i) {
-      if (entries_[i].first == ctx) {
-        entries_[i] = entries_.back();
-        entries_.pop_back();
+    Entry* data = mutable_data();
+    const int n = size_int();
+    for (int i = 0; i < n; ++i) {
+      if (data[i].first == ctx) {
+        data[i] = std::move(data[n - 1]);
+        Pop();
         return;
       }
     }
   }
 
-  void Clear() { entries_.clear(); }
-  size_t size() const { return entries_.size(); }
-  auto begin() { return entries_.begin(); }
-  auto end() { return entries_.end(); }
-  auto begin() const { return entries_.begin(); }
-  auto end() const { return entries_.end(); }
+  void Clear() {
+    num_inline_ = 0;
+    spill_.clear();
+  }
 
+  size_t size() const { return static_cast<size_t>(size_int()); }
+
+  const Entry* begin() const { return data(); }
+  const Entry* end() const { return data() + size_int(); }
+  Entry* begin() { return mutable_data(); }
+  Entry* end() { return mutable_data() + size_int(); }
+
+  /// Heap-held spill capacity only; the inline buffer is part of
+  /// sizeof(CtxMap) and is charged by whoever owns the map.
   int64_t MemoryBytes() const {
-    return static_cast<int64_t>(entries_.capacity() * sizeof(entries_[0]));
+    return static_cast<int64_t>(spill_.capacity() * sizeof(Entry));
   }
 
  private:
-  std::vector<std::pair<ContextId, T>> entries_;
+  int size_int() const {
+    return spill_.empty() ? num_inline_ : static_cast<int>(spill_.size());
+  }
+  const Entry* data() const {
+    return spill_.empty() ? inline_.data() : spill_.data();
+  }
+  Entry* mutable_data() {
+    return spill_.empty() ? inline_.data() : spill_.data();
+  }
+
+  T& Push(ContextId ctx) {
+    if (!spill_.empty()) {
+      spill_.emplace_back(ctx, T());
+      return spill_.back().second;
+    }
+    if (num_inline_ < kInlineEntries) {
+      Entry& e = inline_[static_cast<size_t>(num_inline_)];
+      e.first = ctx;
+      e.second = T();
+      ++num_inline_;
+      return e.second;
+    }
+    spill_.reserve(static_cast<size_t>(num_inline_) + 1);
+    for (int i = 0; i < num_inline_; ++i)
+      spill_.push_back(std::move(inline_[static_cast<size_t>(i)]));
+    num_inline_ = 0;
+    spill_.emplace_back(ctx, T());
+    return spill_.back().second;
+  }
+
+  void Pop() {
+    if (spill_.empty()) {
+      --num_inline_;
+    } else {
+      spill_.pop_back();
+      if (spill_.empty()) num_inline_ = 0;
+    }
+  }
+
+  std::array<Entry, kInlineEntries> inline_{};
+  int num_inline_ = 0;  ///< valid only while spill_ is empty
+  std::vector<Entry> spill_;
 };
 
 }  // namespace hamlet

@@ -7,69 +7,131 @@
 
 namespace hamlet {
 
+namespace {
+
+/// Merges two var-sorted term lists into `out` (capacity >= n1 + n2),
+/// summing coefficients on matching vars. Returns the merged length.
+int MergeTerms(const ExprTerm* a, int n1, const ExprTerm* b, int n2,
+               ExprTerm* out) {
+  int i = 0, j = 0, m = 0;
+  while (i < n1 || j < n2) {
+    if (j >= n2 || (i < n1 && a[i].var < b[j].var)) {
+      out[m++] = a[i++];
+    } else if (i >= n1 || b[j].var < a[i].var) {
+      out[m++] = b[j++];
+    } else {
+      ExprTerm t = a[i];
+      t.alpha += b[j].alpha;
+      t.gamma += b[j].gamma;
+      t.delta += b[j].delta;
+      out[m++] = t;
+      ++i;
+      ++j;
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
 Expr Expr::Var(SnapshotId var) {
   Expr e;
   e.AddVar(var, 1.0);
   return e;
 }
 
+void Expr::AssignTerms(const ExprTerm* src, int n) {
+  if (n <= kInlineTerms) {
+    std::copy(src, src + n, inline_.begin());
+    num_inline_ = n;
+    spill_.clear();
+    return;
+  }
+  spill_.assign(src, src + n);
+  num_inline_ = 0;
+}
+
+void Expr::InsertTerm(int pos, const ExprTerm& t) {
+  if (!spill_.empty()) {
+    spill_.insert(spill_.begin() + pos, t);
+    return;
+  }
+  if (num_inline_ < kInlineTerms) {
+    for (int i = num_inline_; i > pos; --i)
+      inline_[static_cast<size_t>(i)] = inline_[static_cast<size_t>(i - 1)];
+    inline_[static_cast<size_t>(pos)] = t;
+    ++num_inline_;
+    return;
+  }
+  // Inline buffer full: spill, preserving sorted order.
+  spill_.reserve(static_cast<size_t>(num_inline_) + 1);
+  spill_.assign(inline_.begin(), inline_.begin() + pos);
+  spill_.push_back(t);
+  spill_.insert(spill_.end(), inline_.begin() + pos,
+                inline_.begin() + num_inline_);
+  num_inline_ = 0;
+}
+
 void Expr::AddVar(SnapshotId var, double alpha) {
-  auto it = std::lower_bound(
-      terms_.begin(), terms_.end(), var,
+  const ExprTerm* data = terms_data();
+  const int n = num_terms();
+  const ExprTerm* it = std::lower_bound(
+      data, data + n, var,
       [](const ExprTerm& t, SnapshotId v) { return t.var < v; });
-  if (it != terms_.end() && it->var == var) {
-    it->alpha += alpha;
+  const int pos = static_cast<int>(it - data);
+  if (pos < n && data[pos].var == var) {
+    mutable_terms()[pos].alpha += alpha;
     return;
   }
   ExprTerm t;
   t.var = var;
   t.alpha = alpha;
-  terms_.insert(it, t);
+  InsertTerm(pos, t);
 }
 
 void Expr::AddExpr(const Expr& other) {
   c0_.Add(other.c0_);
-  if (other.terms_.empty()) return;
-  // Merge two sorted term lists.
-  std::vector<ExprTerm> merged;
-  merged.reserve(terms_.size() + other.terms_.size());
-  size_t i = 0, j = 0;
-  while (i < terms_.size() || j < other.terms_.size()) {
-    if (j >= other.terms_.size() ||
-        (i < terms_.size() && terms_[i].var < other.terms_[j].var)) {
-      merged.push_back(terms_[i++]);
-    } else if (i >= terms_.size() || other.terms_[j].var < terms_[i].var) {
-      merged.push_back(other.terms_[j++]);
-    } else {
-      ExprTerm t = terms_[i];
-      t.alpha += other.terms_[j].alpha;
-      t.gamma += other.terms_[j].gamma;
-      t.delta += other.terms_[j].delta;
-      merged.push_back(t);
-      ++i;
-      ++j;
-    }
+  const int n2 = other.num_terms();
+  if (n2 == 0) return;
+  const int n1 = num_terms();
+  const ExprTerm* a = terms_data();
+  const ExprTerm* b = other.terms_data();
+  if (n1 + n2 <= kInlineTerms * 2) {
+    // Hot path (FastSum nodes: 2 + 2 terms): merge on the stack, no heap.
+    ExprTerm tmp[kInlineTerms * 2];
+    const int m = MergeTerms(a, n1, b, n2, tmp);
+    AssignTerms(tmp, m);
+    return;
   }
-  terms_ = std::move(merged);
+  std::vector<ExprTerm> merged(static_cast<size_t>(n1 + n2));
+  const int m = MergeTerms(a, n1, b, n2, merged.data());
+  merged.resize(static_cast<size_t>(m));
+  spill_ = std::move(merged);
+  num_inline_ = 0;
 }
 
 void Expr::ApplyTargetEvent(double val, bool need_sum, bool need_count_e) {
   // count(this) = c0.count + sum alpha_i * V_i.count. Folding
   // sum += val * count and count_e += count therefore shifts the constant
   // and the cross coefficients.
+  ExprTerm* data = mutable_terms();
+  const int n = num_terms();
   if (need_sum) {
     c0_.sum += val * c0_.count;
-    for (ExprTerm& t : terms_) t.gamma += val * t.alpha;
+    for (int i = 0; i < n; ++i) data[i].gamma += val * data[i].alpha;
   }
   if (need_count_e) {
     c0_.count_e += c0_.count;
-    for (ExprTerm& t : terms_) t.delta += t.alpha;
+    for (int i = 0; i < n; ++i) data[i].delta += data[i].alpha;
   }
 }
 
 LinAgg Expr::Eval(const SnapshotStore& store, ContextId ctx) const {
   LinAgg out = c0_;
-  for (const ExprTerm& t : terms_) {
+  const ExprTerm* data = terms_data();
+  const int n = num_terms();
+  for (int i = 0; i < n; ++i) {
+    const ExprTerm& t = data[i];
     LinAgg v = store.Get(t.var, ctx);
     out.count += t.alpha * v.count;
     out.sum += t.alpha * v.sum + t.gamma * v.count;
@@ -80,8 +142,10 @@ LinAgg Expr::Eval(const SnapshotStore& store, ContextId ctx) const {
 
 double Expr::EvalCount(const SnapshotStore& store, ContextId ctx) const {
   double count = c0_.count;
-  for (const ExprTerm& t : terms_)
-    count += t.alpha * store.Get(t.var, ctx).count;
+  const ExprTerm* data = terms_data();
+  const int n = num_terms();
+  for (int i = 0; i < n; ++i)
+    count += data[i].alpha * store.Get(data[i].var, ctx).count;
   return count;
 }
 
@@ -89,8 +153,10 @@ std::string Expr::ToString() const {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%g", c0_.count);
   std::string out = buf;
-  for (const ExprTerm& t : terms_) {
-    std::snprintf(buf, sizeof(buf), " + %g*x%d", t.alpha, t.var);
+  const ExprTerm* data = terms_data();
+  const int n = num_terms();
+  for (int i = 0; i < n; ++i) {
+    std::snprintf(buf, sizeof(buf), " + %g*x%d", data[i].alpha, data[i].var);
     out += buf;
   }
   return out;

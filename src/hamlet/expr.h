@@ -14,6 +14,7 @@
 #ifndef HAMLET_HAMLET_EXPR_H_
 #define HAMLET_HAMLET_EXPR_H_
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -62,8 +63,16 @@ struct ExprTerm {
 class SnapshotStore;
 
 /// c0 + sum of terms. Terms are kept sorted by var id.
+///
+/// Small-buffer layout: up to kInlineTerms terms live inline, spilling to a
+/// heap vector only beyond that. FastSum node expressions carry exactly two
+/// terms (start u + entry x), so the steady-state hot loop builds and merges
+/// expressions with ZERO heap allocations — the invariant the columnar
+/// allocation-regression test pins down.
 class Expr {
  public:
+  static constexpr int kInlineTerms = 4;
+
   Expr() = default;
 
   /// The expression that is just one snapshot variable.
@@ -71,7 +80,8 @@ class Expr {
 
   void Clear() {
     c0_ = LinAgg();
-    terms_.clear();
+    num_inline_ = 0;
+    spill_.clear();
   }
 
   /// this += other.
@@ -95,21 +105,42 @@ class Expr {
   double EvalCount(const SnapshotStore& store, ContextId ctx) const;
 
   const LinAgg& const_term() const { return c0_; }
-  const std::vector<ExprTerm>& terms() const { return terms_; }
-  int num_terms() const { return static_cast<int>(terms_.size()); }
+  int num_terms() const {
+    return spill_.empty() ? num_inline_ : static_cast<int>(spill_.size());
+  }
 
-  /// Logical size for the memory metric.
+  /// Contiguous term storage (inline buffer until it spills).
+  const ExprTerm* terms_data() const {
+    return spill_.empty() ? inline_.data() : spill_.data();
+  }
+  /// Terms as a copyable vector (tests/diagnostics; not on the hot path).
+  std::vector<ExprTerm> terms() const {
+    return std::vector<ExprTerm>(terms_data(), terms_data() + num_terms());
+  }
+
+  /// Logical size for the memory metric (heap-held spill only; the inline
+  /// buffer is part of sizeof(Expr)).
   int64_t MemoryBytes() const {
     return static_cast<int64_t>(sizeof(Expr)) +
-           static_cast<int64_t>(terms_.capacity() * sizeof(ExprTerm));
+           static_cast<int64_t>(spill_.capacity() * sizeof(ExprTerm));
   }
 
   /// "2 + 4*x3 + 1*x7" (coefficients on count only, for diagnostics).
   std::string ToString() const;
 
  private:
+  ExprTerm* mutable_terms() {
+    return spill_.empty() ? inline_.data() : spill_.data();
+  }
+  /// Replaces the term list with `src[0..n)` (sorted by var).
+  void AssignTerms(const ExprTerm* src, int n);
+  /// Inserts a term at `pos`, growing inline or spilling as needed.
+  void InsertTerm(int pos, const ExprTerm& t);
+
   LinAgg c0_;
-  std::vector<ExprTerm> terms_;
+  std::array<ExprTerm, kInlineTerms> inline_{};
+  int num_inline_ = 0;  ///< valid only while spill_ is empty
+  std::vector<ExprTerm> spill_;
 };
 
 }  // namespace hamlet

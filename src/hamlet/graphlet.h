@@ -96,9 +96,36 @@ struct Graphlet {
 
   int num_events() const { return static_cast<int>(nodes.size()); }
 
+  /// Resets logical state while KEEPING heap capacities (nodes vector, Expr
+  /// spill, CtxMap spill) — the ObjectPool<Graphlet> recycling contract
+  /// (src/common/arena.h): a graphlet released at a pane boundary is re-
+  /// opened later without re-growing its buffers.
+  void Recycle() {
+    type = Schema::kInvalidId;
+    sharers = QuerySet();
+    shared = false;
+    mode = PropagationMode::kFastSum;
+    self_loop = true;
+    entry_var = -1;
+    start_var = -1;
+    running_sum.Clear();
+    key_running.clear();
+    key_entry.clear();
+    solo_sums.Clear();
+    solo_entry.Clear();
+    solo_start.Clear();
+    entry_mm.Clear();
+    run_mm.Clear();
+    nodes.clear();
+    open_time = 0;
+  }
+
+  /// Heap-held payload only. The Graphlet object itself lives in the
+  /// engine's arena, whose BLOCK RESERVATION is charged separately
+  /// (HamletEngine::MemoryBytes) — charging sizeof(Graphlet) here would
+  /// double-count it against the arena blocks.
   int64_t MemoryBytes() const {
-    int64_t bytes = static_cast<int64_t>(sizeof(Graphlet)) +
-                    running_sum.MemoryBytes() + solo_sums.MemoryBytes() +
+    int64_t bytes = running_sum.MemoryBytes() + solo_sums.MemoryBytes() +
                     solo_entry.MemoryBytes() + entry_mm.MemoryBytes() +
                     run_mm.MemoryBytes();
     for (const GraphletNode& n : nodes) bytes += n.MemoryBytes();

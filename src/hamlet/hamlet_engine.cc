@@ -204,11 +204,15 @@ void HamletEngine::OnPaneStart(Timestamp pane_start) {
   pane_start_ = pane_start;
   for (Lane& lane : lanes_) {
     auto& h = lane.history;
-    h.erase(std::remove_if(h.begin(), h.end(),
-                           [&](const Graphlet& g) {
-                             return g.open_time < cutoff;
-                           }),
-            h.end());
+    size_t keep = 0;
+    for (Graphlet* g : h) {
+      if (g->open_time < cutoff) {
+        graphlet_pool_.Release(g);
+      } else {
+        h[keep++] = g;
+      }
+    }
+    h.resize(keep);
   }
 }
 
@@ -222,6 +226,27 @@ void HamletEngine::OnPaneEnd() {
 }
 
 void HamletEngine::OnEvent(const Event& e) {
+  // Row path: evaluate this event's predicates here, then join the shared
+  // body. The columnar path computed the same passes-set batch-wide and
+  // calls OnEventFiltered directly; keeping one body is what makes the two
+  // paths bit-identical.
+  if (e.type < 0 || e.type >= num_types_ ||
+      !type_relevant_[static_cast<size_t>(e.type)]) {
+    HAMLET_DCHECK(e.time > last_time_);
+    last_time_ = e.time;
+    return;
+  }
+  QuerySet passes;
+  positive_of_type_[static_cast<size_t>(e.type)]
+      .Union(negated_of_type_[static_cast<size_t>(e.type)])
+      .ForEach([&](QueryId q) {
+        if (PassesEventPredicates(Exec(q).event_predicates, e))
+          passes.Insert(q);
+      });
+  OnEventFiltered(e, passes);
+}
+
+void HamletEngine::OnEventFiltered(const Event& e, const QuerySet& passes) {
   HAMLET_DCHECK(e.time > last_time_);
   last_time_ = e.time;
   if (e.type < 0 || e.type >= num_types_ ||
@@ -230,15 +255,10 @@ void HamletEngine::OnEvent(const Event& e) {
   ++stats_.events;
   ++events_this_pane_;
 
-  QuerySet matched;
-  positive_of_type_[static_cast<size_t>(e.type)].ForEach([&](QueryId q) {
-    if (PassesEventPredicates(Exec(q).event_predicates, e)) matched.Insert(q);
-  });
-  QuerySet neg_matched;
-  negated_of_type_[static_cast<size_t>(e.type)].ForEach([&](QueryId q) {
-    if (PassesEventPredicates(Exec(q).event_predicates, e))
-      neg_matched.Insert(q);
-  });
+  QuerySet matched =
+      positive_of_type_[static_cast<size_t>(e.type)].Intersect(passes);
+  QuerySet neg_matched =
+      negated_of_type_[static_cast<size_t>(e.type)].Intersect(passes);
   QuerySet touched = matched.Union(neg_matched);
   if (touched.Empty()) return;
 
@@ -376,7 +396,7 @@ void HamletEngine::InsertIntoLane(Lane& lane, const Event& e,
   solo.ForEach([&](QueryId q) {
     Graphlet* g = nullptr;
     for (auto& [id, gl] : lane.solo_graphlets) {
-      if (id == q) g = gl.get();
+      if (id == q) g = gl;
     }
     if (g == nullptr) g = OpenSoloGraphlet(lane, e, q);
     AppendSolo(lane, *g, e, q);
@@ -426,13 +446,13 @@ void HamletEngine::OpenGraphlets(Lane& lane, const Event& e) {
   lane.current_shared = shared;
   if (!shared.Empty()) {
     ++stats_.bursts_shared;
-    lane.shared_graphlet.reset(OpenSharedGraphlet(lane, e, shared));
+    lane.shared_graphlet = OpenSharedGraphlet(lane, e, shared);
   }
 }
 
 Graphlet* HamletEngine::OpenSharedGraphlet(Lane& lane, const Event& e,
                                            QuerySet sharers) {
-  auto* g = new Graphlet();
+  Graphlet* g = graphlet_pool_.Acquire();
   g->type = lane.type;
   g->sharers = sharers;
   g->shared = true;
@@ -468,7 +488,7 @@ Graphlet* HamletEngine::OpenSharedGraphlet(Lane& lane, const Event& e,
 
 Graphlet* HamletEngine::OpenSoloGraphlet(Lane& lane, const Event& e,
                                          int exec_id) {
-  auto g = std::make_unique<Graphlet>();
+  Graphlet* g = graphlet_pool_.Acquire();
   g->type = lane.type;
   g->sharers = QuerySet::Single(exec_id);
   g->shared = false;
@@ -489,9 +509,8 @@ Graphlet* HamletEngine::OpenSoloGraphlet(Lane& lane, const Event& e,
     ++stats_.ops;
   }
   ++stats_.graphlets_opened;
-  Graphlet* raw = g.get();
-  lane.solo_graphlets.emplace_back(exec_id, std::move(g));
-  return raw;
+  lane.solo_graphlets.emplace_back(exec_id, g);
+  return g;
 }
 
 NodeValue HamletEngine::ScanPredecessors(int exec_id, const Event& e,
@@ -525,7 +544,7 @@ NodeValue HamletEngine::ScanPredecessors(int exec_id, const Event& e,
     const Lane* lane2 = ptype == own_lane.type ? &own_lane
                                                : LaneOf(exec_id, ptype);
     if (lane2 == nullptr) continue;
-    for (const Graphlet& g : lane2->history) scan_graphlet(g, blocked_after);
+    for (const Graphlet* g : lane2->history) scan_graphlet(*g, blocked_after);
     if (lane2->shared_graphlet)
       scan_graphlet(*lane2->shared_graphlet, blocked_after);
     for (const auto& [id, g] : lane2->solo_graphlets) {
@@ -578,8 +597,8 @@ void HamletEngine::AppendShared(Lane& lane, Graphlet& g, const Event& e,
           // Solo-era (numeric) own-type nodes are invisible to the symbolic
           // scan below; fold them into the per-query snapshot.
           if (lane.history_has_numeric) {
-            for (const Graphlet& gg : lane.history) {
-              for (const GraphletNode& n : gg.nodes) {
+            for (const Graphlet* gg : lane.history) {
+              for (const GraphletNode& n : gg->nodes) {
                 ++stats_.ops;
                 if (!n.numeric || !n.members.Contains(q)) continue;
                 if (!PassesEdgePredicates(Exec(q).edge_predicates, n.event,
@@ -646,7 +665,7 @@ void HamletEngine::AppendShared(Lane& lane, Graphlet& g, const Event& e,
           node.expr.AddExpr(n.expr);
         }
       };
-      for (const Graphlet& gg : lane.history) scan(gg);
+      for (const Graphlet* gg : lane.history) scan(*gg);
       scan(g);
       if (is_target)
         node.expr.ApplyTargetEvent(val, lane.profile.need_sum,
@@ -842,15 +861,20 @@ void HamletEngine::CloseLaneGraphlets(Lane& lane) {
     had_any = true;
     FoldGraphlet(lane, *lane.shared_graphlet);
     if (lane.retain_history)
-      lane.history.push_back(std::move(*lane.shared_graphlet));
-    lane.shared_graphlet.reset();
+      lane.history.push_back(lane.shared_graphlet);
+    else
+      graphlet_pool_.Release(lane.shared_graphlet);
+    lane.shared_graphlet = nullptr;
   }
   for (auto& [id, g] : lane.solo_graphlets) {
+    (void)id;
     had_any = true;
     FoldGraphlet(lane, *g);
     if (lane.retain_history) {
       if (!g->nodes.empty()) lane.history_has_numeric = true;
-      lane.history.push_back(std::move(*g));
+      lane.history.push_back(g);
+    } else {
+      graphlet_pool_.Release(g);
     }
   }
   lane.solo_graphlets.clear();
@@ -876,12 +900,13 @@ double HamletEngine::WindowEventsEstimate() const {
 }
 
 int64_t HamletEngine::MemoryBytes() const {
+  // Graphlet objects live in the pool's arena: charge the BLOCK RESERVATION
+  // (what the allocator actually holds) once, then each object's dynamic
+  // payload — free-listed graphlets keep their warmed capacities, which are
+  // real memory, so the sweep covers live and recycled objects alike.
   int64_t bytes = static_cast<int64_t>(sizeof(HamletEngine));
-  for (const Lane& lane : lanes_) {
-    if (lane.shared_graphlet) bytes += lane.shared_graphlet->MemoryBytes();
-    for (const auto& [id, g] : lane.solo_graphlets) bytes += g->MemoryBytes();
-    for (const Graphlet& g : lane.history) bytes += g.MemoryBytes();
-  }
+  bytes += graphlet_pool_.bytes_reserved();
+  for (const Graphlet* g : graphlet_pool_.objects()) bytes += g->MemoryBytes();
   bytes += store_.MemoryBytes();
   for (const ContextState& ctx : contexts_) {
     if (ctx.open) bytes += ctx.MemoryBytes();

@@ -23,6 +23,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/arena.h"
 #include "src/hamlet/graphlet.h"
 #include "src/hamlet/sharing_policy.h"
 
@@ -83,6 +84,12 @@ class HamletEngine {
   /// within [pane start, pane end).
   void OnPaneStart(Timestamp pane_start);
   void OnEvent(const Event& e);
+  /// Columnar dispatch: like OnEvent, but event-predicate evaluation already
+  /// happened batch-wide (src/query/columnar_predicate.h) — `passes` holds
+  /// every exec query whose predicates `e` satisfies (bits for queries
+  /// outside this engine's members are ignored). OnEvent is a thin wrapper
+  /// computing `passes` per row, so the two paths are bit-identical.
+  void OnEventFiltered(const Event& e, const QuerySet& passes);
   void OnPaneEnd();
 
   /// Logical memory footprint (paper's metric: stored events, snapshot
@@ -104,9 +111,12 @@ class HamletEngine {
     std::vector<bool> relevant;
     /// Dynamic decision for the current burst round.
     QuerySet current_shared;
-    std::unique_ptr<Graphlet> shared_graphlet;
-    std::vector<std::pair<int, std::unique_ptr<Graphlet>>> solo_graphlets;
-    std::vector<Graphlet> history;
+    /// Graphlets are pool-owned (graphlet_pool_); lanes hold raw pointers.
+    /// Non-retained graphlets recycle at burst/pane boundaries, retained
+    /// ones when they age past the window horizon in OnPaneStart.
+    Graphlet* shared_graphlet = nullptr;
+    std::vector<std::pair<int, Graphlet*>> solo_graphlets;
+    std::vector<Graphlet*> history;
     /// Moving averages for the optimizer.
     double avg_burst = 4.0;
     double avg_graphlet = 4.0;
@@ -180,6 +190,11 @@ class HamletEngine {
   Options options_;
   int num_types_;
 
+  /// Arena-backed graphlet storage (see src/common/arena.h): steady-state
+  /// opens recycle pool objects — with warmed vector capacities — instead of
+  /// hitting the heap. Declared before lanes_ so the raw pointers in lanes
+  /// never outlive the pool.
+  ObjectPool<Graphlet> graphlet_pool_;
   std::vector<Lane> lanes_;
   /// Indices of lanes with open graphlets (compacted lazily).
   std::vector<int> active_lanes_;

@@ -205,4 +205,16 @@ Result<WorkloadPlan> AnalyzeWorkload(const Workload& workload) {
   return plan;
 }
 
+Result<PredicateProgram> CompilePredicateProgram(const WorkloadPlan& plan) {
+  std::vector<PredicateList> lists;
+  lists.reserve(plan.exec_queries.size());
+  for (const ExecQuery& eq : plan.exec_queries) {
+    PredicateList list;
+    list.exec_id = eq.exec_id;
+    list.preds = &eq.event_predicates;
+    lists.push_back(list);
+  }
+  return PredicateProgram::Compile(*plan.workload->schema(), lists);
+}
+
 }  // namespace hamlet

@@ -18,6 +18,7 @@
 #include "src/common/status.h"
 #include "src/plan/merged_template.h"
 #include "src/plan/template_info.h"
+#include "src/query/columnar_predicate.h"
 #include "src/query/query.h"
 
 namespace hamlet {
@@ -115,6 +116,12 @@ double ComposeQueryValue(const CompositionRule& rule,
 
 /// gcd helper exposed for tests.
 Timestamp PaneGcd(const std::vector<WindowSpec>& windows);
+
+/// Compiles the plan's per-exec-query event predicates into a columnar
+/// PredicateProgram (src/query/columnar_predicate.h). Called at
+/// Session::Open; fails with kInvalidArgument when a predicate's type or
+/// attribute never resolved against the schema.
+Result<PredicateProgram> CompilePredicateProgram(const WorkloadPlan& plan);
 
 }  // namespace hamlet
 

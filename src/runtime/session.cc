@@ -258,7 +258,15 @@ Result<std::unique_ptr<Session>> Session::Open(const WorkloadPlan& plan,
                                                EmissionSink* sink) {
   Status valid = ValidateRunConfig(config);
   if (!valid.ok()) return valid;
-  return std::unique_ptr<Session>(new Session(plan, config, sink));
+  // Resolve every event predicate against the schema ONCE, regardless of the
+  // columnar setting: an unresolved type/attribute name fails Open with
+  // kInvalidArgument here instead of tripping a per-event DCHECK (or reading
+  // a zero) deep inside an engine.
+  Result<PredicateProgram> program = CompilePredicateProgram(plan);
+  if (!program.ok()) return program.status();
+  auto session = std::unique_ptr<Session>(new Session(plan, config, sink));
+  session->pred_program_ = std::move(program).value();
+  return session;
 }
 
 Session::Session(const WorkloadPlan& plan, const RunConfig& config,
@@ -300,6 +308,8 @@ Session::Session(const WorkloadPlan& plan, const RunConfig& config,
     }
     comp->members.Insert(i);
   }
+  all_execs_ = QuerySet::FirstN(n);
+  batch_scratch_.ResetSchema(plan.workload->schema()->num_attrs());
   const int num_types = plan.workload->schema()->num_types();
   exec_type_masks_.resize(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
@@ -556,7 +566,17 @@ void Session::AdvancePaneTo(Timestamp new_pane_start) {
   }
 }
 
-void Session::ProcessEvent(const Event& e, double arrival) {
+QuerySet Session::PassesForRow(int i) const {
+  QuerySet passes = all_execs_;
+  const std::vector<int>& pq = pred_program_.predicated_queries();
+  for (size_t k = 0; k < pq.size(); ++k) {
+    if (!selection_.masks[k].Test(i)) passes.Erase(pq[k]);
+  }
+  return passes;
+}
+
+void Session::ProcessEvent(const Event& e, double arrival,
+                           const QuerySet* passes) {
   const Timestamp pane = plan_->pane_size;
   const Timestamp event_pane = (e.time / pane) * pane;
   if (!pane_started_ || event_pane > pane_start_) AdvancePaneTo(event_pane);
@@ -610,7 +630,11 @@ void Session::ProcessEvent(const Event& e, double arrival) {
         if (e.time < w.ws || e.time >= w.we) continue;
         stamp_if_relevant(w);
       }
-      runner->hamlet->OnEvent(e);
+      if (passes != nullptr) {
+        runner->hamlet->OnEventFiltered(e, *passes);
+      } else {
+        runner->hamlet->OnEvent(e);
+      }
     } else {
       // One pass: stamp and dispatch share the window-span check.
       for (WindowSlot& w : runner->windows) {
@@ -637,7 +661,18 @@ Status Session::Push(const Event& event) {
   gate_.CommitEvent(event.time);
   // The scope-entry wall doubles as the event's arrival time, keeping the
   // per-event Push hot path at two clock reads total.
-  ProcessEvent(event, busy.start());
+  if (UseColumnar()) {
+    // Thin wrapper over the batch machinery: a single-row batch through the
+    // same staging + kernels as PushBatch, so both entry points share one
+    // predicate code path.
+    batch_scratch_.Clear();
+    batch_scratch_.Append(event);
+    pred_program_.EvalBatch(batch_scratch_, &selection_);
+    QuerySet passes = PassesForRow(0);
+    ProcessEvent(event, busy.start(), &passes);
+  } else {
+    ProcessEvent(event, busy.start());
+  }
   return Status::Ok();
 }
 
@@ -652,6 +687,25 @@ Status Session::PushBatch(std::span<const Event> events) {
   Status first = gate_.CheckEvent(events.front().time);
   if (!first.ok()) return first;
   BusyScope busy(&busy_seconds_, config_.clock_override);
+  if (UseColumnar()) {
+    // Columnar hot path: transpose the run into the SoA staging batch, run
+    // every predicate kernel batch-wide, then dispatch each row with its
+    // precomputed pass-set. A mid-batch ordering violation stops exactly
+    // where the row path would — kernels touched the invalid suffix but no
+    // engine did.
+    batch_scratch_.Clear();
+    batch_scratch_.AppendRows(events);
+    pred_program_.EvalBatch(batch_scratch_, &selection_);
+    for (size_t i = 0; i < events.size(); ++i) {
+      const Event& e = events[i];
+      Status ordered = gate_.CheckEvent(e.time);
+      if (!ordered.ok()) return ordered;
+      gate_.CommitEvent(e.time);
+      QuerySet passes = PassesForRow(static_cast<int>(i));
+      ProcessEvent(e, /*arrival=*/-1.0, &passes);
+    }
+    return Status::Ok();
+  }
   for (const Event& e : events) {
     Status ordered = gate_.CheckEvent(e.time);
     if (!ordered.ok()) return ordered;

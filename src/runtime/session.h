@@ -40,6 +40,8 @@
 #include "src/greta/greta_engine.h"
 #include "src/hamlet/batch_eval.h"
 #include "src/optimizer/policies.h"
+#include "src/query/columnar_predicate.h"
+#include "src/stream/event_batch.h"
 
 namespace hamlet {
 
@@ -99,6 +101,18 @@ struct RunConfig {
   /// Assignments are sticky, so per-group window order is preserved. 0
   /// disables (pure hash); must be >= 0.
   int64_t shard_rebalance_threshold = 0;
+  /// Columnar hot path: stage pushed events into a structure-of-arrays
+  /// EventBatch and evaluate every exec query's event predicates batch-wide
+  /// through the compiled column kernels (src/query/columnar_predicate.h)
+  /// before dispatch; HAMLET engines then receive pre-filtered events via
+  /// OnEventFiltered. false forces the legacy per-event row path. Emission
+  /// sets are BIT-IDENTICAL either way, for every engine kind
+  /// (CTest-enforced by tests/columnar_test.cc) — the knob trades dispatch
+  /// strategy, never results. Predicate names are resolved against the
+  /// schema once at Session::Open under BOTH settings, so unknown
+  /// attributes fail Open with kInvalidArgument instead of tripping a
+  /// per-event DCHECK later.
+  bool columnar = true;
   /// Test hook: overrides the monotonic wall clock (in seconds) used for
   /// latency attribution, busy-time accounting and adaptive batching, so
   /// timing-sensitive tests run deterministically under sanitizer/CI load.
@@ -331,8 +345,20 @@ class Session {
           EmissionSink* sink);
 
   /// `arrival` is the event's arrival wall time; pass a negative value to
-  /// sample it internally (batch path).
-  void ProcessEvent(const Event& e, double arrival);
+  /// sample it internally (batch path). `passes` (columnar path) carries the
+  /// batch-computed predicate pass-set for `e` — HAMLET engines then skip
+  /// their per-event predicate loop; nullptr (row path) lets them
+  /// self-filter. Non-HAMLET engines always self-filter, so `passes` only
+  /// changes where the same predicate math runs, never the results.
+  void ProcessEvent(const Event& e, double arrival,
+                    const QuerySet* passes = nullptr);
+  /// True when pushes should flow through the columnar batch path.
+  bool UseColumnar() const {
+    return config_.columnar && !pred_program_.trivial();
+  }
+  /// Pass-set for staged row `i` after EvalBatch: all exec queries, minus
+  /// predicated ones whose selection bit for `i` is clear.
+  QuerySet PassesForRow(int i) const;
   void AdvancePaneTo(Timestamp new_pane_start);
   void CloseExpiredWindows(GroupRunner& runner, Timestamp now);
   void OpenDueWindows(GroupRunner& runner, Timestamp pane_start,
@@ -349,6 +375,16 @@ class Session {
   const WorkloadPlan* plan_;
   RunConfig config_;
   EmissionSink* sink_;
+  /// Schema-resolved predicate kernels, compiled once at Open (for both
+  /// paths: Open-time validation is how unresolved names surface early).
+  PredicateProgram pred_program_;
+  /// All exec query ids — the starting pass-set every row narrows down.
+  QuerySet all_execs_;
+  /// Reused columnar staging (SoA batch + per-query selection bitmaps);
+  /// capacities persist across pushes so staging allocates only while a
+  /// batch is growing past all previous sizes.
+  EventBatch batch_scratch_;
+  BatchSelection selection_;
   std::vector<std::unique_ptr<Component>> components_;
   /// Per exec query: which event types its pattern mentions. Drives latency
   /// attribution — only events a query can react to stamp its windows'

@@ -1,0 +1,83 @@
+#include "src/stream/event_batch.h"
+
+#include <algorithm>
+
+namespace hamlet {
+
+void EventBatch::ResetSchema(int num_attr_columns) {
+  HAMLET_CHECK(num_attr_columns >= 0 &&
+               num_attr_columns <= Event::kMaxAttrs);
+  Clear();
+  cols_.resize(static_cast<size_t>(num_attr_columns));
+}
+
+void EventBatch::Clear() {
+  times_.clear();
+  types_.clear();
+  num_attrs_.clear();
+  for (auto& col : cols_) col.clear();
+}
+
+void EventBatch::Reserve(int rows) {
+  const size_t n = static_cast<size_t>(rows);
+  times_.reserve(n);
+  types_.reserve(n);
+  num_attrs_.reserve(n);
+  for (auto& col : cols_) col.reserve(n);
+}
+
+void EventBatch::WidenTo(int want) {
+  const size_t rows = times_.size();
+  while (num_attr_columns() < want) {
+    cols_.emplace_back();
+    cols_.back().assign(rows, 0.0);
+  }
+}
+
+void EventBatch::Append(const Event& e) {
+  if (e.num_attrs > num_attr_columns()) WidenTo(e.num_attrs);
+  times_.push_back(e.time);
+  types_.push_back(e.type);
+  num_attrs_.push_back(e.num_attrs);
+  const int n = num_attr_columns();
+  for (int a = 0; a < n; ++a) {
+    cols_[static_cast<size_t>(a)].push_back(
+        a < e.num_attrs ? e.attrs[static_cast<size_t>(a)] : 0.0);
+  }
+}
+
+void EventBatch::AppendRows(std::span<const Event> rows) {
+  for (const Event& e : rows) Append(e);
+}
+
+void EventBatch::CopyRow(int i, Event* out) const {
+  const size_t row = static_cast<size_t>(i);
+  out->time = times_[row];
+  out->type = types_[row];
+  out->num_attrs = num_attrs_[row];
+  const int n = std::min<int>(out->num_attrs, num_attr_columns());
+  for (int a = 0; a < n; ++a)
+    out->attrs[static_cast<size_t>(a)] = cols_[static_cast<size_t>(a)][row];
+  for (int a = n; a < Event::kMaxAttrs; ++a)
+    out->attrs[static_cast<size_t>(a)] = 0.0;
+}
+
+EventBatch EventBatch::FromRows(std::span<const Event> rows,
+                                int num_attr_columns) {
+  EventBatch batch(num_attr_columns);
+  batch.Reserve(static_cast<int>(rows.size()));
+  batch.AppendRows(rows);
+  return batch;
+}
+
+int64_t EventBatch::MemoryBytes() const {
+  int64_t bytes = static_cast<int64_t>(sizeof(EventBatch)) +
+                  static_cast<int64_t>(times_.capacity() * sizeof(Timestamp)) +
+                  static_cast<int64_t>(types_.capacity() * sizeof(TypeId)) +
+                  static_cast<int64_t>(num_attrs_.capacity() * sizeof(int32_t));
+  for (const auto& col : cols_)
+    bytes += static_cast<int64_t>(col.capacity() * sizeof(double));
+  return bytes;
+}
+
+}  // namespace hamlet
