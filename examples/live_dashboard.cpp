@@ -16,6 +16,14 @@
 // shard_batch_size when a burst needs amortizing. Contrast with
 // examples/quickstart.cpp, which uses the batch Run() wrapper.
 //
+// The run also exercises the query lifecycle and the online optimizer: a
+// fourth query is registered on the LIVE session mid-stream (AddQuery
+// compiles a new plan epoch that activates at the next pane boundary —
+// results for it appear from that boundary on, everything already running
+// is unaffected), and RunConfig::reoptimize_every_panes keeps the plan
+// under review — every decision the OnlineReoptimizer took (observed vs
+// best cost, swap or keep) is printed at the end.
+//
 // Pass --threads=N to change the shard count (default 2).
 #include <cstdio>
 
@@ -64,6 +72,7 @@ int main(int argc, char** argv) {
   config.num_shards = num_shards;  // validated at Open like every knob
   config.shard_batch_size = 16;    // ceiling for the adaptive controller
   config.adaptive_batching = true;  // hand-off shrinks to 1 during lulls
+  config.reoptimize_every_panes = 2;  // review the plan every 20 s pane pair
   Result<std::unique_ptr<ShardedSession>> session =
       ShardedSession::Open(*plan, config, &sink);
   HAMLET_CHECK(session.ok());
@@ -80,8 +89,25 @@ int main(int argc, char** argv) {
   std::unique_ptr<EventCursor> cursor = generator.Stream(gen);
   Event e;
   Timestamp next_status = 15 * kMillisPerSecond;
+  bool cancel_rate_added = false;
   while (cursor->Next(&e)) {
     HAMLET_CHECK(session.value()->Push(e).ok());
+    if (!cancel_rate_added && e.time >= 20 * kMillisPerSecond) {
+      // Register a query on the live session: it compiles against the
+      // running schema and starts emitting at the next pane boundary.
+      Result<Query> q = ParseQuery(
+          "RETURN COUNT(*) PATTERN SEQ(Request, Travel+, Cancel) "
+          "GROUPBY district WITHIN 10 s");
+      HAMLET_CHECK(q.ok());
+      Query named = q.value();
+      named.name = "cancel_rate";
+      Result<Timestamp> at = session.value()->AddQuery(named);
+      HAMLET_CHECK(at.ok());
+      std::printf("  ** cancel_rate registered at t=%llds, live from %llds\n",
+                  static_cast<long long>(e.time / kMillisPerSecond),
+                  static_cast<long long>(at.value() / kMillisPerSecond));
+      cancel_rate_added = true;
+    }
     if (e.time >= next_status) {
       RunMetrics now = session.value()->MetricsSnapshot();
       std::printf(
@@ -99,6 +125,9 @@ int main(int argc, char** argv) {
   // waiting for another event.
   HAMLET_CHECK(session.value()->AdvanceTo(gen.duration_minutes *
                                           kMillisPerMinute).ok());
+  // Snapshot the online optimizer's decision log before Close tears the
+  // session down.
+  const std::vector<ReoptDecision> decisions = session.value()->reopt_log();
   RunMetrics m = session.value()->Close().value();
   std::printf(
       "\ndone: %lld events, %lld emissions, %lld/%lld bursts shared, "
@@ -106,5 +135,14 @@ int main(int argc, char** argv) {
       static_cast<long long>(m.events), static_cast<long long>(m.emissions),
       static_cast<long long>(m.hamlet.bursts_shared),
       static_cast<long long>(m.hamlet.bursts_total), m.throughput_eps);
+  std::printf("re-optimization decisions (%lld checks, %lld swaps):\n",
+              static_cast<long long>(m.reopt_checks),
+              static_cast<long long>(m.reopt_swaps));
+  for (const ReoptDecision& d : decisions) {
+    std::printf("  pane %3llds: observed cost %.0f, best %.0f -> %s (%s)\n",
+                static_cast<long long>(d.boundary / kMillisPerSecond),
+                d.observed_cost, d.best_cost, d.swapped ? "SWAP" : "keep",
+                d.detail.c_str());
+  }
   return 0;
 }

@@ -205,6 +205,25 @@ Result<WorkloadPlan> AnalyzeWorkload(const Workload& workload) {
   return plan;
 }
 
+void RestrictShareGroups(WorkloadPlan& plan,
+                         std::span<const SharingOverride> overrides) {
+  for (const SharingOverride& ov : overrides) {
+    for (size_t i = 0; i < plan.share_groups.size(); ++i) {
+      ShareGroup& g = plan.share_groups[i];
+      if (g.type != ov.type || g.members != ov.original_members) continue;
+      const QuerySet kept = ov.shared.Intersect(g.members);
+      if (kept.Count() < 2) {
+        plan.share_groups.erase(plan.share_groups.begin() +
+                                static_cast<std::ptrdiff_t>(i));
+      } else {
+        g.members = kept;
+        g.mode = DecideMode(plan.exec_queries, kept);
+      }
+      break;
+    }
+  }
+}
+
 Result<PredicateProgram> CompilePredicateProgram(const WorkloadPlan& plan) {
   std::vector<PredicateList> lists;
   lists.reserve(plan.exec_queries.size());

@@ -11,6 +11,7 @@
 #ifndef HAMLET_PLAN_WORKLOAD_PLAN_H_
 #define HAMLET_PLAN_WORKLOAD_PLAN_H_
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -108,6 +109,29 @@ struct WorkloadPlan {
 
 /// Runs the full workload analysis. The workload must outlive the plan.
 Result<WorkloadPlan> AnalyzeWorkload(const Workload& workload);
+
+/// One online-optimizer decision for one share group: keep only `shared`
+/// of the group identified by (type, original_members) sharing; the rest
+/// run solo. Applied by RestrictShareGroups when a session hot-swaps its
+/// plan (src/optimizer/online_optimizer.h derives these from live burst
+/// statistics).
+struct SharingOverride {
+  TypeId type = Schema::kInvalidId;
+  /// The group as AnalyzeWorkload built it — identifies the group, since a
+  /// type may partition into several groups (aggregate compatibility is
+  /// not transitive).
+  QuerySet original_members;
+  /// The members that keep sharing; must be a subset of original_members.
+  QuerySet shared;
+};
+
+/// Applies overrides to a freshly analyzed plan: each matched share group's
+/// membership shrinks to override.shared (intersected with the original
+/// members); groups left with < 2 members are removed, and their mode is
+/// re-decided for the survivors. Unmatched overrides are ignored — the
+/// query set may have churned between the decision and the swap.
+void RestrictShareGroups(WorkloadPlan& plan,
+                         std::span<const SharingOverride> overrides);
 
 /// Combines branch values into the source query's value (paper §5's count
 /// composition; branch_values parallels rule.exec_ids).

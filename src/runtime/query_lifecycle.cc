@@ -1,0 +1,93 @@
+#include "src/runtime/query_lifecycle.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace hamlet {
+
+void QueryLifecycle::Init(const Workload& initial) {
+  schema_ = initial.schema();
+  queries_ = initial.queries();
+}
+
+bool QueryLifecycle::Contains(const std::string& name) const {
+  return std::any_of(queries_.begin(), queries_.end(),
+                     [&](const Query& q) { return q.name == name; });
+}
+
+Status QueryLifecycle::ValidateAdd(const Query& q) const {
+  if (schema_ == nullptr)
+    return Status::FailedPrecondition("lifecycle not initialized");
+  if (q.name.empty()) {
+    return Status::InvalidArgument(
+        "queries added to a live session must be named");
+  }
+  if (Contains(q.name))
+    return Status::InvalidArgument("duplicate query name: " + q.name);
+  // Resolve a copy WITHOUT registering missing names: validation must not
+  // mutate the schema the running epochs (and sibling shards) read.
+  Query probe = q;
+  Status s = probe.Resolve(schema_, /*register_missing=*/false);
+  if (!s.ok()) return s;
+  return Status::Ok();
+}
+
+Status QueryLifecycle::ValidateRemove(const std::string& name) const {
+  if (schema_ == nullptr)
+    return Status::FailedPrecondition("lifecycle not initialized");
+  if (!Contains(name))
+    return Status::NotFound("unknown query name: " + name);
+  if (queries_.size() == 1) {
+    return Status::InvalidArgument(
+        "cannot remove the last query (an empty workload has no pane grid); "
+        "Close() the session instead");
+  }
+  return Status::Ok();
+}
+
+Result<QueryLifecycle::CompiledEpoch> QueryLifecycle::TryAdd(
+    const Query& q, std::span<const SharingOverride> overrides) {
+  Status s = ValidateAdd(q);
+  if (!s.ok()) return s;
+  queries_.push_back(q);
+  Result<CompiledEpoch> epoch = Compile(overrides);
+  if (!epoch.ok()) queries_.pop_back();
+  return epoch;
+}
+
+Result<QueryLifecycle::CompiledEpoch> QueryLifecycle::TryRemove(
+    const std::string& name, std::span<const SharingOverride> overrides) {
+  Status s = ValidateRemove(name);
+  if (!s.ok()) return s;
+  std::vector<Query> saved = queries_;
+  queries_.erase(std::remove_if(queries_.begin(), queries_.end(),
+                                [&](const Query& q) { return q.name == name; }),
+                 queries_.end());
+  Result<CompiledEpoch> epoch = Compile(overrides);
+  if (!epoch.ok()) queries_ = std::move(saved);
+  return epoch;
+}
+
+Result<QueryLifecycle::CompiledEpoch> QueryLifecycle::Compile(
+    std::span<const SharingOverride> overrides) const {
+  if (schema_ == nullptr)
+    return Status::FailedPrecondition("lifecycle not initialized");
+  auto workload = std::make_shared<Workload>(schema_);
+  for (const Query& q : queries_) {
+    // Re-resolving is a pure lookup here: every name was registered when
+    // the query first entered the workload (or passed ValidateAdd).
+    Result<QueryId> id = workload->Add(q);
+    if (!id.ok()) return id.status();
+  }
+  Result<WorkloadPlan> plan = AnalyzeWorkload(*workload);
+  if (!plan.ok()) return plan.status();
+  CompiledEpoch epoch;
+  epoch.plan = std::make_unique<WorkloadPlan>(std::move(plan).value());
+  epoch.potential_groups = epoch.plan->share_groups;
+  RestrictShareGroups(*epoch.plan, overrides);
+  epoch.applied.assign(overrides.begin(), overrides.end());
+  epoch.workload = std::move(workload);
+  return epoch;
+}
+
+}  // namespace hamlet

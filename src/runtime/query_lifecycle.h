@@ -1,0 +1,112 @@
+// Query lifecycle for live sessions (the paper assumes a FIXED workload,
+// §2.1 — this subsystem lifts that assumption for the runtime).
+//
+// A QueryLifecycle tracks the CURRENT query set of a running session and
+// compiles it — plus any online-optimizer SharingOverrides — into a fresh
+// plan "epoch" (workload copy + WorkloadPlan + PredicateProgram inputs)
+// that the session activates at a pane boundary:
+//
+//   AddQuery    -> new epoch; the added query starts emitting at the first
+//                  pane boundary strictly after everything already pushed
+//                  (windows starting earlier are suppressed — they would
+//                  miss events the session consumed before the add).
+//   RemoveQuery -> new epoch without the query; the old epoch keeps running
+//                  until every window opened under it has closed and
+//                  emitted (drain), then its state is evicted.
+//   Plan swap   -> same mechanism with an unchanged query set but a
+//                  restricted share-group structure (online_optimizer.h).
+//
+// Correctness: sharing never changes emission values, and an epoch only
+// emits windows [emit_from, emit_until) on its own grid, so the union of
+// epochs' emissions equals a fresh session per activation interval
+// (tests/query_churn_test.cc proves this bit-identically for all engines).
+//
+// Validation is two-phase so ShardedSession can pre-validate on the front
+// thread and then apply infallibly on every shard worker.
+#ifndef HAMLET_RUNTIME_QUERY_LIFECYCLE_H_
+#define HAMLET_RUNTIME_QUERY_LIFECYCLE_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/plan/workload_plan.h"
+#include "src/query/query.h"
+
+namespace hamlet {
+
+class QueryLifecycle {
+ public:
+  /// Upper bound on concurrently live plan epochs in one session. AddQuery/
+  /// RemoveQuery fail with kResourceExhausted once this many epochs are
+  /// still draining — a natural backpressure against churn storms. (Plan
+  /// swaps broadcast by a ShardedSession front bypass the cap: the front
+  /// already throttles, and shards must not diverge.)
+  static constexpr int kMaxLiveEpochs = 8;
+
+  /// One compiled plan generation. `plan->workload` points at `workload`,
+  /// which the epoch keeps alive; `potential_groups` is the UNRESTRICTED
+  /// share-group search space captured before overrides were applied (the
+  /// online reoptimizer needs it so split groups can re-merge).
+  struct CompiledEpoch {
+    std::shared_ptr<const Workload> workload;
+    std::unique_ptr<WorkloadPlan> plan;
+    std::vector<ShareGroup> potential_groups;
+    std::vector<SharingOverride> applied;
+  };
+
+  /// Seeds the live query list from the session's opening workload. The
+  /// queries are copied; `initial.schema()` must outlive the lifecycle.
+  void Init(const Workload& initial);
+
+  Schema* schema() const { return schema_; }
+  int size() const { return static_cast<int>(queries_.size()); }
+  const std::vector<Query>& queries() const { return queries_; }
+  bool Contains(const std::string& name) const;
+
+  /// Rejects unnamed queries (mid-run auto-naming could collide), duplicate
+  /// names, and queries that do not resolve against the CURRENT schema
+  /// (validation never registers new names — a rejected add must leave the
+  /// schema untouched).
+  Status ValidateAdd(const Query& q) const;
+  /// Rejects unknown names and removing the last query (an empty workload
+  /// has no pane grid; close the session instead).
+  Status ValidateRemove(const std::string& name) const;
+
+  /// Validates, tentatively applies the mutation, compiles the new query
+  /// set with `overrides`, and rolls the mutation back if compilation
+  /// fails — so a rejected churn op leaves the lifecycle exactly as it was.
+  Result<CompiledEpoch> TryAdd(const Query& q,
+                               std::span<const SharingOverride> overrides);
+  Result<CompiledEpoch> TryRemove(const std::string& name,
+                                  std::span<const SharingOverride> overrides);
+
+  /// Recompiles the CURRENT query set under `overrides` (plan hot swap).
+  Result<CompiledEpoch> Compile(
+      std::span<const SharingOverride> overrides) const;
+
+  /// Restores a previously captured query list — the session's rollback
+  /// hook for failures that happen AFTER TryAdd/TryRemove committed (e.g.
+  /// predicate-program compilation of the new epoch).
+  void Reset(std::vector<Query> queries) { queries_ = std::move(queries); }
+
+  /// First pane boundary strictly after `max_seen` on the pane grid of the
+  /// epoch being superseded — where the new epoch starts emitting. 0 when
+  /// the session has not seen any event or watermark yet (the swap is then
+  /// immediate and the old epoch never starts).
+  static Timestamp ActivationBoundary(Timestamp pane_size, bool any_seen,
+                                      Timestamp max_seen) {
+    if (!any_seen || pane_size <= 0) return 0;
+    return (max_seen / pane_size + 1) * pane_size;
+  }
+
+ private:
+  Schema* schema_ = nullptr;
+  std::vector<Query> queries_;
+};
+
+}  // namespace hamlet
+
+#endif  // HAMLET_RUNTIME_QUERY_LIFECYCLE_H_

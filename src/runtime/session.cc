@@ -38,6 +38,19 @@ class BusyScope {
   double start_;
 };
 
+void AddStats(HamletStats& into, const HamletStats& s) {
+  into.events += s.events;
+  into.bursts_total += s.bursts_total;
+  into.bursts_shared += s.bursts_shared;
+  into.graphlets_opened += s.graphlets_opened;
+  into.graphlets_shared += s.graphlets_shared;
+  into.snapshots_created += s.snapshots_created;
+  into.event_snapshots += s.event_snapshots;
+  into.splits += s.splits;
+  into.merges += s.merges;
+  into.ops += s.ops;
+}
+
 }  // namespace
 
 const char* EngineKindName(EngineKind kind) {
@@ -113,6 +126,41 @@ Status ValidateRunConfig(const RunConfig& config) {
         "got " +
         std::to_string(config.shard_rebalance_threshold));
   }
+  // ---- Lifecycle / re-optimization knob matrix (the single source of
+  // truth; docs/API.md carries the prose version) ----
+  // reoptimize_every_panes: 0 freezes the Open-time plan; > 0 additionally
+  //   requires reoptimize_threshold > 0 and a HAMLET kind with a sharing
+  //   plan the optimizer can act on (dynamic or static — no-share and the
+  //   baselines have no share groups to re-plan, so reopt is Unsupported).
+  //   Re-optimization IS supported under both columnar settings (each plan
+  //   epoch compiles its own predicate program / self-filters on the row
+  //   path) and any shard count (only the ShardedSession front decides;
+  //   shards mirror its swaps) — neither combination is rejected.
+  // reoptimize_threshold: checked even while reopt is off, so flipping
+  //   reoptimize_every_panes on later can never trip a latent bad value.
+  // evict_idle_groups: engine-agnostic, no cross-checks; together with
+  //   shard_rebalance_threshold > 0 it enables router-map draining
+  //   (RunMetrics::rebalance_map_size).
+  if (config.reoptimize_every_panes < 0) {
+    return Status::InvalidArgument(
+        "reoptimize_every_panes must be >= 0 (0 disables online "
+        "re-optimization), got " +
+        std::to_string(config.reoptimize_every_panes));
+  }
+  if (!(config.reoptimize_threshold > 0)) {
+    return Status::InvalidArgument(
+        "reoptimize_threshold must be > 0, got " +
+        std::to_string(config.reoptimize_threshold));
+  }
+  if (config.reoptimize_every_panes > 0 &&
+      config.kind != EngineKind::kHamletDynamic &&
+      config.kind != EngineKind::kHamletStatic) {
+    return Status::Unsupported(
+        "online re-optimization requires a HAMLET engine with a sharing "
+        "plan to act on (kHamletDynamic or kHamletStatic); " +
+        std::string(EngineKindName(config.kind)) +
+        " has no share groups to re-plan");
+  }
   return Status::Ok();
 }
 
@@ -173,16 +221,7 @@ void MergeRunMetrics(RunMetrics& into, const RunMetrics& from) {
   into.current_memory_bytes += from.current_memory_bytes;
   into.dnf_windows += from.dnf_windows;
   into.evicted_compositions += from.evicted_compositions;
-  into.hamlet.events += from.hamlet.events;
-  into.hamlet.bursts_total += from.hamlet.bursts_total;
-  into.hamlet.bursts_shared += from.hamlet.bursts_shared;
-  into.hamlet.graphlets_opened += from.hamlet.graphlets_opened;
-  into.hamlet.graphlets_shared += from.hamlet.graphlets_shared;
-  into.hamlet.snapshots_created += from.hamlet.snapshots_created;
-  into.hamlet.event_snapshots += from.hamlet.event_snapshots;
-  into.hamlet.splits += from.hamlet.splits;
-  into.hamlet.merges += from.hamlet.merges;
-  into.hamlet.ops += from.hamlet.ops;
+  AddStats(into.hamlet, from.hamlet);
   into.decisions += from.decisions;
   if (into.shard_batch_hist.size() < from.shard_batch_hist.size()) {
     into.shard_batch_hist.resize(from.shard_batch_hist.size(), 0);
@@ -195,6 +234,19 @@ void MergeRunMetrics(RunMetrics& into, const RunMetrics& from) {
       std::max(into.max_queue_depth_msgs, from.max_queue_depth_msgs);
   into.shard_events.insert(into.shard_events.end(), from.shard_events.begin(),
                            from.shard_events.end());
+  // Lifecycle counters are broadcast to and mirrored by every shard, so the
+  // merged value is the max, not the sum (summing would multiply each churn
+  // op by the shard count). Idle-group evictions are genuine per-shard
+  // state and sum like the other per-shard counters.
+  into.rebalance_map_size =
+      std::max(into.rebalance_map_size, from.rebalance_map_size);
+  into.queries_added = std::max(into.queries_added, from.queries_added);
+  into.queries_removed = std::max(into.queries_removed, from.queries_removed);
+  into.plan_swaps = std::max(into.plan_swaps, from.plan_swaps);
+  into.reopt_checks = std::max(into.reopt_checks, from.reopt_checks);
+  into.reopt_swaps = std::max(into.reopt_swaps, from.reopt_swaps);
+  into.active_epochs = std::max(into.active_epochs, from.active_epochs);
+  into.evicted_idle_groups += from.evicted_idle_groups;
 }
 
 std::vector<Emission> CollectingSink::Take() {
@@ -236,11 +288,15 @@ struct Session::Component {
   QuerySet members;
   AttrId group_by = Schema::kInvalidId;
   std::vector<bool> type_mask;  ///< relevant event types
+  /// Largest member WITHIN — once a pane boundary passes a group's last
+  /// event by this much, no window can still hold any of its events
+  /// (drives RunConfig::evict_idle_groups).
+  Timestamp max_within = 0;
   /// Unique window specs with the members using each; two-step/SHARON run
   /// one engine per (cohort, window instance).
   std::vector<std::pair<WindowSpec, QuerySet>> cohorts;
   /// Union of the member exec queries' type masks, per cohort — the
-  /// cohort-kind analogue of Session::exec_type_masks_.
+  /// cohort-kind analogue of Runtime::exec_type_masks.
   std::vector<std::vector<bool>> cohort_type_masks;
   std::unique_ptr<SharingPolicy> policy;
   std::map<int64_t, std::unique_ptr<GroupRunner>> groups;
@@ -249,8 +305,50 @@ struct Session::Component {
 struct Session::GroupRunner {
   Component* comp = nullptr;
   int64_t group_key = 0;
+  /// Time of the group's last relevant event (seeded by the creating
+  /// event); idle eviction compares pane boundaries against it.
+  Timestamp last_event_time = 0;
   std::unique_ptr<HamletEngine> hamlet;
   std::vector<WindowSlot> windows;
+};
+
+/// One plan epoch (see the declaration in session.h). Epoch 0 borrows the
+/// caller's plan (owned_plan null); churn/swap epochs own plan + workload.
+struct Session::Runtime {
+  std::shared_ptr<const Workload> workload_keepalive;
+  std::unique_ptr<WorkloadPlan> owned_plan;
+  const WorkloadPlan* plan = nullptr;
+  /// Schema-resolved predicate kernels, compiled once per epoch (for both
+  /// paths: compile-time validation is how unresolved names surface early).
+  PredicateProgram pred_program;
+  /// All exec query ids — the starting pass-set every row narrows down.
+  QuerySet all_execs;
+  /// Reused columnar staging (SoA batch + per-query selection bitmaps);
+  /// capacities persist across pushes so staging allocates only while a
+  /// batch is growing past all previous sizes.
+  EventBatch batch_scratch;
+  BatchSelection selection;
+  std::vector<std::unique_ptr<Component>> components;
+  /// Per exec query: which event types its pattern mentions. Drives latency
+  /// attribution — only events a query can react to stamp its windows'
+  /// arrival clocks.
+  std::vector<std::vector<bool>> exec_type_masks;
+  /// Branch values awaiting composition: (query, group, window) -> values.
+  std::map<std::tuple<QueryId, int64_t, Timestamp>, std::vector<double>>
+      pending_compositions;
+  /// The UNRESTRICTED share groups for this epoch's query set (the online
+  /// reoptimizer's search space) and the overrides currently applied.
+  std::vector<ShareGroup> potential_groups;
+  std::vector<SharingOverride> applied;
+  Timestamp pane_start = 0;
+  bool pane_started = false;
+  /// The epoch emits exactly the windows with ws in [emit_from,
+  /// emit_until). A window starting at/after the activation boundary only
+  /// holds events at/after it, so the bounds make epoch handover exact.
+  Timestamp emit_from = 0;
+  Timestamp emit_until = std::numeric_limits<Timestamp>::max();
+  /// Set when a newer epoch activated; the runtime drains, then retires.
+  bool superseded = false;
 };
 
 Result<std::unique_ptr<Session>> Session::Open(const WorkloadPlan& plan,
@@ -265,13 +363,27 @@ Result<std::unique_ptr<Session>> Session::Open(const WorkloadPlan& plan,
   Result<PredicateProgram> program = CompilePredicateProgram(plan);
   if (!program.ok()) return program.status();
   auto session = std::unique_ptr<Session>(new Session(plan, config, sink));
-  session->pred_program_ = std::move(program).value();
+  session->runtimes_.back()->pred_program = std::move(program).value();
   return session;
 }
 
 Session::Session(const WorkloadPlan& plan, const RunConfig& config,
                  EmissionSink* sink)
-    : plan_(&plan), config_(config), sink_(sink) {
+    : config_(config), sink_(sink) {
+  lifecycle_.Init(*plan.workload);
+  auto rt = std::make_unique<Runtime>();
+  rt->plan = &plan;
+  rt->potential_groups = plan.share_groups;
+  InitRuntime(*rt);
+  runtimes_.push_back(std::move(rt));
+  reopt_enabled_ = config_.reoptimize_every_panes > 0;
+  if (reopt_enabled_) {
+    collector_.Reset(plan.workload->schema()->num_types());
+  }
+}
+
+void Session::InitRuntime(Runtime& rt) {
+  const WorkloadPlan& plan = *rt.plan;
   // Connected components over share groups (union-find).
   const int n = plan.num_exec();
   std::vector<int> parent(static_cast<size_t>(n));
@@ -300,33 +412,36 @@ Session::Session(const WorkloadPlan& plan, const RunConfig& config,
     auto it = by_root.find(root);
     Component* comp;
     if (it == by_root.end()) {
-      components_.push_back(std::make_unique<Component>());
-      comp = components_.back().get();
+      rt.components.push_back(std::make_unique<Component>());
+      comp = rt.components.back().get();
       by_root[root] = comp;
     } else {
       comp = it->second;
     }
     comp->members.Insert(i);
   }
-  all_execs_ = QuerySet::FirstN(n);
-  batch_scratch_.ResetSchema(plan.workload->schema()->num_attrs());
+  rt.all_execs = QuerySet::FirstN(n);
+  rt.batch_scratch.ResetSchema(plan.workload->schema()->num_attrs());
   const int num_types = plan.workload->schema()->num_types();
-  exec_type_masks_.resize(static_cast<size_t>(n));
+  rt.exec_type_masks.resize(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
-    exec_type_masks_[static_cast<size_t>(i)].assign(
+    rt.exec_type_masks[static_cast<size_t>(i)].assign(
         static_cast<size_t>(num_types), false);
     for (TypeId t :
          plan.exec_queries[static_cast<size_t>(i)].tmpl.pattern.AllTypes()) {
-      exec_type_masks_[static_cast<size_t>(i)][static_cast<size_t>(t)] = true;
+      rt.exec_type_masks[static_cast<size_t>(i)][static_cast<size_t>(t)] =
+          true;
     }
   }
-  for (auto& comp : components_) {
+  for (auto& comp : rt.components) {
     comp->type_mask.assign(static_cast<size_t>(num_types), false);
     comp->members.ForEach([&](QueryId q) {
       const ExecQuery& eq = plan.exec_queries[static_cast<size_t>(q)];
       // Members of a component share the group-by attribute (Definition 5).
       comp->group_by = eq.group_by;
-      const std::vector<bool>& qm = exec_type_masks_[static_cast<size_t>(q)];
+      comp->max_within = std::max(comp->max_within, eq.window.within);
+      const std::vector<bool>& qm =
+          rt.exec_type_masks[static_cast<size_t>(q)];
       for (size_t t = 0; t < qm.size(); ++t) {
         if (qm[t]) comp->type_mask[t] = true;
       }
@@ -344,7 +459,8 @@ Session::Session(const WorkloadPlan& plan, const RunConfig& config,
       std::vector<bool>& mask = comp->cohort_type_masks[c];
       mask.assign(static_cast<size_t>(num_types), false);
       comp->cohorts[c].second.ForEach([&](QueryId q) {
-        const std::vector<bool>& qm = exec_type_masks_[static_cast<size_t>(q)];
+        const std::vector<bool>& qm =
+            rt.exec_type_masks[static_cast<size_t>(q)];
         for (size_t t = 0; t < qm.size(); ++t) {
           if (qm[t]) mask[t] = true;
         }
@@ -367,13 +483,20 @@ Session::Session(const WorkloadPlan& plan, const RunConfig& config,
 
 Session::~Session() = default;
 
-void Session::OpenDueWindows(GroupRunner& runner, Timestamp pane_start,
-                             bool retroactive) {
+bool Session::UseColumnar(const Runtime& rt) const {
+  return config_.columnar && !rt.pred_program.trivial();
+}
+
+void Session::OpenDueWindows(Runtime& rt, GroupRunner& runner,
+                             Timestamp pane_start, bool retroactive) {
   Component& comp = *runner.comp;
   const bool hamlet_kind = runner.hamlet != nullptr;
   const bool cohort_kind = config_.kind == EngineKind::kTwoStep ||
                            config_.kind == EngineKind::kSharon;
   auto open_one = [&](int owner, Timestamp ws, Timestamp within) {
+    // Epoch emission bounds: windows starting outside [emit_from,
+    // emit_until) belong to another epoch — the handover invariant.
+    if (ws < rt.emit_from || ws >= rt.emit_until) return;
     WindowSlot slot;
     slot.owner = owner;
     slot.ws = ws;
@@ -384,16 +507,16 @@ void Session::OpenDueWindows(GroupRunner& runner, Timestamp pane_start,
           comp.cohorts[static_cast<size_t>(owner)].second;
       if (config_.kind == EngineKind::kTwoStep) {
         slot.two_step = std::make_unique<TwoStepEngine>(
-            *plan_, cohort_members, config_.two_step_budget);
+            *rt.plan, cohort_members, config_.two_step_budget);
       } else {
         slot.sharon = std::make_unique<SharonEngine>(
-            *plan_, cohort_members, config_.sharon_max_length);
+            *rt.plan, cohort_members, config_.sharon_max_length);
       }
     } else if (hamlet_kind) {
       slot.ctx = runner.hamlet->OpenContext(owner, ws, slot.we);
     } else {
       slot.greta = std::make_unique<GretaEngine>(
-          plan_->exec_queries[static_cast<size_t>(owner)],
+          rt.plan->exec_queries[static_cast<size_t>(owner)],
           config_.kind == EngineKind::kGretaPrefix ? GretaMode::kPrefixSum
                                                    : GretaMode::kGraph);
     }
@@ -418,21 +541,24 @@ void Session::OpenDueWindows(GroupRunner& runner, Timestamp pane_start,
       open_for(static_cast<int>(c), comp.cohorts[c].first);
   } else {
     comp.members.ForEach([&](QueryId q) {
-      open_for(q, plan_->exec_queries[static_cast<size_t>(q)].window);
+      open_for(q, rt.plan->exec_queries[static_cast<size_t>(q)].window);
     });
   }
 }
 
-void Session::EmitExecValue(int exec_id, int64_t group_key,
+void Session::EmitExecValue(Runtime& rt, int exec_id, int64_t group_key,
                             Timestamp window_start, Timestamp window_end,
                             double value, double arrival_wall) {
-  const ExecQuery& eq = plan_->exec_queries[static_cast<size_t>(exec_id)];
+  // Belt-and-braces epoch bound: windows outside the emission range are
+  // never opened, so this only fires if that invariant breaks.
+  if (window_start < rt.emit_from || window_start >= rt.emit_until) return;
+  const ExecQuery& eq = rt.plan->exec_queries[static_cast<size_t>(exec_id)];
   const CompositionRule& rule =
-      plan_->compositions[static_cast<size_t>(eq.source)];
+      rt.plan->compositions[static_cast<size_t>(eq.source)];
   double final_value = value;
   if (rule.kind != CompositionKind::kSingle) {
     auto key = std::make_tuple(eq.source, group_key, window_start);
-    auto& values = pending_compositions_[key];
+    auto& values = rt.pending_compositions[key];
     values.resize(rule.exec_ids.size(),
                   std::numeric_limits<double>::quiet_NaN());
     for (size_t b = 0; b < rule.exec_ids.size(); ++b) {
@@ -442,7 +568,7 @@ void Session::EmitExecValue(int exec_id, int64_t group_key,
       if (std::isnan(v)) return;  // waiting for the other branch
     }
     final_value = ComposeQueryValue(rule, values);
-    pending_compositions_.erase(key);
+    rt.pending_compositions.erase(key);
   }
   const double latency = ClockNow(config_.clock_override) - arrival_wall;
   latency_sum_ += latency;
@@ -455,12 +581,13 @@ void Session::EmitExecValue(int exec_id, int64_t group_key,
     emission.window_start = window_start;
     emission.window_end = window_end;
     emission.value = final_value;
-    emission.query_name = plan_->workload->query(eq.source).name;
+    emission.query_name = rt.plan->workload->query(eq.source).name;
     sink_->OnEmission(emission);
   }
 }
 
-void Session::CloseExpiredWindows(GroupRunner& runner, Timestamp now) {
+void Session::CloseExpiredWindows(Runtime& rt, GroupRunner& runner,
+                                  Timestamp now) {
   Component& comp = *runner.comp;
   for (size_t i = 0; i < runner.windows.size();) {
     WindowSlot& w = runner.windows[i];
@@ -470,11 +597,11 @@ void Session::CloseExpiredWindows(GroupRunner& runner, Timestamp now) {
     }
     if (runner.hamlet != nullptr) {
       ContextResult r = runner.hamlet->CloseContext(w.ctx);
-      EmitExecValue(w.owner, runner.group_key, w.ws, w.we, r.value,
+      EmitExecValue(rt, w.owner, runner.group_key, w.ws, w.we, r.value,
                     w.last_arrival_wall);
     } else if (w.greta != nullptr) {
-      EmitExecValue(w.owner, runner.group_key, w.ws, w.we, w.greta->Value(),
-                    w.last_arrival_wall);
+      EmitExecValue(rt, w.owner, runner.group_key, w.ws, w.we,
+                    w.greta->Value(), w.last_arrival_wall);
     } else if (w.two_step != nullptr) {
       Status s = w.two_step->Finish();
       if (!s.ok()) {
@@ -482,7 +609,7 @@ void Session::CloseExpiredWindows(GroupRunner& runner, Timestamp now) {
       } else {
         comp.cohorts[static_cast<size_t>(w.owner)].second.ForEach(
             [&](QueryId q) {
-              EmitExecValue(q, runner.group_key, w.ws, w.we,
+              EmitExecValue(rt, q, runner.group_key, w.ws, w.we,
                             w.two_step->Value(q), w.last_arrival_wall);
             });
       }
@@ -490,8 +617,8 @@ void Session::CloseExpiredWindows(GroupRunner& runner, Timestamp now) {
       comp.cohorts[static_cast<size_t>(w.owner)].second.ForEach(
           [&](QueryId q) {
             if (!w.sharon->Supported(q)) return;
-            EmitExecValue(q, runner.group_key, w.ws, w.we, w.sharon->Value(q),
-                          w.last_arrival_wall);
+            EmitExecValue(rt, q, runner.group_key, w.ws, w.we,
+                          w.sharon->Value(q), w.last_arrival_wall);
           });
     }
     runner.windows[i] = std::move(runner.windows.back());
@@ -499,9 +626,9 @@ void Session::CloseExpiredWindows(GroupRunner& runner, Timestamp now) {
   }
 }
 
-void Session::EvictDeadCompositions(Timestamp boundary) {
-  for (auto it = pending_compositions_.begin();
-       it != pending_compositions_.end();) {
+void Session::EvictDeadCompositions(Runtime& rt, Timestamp boundary) {
+  for (auto it = rt.pending_compositions.begin();
+       it != rt.pending_compositions.end();) {
     // Every branch of a source query shares its window spec, so the entry's
     // window is [ws, ws + within). Once that window closed (all branch
     // engines emitted or gave up at `boundary`), a still-pending entry has a
@@ -510,10 +637,10 @@ void Session::EvictDeadCompositions(Timestamp boundary) {
     const QueryId source = std::get<0>(it->first);
     const Timestamp ws = std::get<2>(it->first);
     const Timestamp within =
-        plan_->workload->query(source).window.within;
+        rt.plan->workload->query(source).window.within;
     if (ws + within <= boundary) {
       ++evicted_compositions_;
-      it = pending_compositions_.erase(it);
+      it = rt.pending_compositions.erase(it);
     } else {
       ++it;
     }
@@ -522,67 +649,95 @@ void Session::EvictDeadCompositions(Timestamp boundary) {
 
 int64_t Session::CurrentMemory() const {
   int64_t bytes = 0;
-  for (const auto& comp : components_) {
-    for (const auto& [key, runner] : comp->groups) {
-      if (runner->hamlet) bytes += runner->hamlet->MemoryBytes();
-      for (const WindowSlot& w : runner->windows) {
-        if (w.greta) bytes += w.greta->MemoryBytes();
-        if (w.two_step) bytes += w.two_step->MemoryBytes();
-        if (w.sharon) bytes += w.sharon->MemoryBytes();
+  for (const auto& rtp : runtimes_) {
+    for (const auto& comp : rtp->components) {
+      for (const auto& [key, runner] : comp->groups) {
+        if (runner->hamlet) bytes += runner->hamlet->MemoryBytes();
+        for (const WindowSlot& w : runner->windows) {
+          if (w.greta) bytes += w.greta->MemoryBytes();
+          if (w.two_step) bytes += w.two_step->MemoryBytes();
+          if (w.sharon) bytes += w.sharon->MemoryBytes();
+        }
       }
     }
-  }
-  // Pending branch values awaiting OR/AND composition are runtime state
-  // too; charging them here is what makes a composition leak visible in
-  // peak_memory_bytes.
-  for (const auto& [key, values] : pending_compositions_) {
-    bytes += static_cast<int64_t>(sizeof(key) + sizeof(values) +
-                                  values.capacity() * sizeof(double));
+    // Pending branch values awaiting OR/AND composition are runtime state
+    // too; charging them here is what makes a composition leak visible in
+    // peak_memory_bytes.
+    for (const auto& [key, values] : rtp->pending_compositions) {
+      bytes += static_cast<int64_t>(sizeof(key) + sizeof(values) +
+                                    values.capacity() * sizeof(double));
+    }
   }
   return bytes;
 }
 
-void Session::AdvancePaneTo(Timestamp new_pane_start) {
-  const Timestamp pane = plan_->pane_size;
-  while (!pane_started_ || pane_start_ < new_pane_start) {
+void Session::AdvancePaneTo(Runtime& rt, Timestamp new_pane_start) {
+  const Timestamp pane = rt.plan->pane_size;
+  // Idle-group eviction applies only at boundaries supported by observed
+  // event time (committed events/watermarks). The synthetic Close flush
+  // sweeps past real time and must not evict: a shard whose flush horizon
+  // is local would otherwise evict at different boundaries than the
+  // single-threaded reference, changing which empty windows get dropped.
+  const Timestamp evict_horizon =
+      config_.evict_idle_groups && gate_.any_seen()
+          ? (gate_.max_seen() / pane) * pane
+          : Timestamp{-1};
+  while (!rt.pane_started || rt.pane_start < new_pane_start) {
     const Timestamp boundary =
-        pane_started_ ? pane_start_ + pane : new_pane_start;
+        rt.pane_started ? rt.pane_start + pane : new_pane_start;
     // Sample before closures so full windows count toward the peak.
     peak_memory_ = std::max(peak_memory_, CurrentMemory());
-    for (auto& comp : components_) {
-      for (auto& [key, runner] : comp->groups) {
-        if (runner->hamlet && pane_started_) runner->hamlet->OnPaneEnd();
-        CloseExpiredWindows(*runner, boundary);
-        OpenDueWindows(*runner, boundary, /*retroactive=*/false);
-        if (runner->hamlet) runner->hamlet->OnPaneStart(boundary);
+    for (auto& comp : rt.components) {
+      for (auto it = comp->groups.begin(); it != comp->groups.end();) {
+        GroupRunner& runner = *it->second;
+        if (runner.hamlet && rt.pane_started) runner.hamlet->OnPaneEnd();
+        CloseExpiredWindows(rt, runner, boundary);
+        // Evict BEFORE opening this boundary's windows: every window that
+        // could hold any of the group's events has closed above (boundary
+        // >= last_event + max member WITHIN), so all remaining and future
+        // state could only produce empty-window results. A later event
+        // recreates the runner with retroactive windows that provably
+        // contain no evicted events (events are strictly increasing past
+        // the boundary), so eviction timing is deterministic in event time.
+        if (evict_horizon >= 0 && boundary <= evict_horizon &&
+            boundary >= runner.last_event_time + comp->max_within) {
+          if (runner.hamlet) AddStats(retired_stats_, runner.hamlet->stats());
+          ++evicted_idle_groups_;
+          it = comp->groups.erase(it);
+          continue;
+        }
+        OpenDueWindows(rt, runner, boundary, /*retroactive=*/false);
+        if (runner.hamlet) runner.hamlet->OnPaneStart(boundary);
+        ++it;
       }
     }
     // All engines for windows ending at `boundary` have now emitted or
     // declined; whatever composition entries remain for them are dead.
-    EvictDeadCompositions(boundary);
-    pane_start_ = boundary;
-    pane_started_ = true;
+    EvictDeadCompositions(rt, boundary);
+    rt.pane_start = boundary;
+    rt.pane_started = true;
     peak_memory_ = std::max(peak_memory_, CurrentMemory());
   }
 }
 
-QuerySet Session::PassesForRow(int i) const {
-  QuerySet passes = all_execs_;
-  const std::vector<int>& pq = pred_program_.predicated_queries();
+QuerySet Session::PassesForRow(const Runtime& rt, int i) const {
+  QuerySet passes = rt.all_execs;
+  const std::vector<int>& pq = rt.pred_program.predicated_queries();
   for (size_t k = 0; k < pq.size(); ++k) {
-    if (!selection_.masks[k].Test(i)) passes.Erase(pq[k]);
+    if (!rt.selection.masks[k].Test(i)) passes.Erase(pq[k]);
   }
   return passes;
 }
 
-void Session::ProcessEvent(const Event& e, double arrival,
+void Session::ProcessEvent(Runtime& rt, const Event& e, double arrival,
                            const QuerySet* passes) {
-  const Timestamp pane = plan_->pane_size;
+  const Timestamp pane = rt.plan->pane_size;
   const Timestamp event_pane = (e.time / pane) * pane;
-  if (!pane_started_ || event_pane > pane_start_) AdvancePaneTo(event_pane);
-  ++events_;
+  if (!rt.pane_started || event_pane > rt.pane_start) {
+    AdvancePaneTo(rt, event_pane);
+  }
   if (arrival < 0) arrival = ClockNow(config_.clock_override);
-  for (auto& compp : components_) {
+  for (auto& compp : rt.components) {
     Component& comp = *compp;
     if (e.type < 0 || e.type >= static_cast<TypeId>(comp.type_mask.size()) ||
         !comp.type_mask[static_cast<size_t>(e.type)])
@@ -597,18 +752,20 @@ void Session::ProcessEvent(const Event& e, double arrival,
       auto created = std::make_unique<GroupRunner>();
       created->comp = &comp;
       created->group_key = key;
+      created->last_event_time = e.time;
       if (config_.kind == EngineKind::kHamletDynamic ||
           config_.kind == EngineKind::kHamletStatic ||
           config_.kind == EngineKind::kHamletNoShare) {
         created->hamlet = std::make_unique<HamletEngine>(
-            *plan_, comp.members, comp.policy.get());
+            *rt.plan, comp.members, comp.policy.get());
       }
       runner = created.get();
       comp.groups[key] = std::move(created);
-      OpenDueWindows(*runner, pane_start_, /*retroactive=*/true);
-      if (runner->hamlet) runner->hamlet->OnPaneStart(pane_start_);
+      OpenDueWindows(rt, *runner, rt.pane_start, /*retroactive=*/true);
+      if (runner->hamlet) runner->hamlet->OnPaneStart(rt.pane_start);
     } else {
       runner = it->second.get();
+      runner->last_event_time = e.time;
     }
     // Latency attribution: an event resets the arrival clock only of
     // windows it can contribute to — it must fall inside the window span
@@ -620,7 +777,7 @@ void Session::ProcessEvent(const Event& e, double arrival,
     auto stamp_if_relevant = [&](WindowSlot& w) {
       const std::vector<bool>& owner_mask =
           cohort_kind ? comp.cohort_type_masks[static_cast<size_t>(w.owner)]
-                      : exec_type_masks_[static_cast<size_t>(w.owner)];
+                      : rt.exec_type_masks[static_cast<size_t>(w.owner)];
       if (owner_mask[static_cast<size_t>(e.type)]) {
         w.last_arrival_wall = arrival;
       }
@@ -659,20 +816,27 @@ Status Session::Push(const Event& event) {
   if (!ordered.ok()) return ordered;
   BusyScope busy(&busy_seconds_, config_.clock_override);
   gate_.CommitEvent(event.time);
+  ++events_;
+  if (reopt_enabled_) collector_.CountEvent(event.type);
   // The scope-entry wall doubles as the event's arrival time, keeping the
   // per-event Push hot path at two clock reads total.
-  if (UseColumnar()) {
-    // Thin wrapper over the batch machinery: a single-row batch through the
-    // same staging + kernels as PushBatch, so both entry points share one
-    // predicate code path.
-    batch_scratch_.Clear();
-    batch_scratch_.Append(event);
-    pred_program_.EvalBatch(batch_scratch_, &selection_);
-    QuerySet passes = PassesForRow(0);
-    ProcessEvent(event, busy.start(), &passes);
-  } else {
-    ProcessEvent(event, busy.start());
+  for (auto& rtp : runtimes_) {
+    Runtime& rt = *rtp;
+    if (UseColumnar(rt)) {
+      // Thin wrapper over the batch machinery: a single-row batch through
+      // the same staging + kernels as PushBatch, so both entry points share
+      // one predicate code path.
+      rt.batch_scratch.Clear();
+      rt.batch_scratch.Append(event);
+      rt.pred_program.EvalBatch(rt.batch_scratch, &rt.selection);
+      QuerySet passes = PassesForRow(rt, 0);
+      ProcessEvent(rt, event, busy.start(), &passes);
+    } else {
+      ProcessEvent(rt, event, busy.start());
+    }
   }
+  ReapRuntimes();
+  MaybeReoptimize();
   return Status::Ok();
 }
 
@@ -687,32 +851,41 @@ Status Session::PushBatch(std::span<const Event> events) {
   Status first = gate_.CheckEvent(events.front().time);
   if (!first.ok()) return first;
   BusyScope busy(&busy_seconds_, config_.clock_override);
-  if (UseColumnar()) {
-    // Columnar hot path: transpose the run into the SoA staging batch, run
-    // every predicate kernel batch-wide, then dispatch each row with its
-    // precomputed pass-set. A mid-batch ordering violation stops exactly
-    // where the row path would — kernels touched the invalid suffix but no
-    // engine did.
-    batch_scratch_.Clear();
-    batch_scratch_.AppendRows(events);
-    pred_program_.EvalBatch(batch_scratch_, &selection_);
-    for (size_t i = 0; i < events.size(); ++i) {
-      const Event& e = events[i];
-      Status ordered = gate_.CheckEvent(e.time);
-      if (!ordered.ok()) return ordered;
-      gate_.CommitEvent(e.time);
-      QuerySet passes = PassesForRow(static_cast<int>(i));
-      ProcessEvent(e, /*arrival=*/-1.0, &passes);
-    }
-    return Status::Ok();
+  // Columnar epochs: transpose the run into each epoch's SoA staging batch
+  // and run its predicate kernels batch-wide up front. A mid-batch ordering
+  // violation stops exactly where the row path would — kernels touched the
+  // invalid suffix but no engine did.
+  for (auto& rtp : runtimes_) {
+    Runtime& rt = *rtp;
+    if (!UseColumnar(rt)) continue;
+    rt.batch_scratch.Clear();
+    rt.batch_scratch.AppendRows(events);
+    rt.pred_program.EvalBatch(rt.batch_scratch, &rt.selection);
   }
-  for (const Event& e : events) {
+  Status result = Status::Ok();
+  for (size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
     Status ordered = gate_.CheckEvent(e.time);
-    if (!ordered.ok()) return ordered;
+    if (!ordered.ok()) {
+      result = ordered;
+      break;
+    }
     gate_.CommitEvent(e.time);
-    ProcessEvent(e, /*arrival=*/-1.0);
+    ++events_;
+    if (reopt_enabled_) collector_.CountEvent(e.type);
+    for (auto& rtp : runtimes_) {
+      Runtime& rt = *rtp;
+      if (UseColumnar(rt)) {
+        QuerySet passes = PassesForRow(rt, static_cast<int>(i));
+        ProcessEvent(rt, e, /*arrival=*/-1.0, &passes);
+      } else {
+        ProcessEvent(rt, e, /*arrival=*/-1.0);
+      }
+    }
   }
-  return Status::Ok();
+  ReapRuntimes();
+  MaybeReoptimize();
+  return result;
 }
 
 Status Session::AdvanceTo(Timestamp watermark) {
@@ -723,10 +896,213 @@ Status Session::AdvanceTo(Timestamp watermark) {
   if (!ordered.ok()) return ordered;
   BusyScope busy(&busy_seconds_, config_.clock_override);
   gate_.CommitWatermark(watermark);
-  const Timestamp pane = plan_->pane_size;
-  const Timestamp target = (watermark / pane) * pane;
-  if (!pane_started_ || target > pane_start_) AdvancePaneTo(target);
+  for (auto& rtp : runtimes_) {
+    Runtime& rt = *rtp;
+    const Timestamp pane = rt.plan->pane_size;
+    const Timestamp target = (watermark / pane) * pane;
+    if (!rt.pane_started || target > rt.pane_start) AdvancePaneTo(rt, target);
+  }
+  ReapRuntimes();
+  MaybeReoptimize();
   return Status::Ok();
+}
+
+Result<Timestamp> Session::Swap(QueryLifecycle::CompiledEpoch epoch,
+                                Timestamp activate_at) {
+  Result<PredicateProgram> program = CompilePredicateProgram(*epoch.plan);
+  if (!program.ok()) return program.status();
+  Timestamp activate = activate_at;
+  if (activate < 0) {
+    // Next boundary on the CURRENT lead epoch's grid strictly after
+    // everything seen. Adding a query can only shrink the pane gcd, and
+    // removing can only grow it to a multiple, so every boundary of the
+    // outgoing grid is also a boundary of the incoming one.
+    activate = QueryLifecycle::ActivationBoundary(
+        runtimes_.back()->plan->pane_size, gate_.any_seen(),
+        gate_.max_seen());
+  }
+  auto rt = std::make_unique<Runtime>();
+  rt->workload_keepalive = epoch.workload;
+  rt->owned_plan = std::move(epoch.plan);
+  rt->plan = rt->owned_plan.get();
+  rt->pred_program = std::move(program).value();
+  rt->potential_groups = std::move(epoch.potential_groups);
+  rt->applied = std::move(epoch.applied);
+  rt->emit_from = activate;
+  InitRuntime(*rt);
+  for (auto& old : runtimes_) {
+    old->superseded = true;
+    if (old->emit_until > activate) old->emit_until = activate;
+  }
+  runtimes_.push_back(std::move(rt));
+  // Epochs whose emission range collapsed (double churn inside one pane)
+  // or that never started retire immediately.
+  ReapRuntimes();
+  if (reopt_enabled_) {
+    Runtime& lead = *runtimes_.back();
+    OnlineReoptimizerOptions opts;
+    opts.threshold = config_.reoptimize_threshold;
+    opts.variant = config_.cost_variant;
+    reoptimizer_.Bind(*lead.plan, lead.potential_groups, lead.applied, opts);
+    reopt_pane_seen_ = false;
+  }
+  return activate;
+}
+
+void Session::RetireRuntime(size_t index) {
+  Runtime& rt = *runtimes_[index];
+  for (auto& comp : rt.components) {
+    for (auto& [key, runner] : comp->groups) {
+      if (runner->hamlet) AddStats(retired_stats_, runner->hamlet->stats());
+    }
+    if (config_.kind == EngineKind::kHamletDynamic) {
+      retired_decisions_ +=
+          static_cast<DynamicBenefitPolicy*>(comp->policy.get())->decisions();
+    }
+  }
+  // In-range windows all closed before retirement, so leftovers here are
+  // entries whose sibling branch never arrived.
+  evicted_compositions_ +=
+      static_cast<int64_t>(rt.pending_compositions.size());
+  runtimes_.erase(runtimes_.begin() + static_cast<std::ptrdiff_t>(index));
+}
+
+void Session::ReapRuntimes() {
+  for (size_t i = 0; i < runtimes_.size();) {
+    Runtime& rt = *runtimes_[i];
+    bool dead = false;
+    if (rt.superseded) {
+      if (!rt.pane_started) {
+        dead = true;  // never saw an event/watermark: nothing to drain
+      } else if (rt.emit_from >= rt.emit_until) {
+        dead = true;  // emission range collapsed: can never emit
+      } else if (rt.pane_start >= rt.emit_until) {
+        bool open_windows = false;
+        for (const auto& comp : rt.components) {
+          for (const auto& [key, runner] : comp->groups) {
+            if (!runner->windows.empty()) open_windows = true;
+          }
+        }
+        dead = !open_windows;  // past the cutoff and fully drained
+      }
+    }
+    if (dead) {
+      RetireRuntime(i);
+    } else {
+      ++i;
+    }
+  }
+}
+
+Result<Timestamp> Session::AddQuery(const Query& query,
+                                    Timestamp activate_at) {
+  if (closed_) {
+    return Status::FailedPrecondition("AddQuery on a closed session");
+  }
+  if (activate_at < 0 &&
+      live_epochs() >= QueryLifecycle::kMaxLiveEpochs) {
+    return Status::ResourceExhausted(
+        "too many plan epochs still draining (max " +
+        std::to_string(QueryLifecycle::kMaxLiveEpochs) +
+        "); advance the stream before further churn");
+  }
+  BusyScope busy(&busy_seconds_, config_.clock_override);
+  std::vector<Query> prev = lifecycle_.queries();
+  Result<QueryLifecycle::CompiledEpoch> epoch = lifecycle_.TryAdd(query, {});
+  if (!epoch.ok()) return epoch.status();
+  Result<Timestamp> activated = Swap(std::move(epoch).value(), activate_at);
+  if (!activated.ok()) {
+    lifecycle_.Reset(std::move(prev));
+    return activated;
+  }
+  ++queries_added_;
+  return activated;
+}
+
+Result<Timestamp> Session::RemoveQuery(const std::string& name,
+                                       Timestamp activate_at) {
+  if (closed_) {
+    return Status::FailedPrecondition("RemoveQuery on a closed session");
+  }
+  if (activate_at < 0 &&
+      live_epochs() >= QueryLifecycle::kMaxLiveEpochs) {
+    return Status::ResourceExhausted(
+        "too many plan epochs still draining (max " +
+        std::to_string(QueryLifecycle::kMaxLiveEpochs) +
+        "); advance the stream before further churn");
+  }
+  BusyScope busy(&busy_seconds_, config_.clock_override);
+  std::vector<Query> prev = lifecycle_.queries();
+  Result<QueryLifecycle::CompiledEpoch> epoch =
+      lifecycle_.TryRemove(name, {});
+  if (!epoch.ok()) return epoch.status();
+  Result<Timestamp> activated = Swap(std::move(epoch).value(), activate_at);
+  if (!activated.ok()) {
+    lifecycle_.Reset(std::move(prev));
+    return activated;
+  }
+  ++queries_removed_;
+  return activated;
+}
+
+Result<Timestamp> Session::ApplySharingOverrides(
+    std::span<const SharingOverride> overrides, Timestamp activate_at) {
+  if (closed_) {
+    return Status::FailedPrecondition(
+        "ApplySharingOverrides on a closed session");
+  }
+  BusyScope busy(&busy_seconds_, config_.clock_override);
+  Result<QueryLifecycle::CompiledEpoch> epoch = lifecycle_.Compile(overrides);
+  if (!epoch.ok()) return epoch.status();
+  Result<Timestamp> activated = Swap(std::move(epoch).value(), activate_at);
+  if (activated.ok()) ++plan_swaps_;
+  return activated;
+}
+
+HamletStats Session::AggregateHamletStats() const {
+  HamletStats s = retired_stats_;
+  for (const auto& rtp : runtimes_) {
+    for (const auto& comp : rtp->components) {
+      for (const auto& [key, runner] : comp->groups) {
+        if (runner->hamlet) AddStats(s, runner->hamlet->stats());
+      }
+    }
+  }
+  return s;
+}
+
+void Session::MaybeReoptimize() {
+  if (!reopt_enabled_ || closed_) return;
+  // Only in steady state: while a churn epoch drains, the statistics mix
+  // two plans and a swap would stack a third.
+  if (runtimes_.size() != 1) return;
+  Runtime& lead = *runtimes_.back();
+  if (!lead.pane_started) return;
+  const Timestamp every =
+      lead.plan->pane_size *
+      static_cast<Timestamp>(config_.reoptimize_every_panes);
+  if (!reopt_pane_seen_) {
+    // First boundary observation after (re)bind anchors the cadence.
+    last_reopt_pane_ = lead.pane_start;
+    reopt_pane_seen_ = true;
+    return;
+  }
+  if (lead.pane_start < last_reopt_pane_ + every) return;
+  last_reopt_pane_ = lead.pane_start;
+  if (!reoptimizer_.bound()) {
+    OnlineReoptimizerOptions opts;
+    opts.threshold = config_.reoptimize_threshold;
+    opts.variant = config_.cost_variant;
+    reoptimizer_.Bind(*lead.plan, lead.potential_groups, lead.applied, opts);
+  }
+  OnlineReoptimizer::Outcome out =
+      reoptimizer_.Check(lead.pane_start, AggregateHamletStats(), collector_);
+  if (!out.swap) return;
+  Result<QueryLifecycle::CompiledEpoch> epoch =
+      lifecycle_.Compile(out.overrides);
+  if (!epoch.ok()) return;  // keep the running plan
+  Result<Timestamp> activated = Swap(std::move(epoch).value(), -1);
+  if (activated.ok()) ++plan_swaps_;
 }
 
 void Session::FillMetrics(RunMetrics* m) const {
@@ -743,26 +1119,23 @@ void Session::FillMetrics(RunMetrics* m) const {
   m->current_memory_bytes = CurrentMemory();
   m->dnf_windows = dnf_windows_;
   m->evicted_compositions = evicted_compositions_;
-  for (const auto& comp : components_) {
-    for (const auto& [key, runner] : comp->groups) {
-      if (!runner->hamlet) continue;
-      const HamletStats& s = runner->hamlet->stats();
-      m->hamlet.events += s.events;
-      m->hamlet.bursts_total += s.bursts_total;
-      m->hamlet.bursts_shared += s.bursts_shared;
-      m->hamlet.graphlets_opened += s.graphlets_opened;
-      m->hamlet.graphlets_shared += s.graphlets_shared;
-      m->hamlet.snapshots_created += s.snapshots_created;
-      m->hamlet.event_snapshots += s.event_snapshots;
-      m->hamlet.splits += s.splits;
-      m->hamlet.merges += s.merges;
-      m->hamlet.ops += s.ops;
-    }
-    if (config_.kind == EngineKind::kHamletDynamic) {
-      auto* dyn = static_cast<DynamicBenefitPolicy*>(comp->policy.get());
-      m->decisions += dyn->decisions();
+  m->hamlet = AggregateHamletStats();
+  m->decisions = retired_decisions_;
+  if (config_.kind == EngineKind::kHamletDynamic) {
+    for (const auto& rtp : runtimes_) {
+      for (const auto& comp : rtp->components) {
+        auto* dyn = static_cast<DynamicBenefitPolicy*>(comp->policy.get());
+        m->decisions += dyn->decisions();
+      }
     }
   }
+  m->queries_added = queries_added_;
+  m->queries_removed = queries_removed_;
+  m->plan_swaps = plan_swaps_;
+  m->reopt_checks = reoptimizer_.checks();
+  m->reopt_swaps = reoptimizer_.swaps();
+  m->active_epochs = static_cast<int64_t>(runtimes_.size());
+  m->evicted_idle_groups = evicted_idle_groups_;
 }
 
 RunMetrics Session::MetricsSnapshot() const {
@@ -780,15 +1153,19 @@ Result<RunMetrics> Session::Close() {
   }
   {
     BusyScope busy(&busy_seconds_, config_.clock_override);
-    // Flush: advance to the last window end (window ends are pane-aligned).
-    Timestamp flush_to = pane_started_ ? pane_start_ : 0;
-    for (const auto& comp : components_) {
-      for (const auto& [key, runner] : comp->groups) {
-        for (const WindowSlot& w : runner->windows)
-          flush_to = std::max(flush_to, w.we);
+    // Flush every epoch (draining ones included) to its last window end —
+    // window ends are pane-aligned on the epoch's own grid.
+    for (auto& rtp : runtimes_) {
+      Runtime& rt = *rtp;
+      Timestamp flush_to = rt.pane_started ? rt.pane_start : 0;
+      for (const auto& comp : rt.components) {
+        for (const auto& [key, runner] : comp->groups) {
+          for (const WindowSlot& w : runner->windows)
+            flush_to = std::max(flush_to, w.we);
+        }
       }
+      AdvancePaneTo(rt, flush_to);
     }
-    AdvancePaneTo(flush_to);
   }
   closed_ = true;
   FillMetrics(&final_metrics_);

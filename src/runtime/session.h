@@ -39,8 +39,10 @@
 #include "src/common/status.h"
 #include "src/greta/greta_engine.h"
 #include "src/hamlet/batch_eval.h"
+#include "src/optimizer/online_optimizer.h"
 #include "src/optimizer/policies.h"
 #include "src/query/columnar_predicate.h"
+#include "src/runtime/query_lifecycle.h"
 #include "src/stream/event_batch.h"
 
 namespace hamlet {
@@ -113,6 +115,33 @@ struct RunConfig {
   /// attributes fail Open with kInvalidArgument instead of tripping a
   /// per-event DCHECK later.
   bool columnar = true;
+  /// Online plan re-optimization cadence, in panes: every this many pane
+  /// boundaries the session re-derives the cost-model inputs from live
+  /// statistics (src/optimizer/online_optimizer.h), re-runs the pruned plan
+  /// search, and hot-swaps the sharing plan at the next pane boundary when
+  /// the observed cost drifts past reoptimize_threshold. 0 (default)
+  /// freezes the plan chosen at Open. Requires a HAMLET engine kind with a
+  /// sharing plan to act on (kHamletDynamic or kHamletStatic); works under
+  /// BOTH columnar settings (each plan epoch compiles its own predicate
+  /// program). In a ShardedSession only the FRONT re-optimizes and
+  /// broadcasts the swap, so all shards always run the identical plan.
+  int reoptimize_every_panes = 0;
+  /// Relative cost drift that triggers a plan swap: swap when
+  /// (observed - best) / observed exceeds this. Must be > 0 — a zero or
+  /// negative threshold would swap on every check and thrash epochs.
+  /// Ignored while reoptimize_every_panes == 0.
+  double reoptimize_threshold = 0.2;
+  /// Evict a group's engine state once a pane boundary passes its last
+  /// event by the component's largest WITHIN: all windows that could hold
+  /// any of its events have closed, so the state can only produce
+  /// empty-window results. Eviction therefore DROPS the zero-valued
+  /// emissions idle groups would otherwise produce every slide — that is
+  /// the (documented, opt-in) trade for bounded state under high group-key
+  /// cardinality. Deterministic in event time, so single-threaded and
+  /// sharded runs with the knob ON stay emission-identical; it is also the
+  /// prerequisite for ShardedSession draining stale rebalance-map entries
+  /// (RunMetrics::rebalance_map_size).
+  bool evict_idle_groups = false;
   /// Test hook: overrides the monotonic wall clock (in seconds) used for
   /// latency attribution, busy-time accounting and adaptive batching, so
   /// timing-sensitive tests run deterministically under sanitizer/CI load.
@@ -175,6 +204,16 @@ class OrderingGate {
     has_watermark_ = true;
   }
 
+  /// True once any event or watermark was committed.
+  bool any_seen() const { return has_event_ || has_watermark_; }
+  /// Largest committed event time or watermark (0 before any_seen()).
+  /// Query churn activates at the first pane boundary strictly after this.
+  Timestamp max_seen() const {
+    Timestamp m = has_event_ ? last_event_time_ : 0;
+    if (has_watermark_ && watermark_ > m) m = watermark_;
+    return m;
+  }
+
  private:
   Timestamp last_event_time_ = 0;
   bool has_event_ = false;
@@ -225,6 +264,27 @@ struct RunMetrics {
   /// Events processed per shard (index = shard id) — the imbalance surface
   /// the rebalancer optimizes.
   std::vector<int64_t> shard_events;
+  /// Sticky key->shard assignments the rebalancing router currently holds
+  /// (0 when rebalancing is off). With evict_idle_groups the front drains
+  /// entries whose windows all closed, bounding this under key churn.
+  int64_t rebalance_map_size = 0;
+  /// Query-lifecycle counters (src/runtime/query_lifecycle.h). In a
+  /// ShardedSession every shard applies the same broadcast churn ops, so
+  /// the merge takes the MAX across shards instead of summing.
+  int64_t queries_added = 0;
+  int64_t queries_removed = 0;
+  /// Pane-aligned sharing-plan hot swaps (explicit ApplySharingOverrides
+  /// calls plus online re-optimizer swaps).
+  int64_t plan_swaps = 0;
+  /// Online re-optimizer activity (front/session only; shard workers run
+  /// with re-optimization disabled and report 0).
+  int64_t reopt_checks = 0;
+  int64_t reopt_swaps = 0;
+  /// Plan epochs live at snapshot time (1 = no churn in flight; higher
+  /// values mean superseded epochs are still draining their open windows).
+  int64_t active_epochs = 0;
+  /// Group runners evicted by RunConfig::evict_idle_groups.
+  int64_t evicted_idle_groups = 0;
 };
 
 /// Folds `from` into `into` the way ShardedSession combines per-shard
@@ -235,7 +295,11 @@ struct RunMetrics {
 /// exactly the way summing per-shard rates overstated throughput, and the
 /// max is the always-true lower bound which ShardedSession then raises with
 /// its sampled concurrent high-water mark (see RunMetrics::
-/// peak_memory_bytes); elapsed and max queue depth are the max over shards
+/// peak_memory_bytes); lifecycle counters (queries_added/removed,
+/// plan_swaps, reopt_checks/swaps, active_epochs, rebalance_map_size) take
+/// the MAX — churn ops are broadcast to and mirrored by every shard, so
+/// summing would multiply them by the shard count; evicted idle groups are
+/// per-shard state and sum; elapsed and max queue depth are the max over shards
 /// (shards run concurrently over overlapping busy intervals, so summing
 /// busy time would double-count wall time); throughput is recomputed as
 /// merged events / merged elapsed — never summed, since summing per-shard
@@ -328,6 +392,46 @@ class Session {
   /// The watermark must not regress below prior events or watermarks.
   Status AdvanceTo(Timestamp watermark);
 
+  /// Adds a named query to the LIVE session (query lifecycle subsystem, see
+  /// src/runtime/query_lifecycle.h). The query starts emitting at the
+  /// returned pane boundary — the first boundary strictly after everything
+  /// already pushed — and queries that were already running keep their open
+  /// trend aggregations: existing windows drain under the old plan epoch
+  /// while windows from the boundary on run under the new one, so
+  /// per-interval emissions match a fresh session (query_churn_test).
+  /// `activate_at` < 0 (default) computes the boundary internally and
+  /// enforces the kMaxLiveEpochs cap; ShardedSession passes an explicit
+  /// front-computed boundary so every shard activates identically.
+  /// The query's event types and attributes must already exist in the
+  /// schema; unknown names are rejected (validation never registers names).
+  Result<Timestamp> AddQuery(const Query& query, Timestamp activate_at = -1);
+
+  /// Removes a query by name at the returned pane boundary: its windows
+  /// open before the boundary drain and emit normally, then the old epoch's
+  /// state is evicted. Removing the last query is rejected — Close instead.
+  Result<Timestamp> RemoveQuery(const std::string& name,
+                                Timestamp activate_at = -1);
+
+  /// Hot-swaps the sharing plan of the CURRENT query set (merged template,
+  /// predicate program and cohort masks rebuilt) at the returned boundary.
+  /// Sharing never changes emission values, so the swap is invisible in
+  /// results. This is the online re-optimizer's apply path, public for
+  /// tests/tools.
+  Result<Timestamp> ApplySharingOverrides(
+      std::span<const SharingOverride> overrides, Timestamp activate_at = -1);
+
+  /// Online re-optimizer decision log (empty unless
+  /// RunConfig::reoptimize_every_panes > 0).
+  const std::vector<ReoptDecision>& reopt_log() const {
+    return reoptimizer_.log();
+  }
+
+  /// Plan epochs currently live (1 = steady state; >1 while churn drains).
+  int live_epochs() const { return static_cast<int>(runtimes_.size()); }
+
+  /// The session's CURRENT query set (reflects Add/RemoveQuery).
+  const std::vector<Query>& queries() const { return lifecycle_.queries(); }
+
   /// Flushes all remaining open windows and returns the final metrics.
   /// A second Close returns kFailedPrecondition (the first call's metrics
   /// remain available through MetricsSnapshot).
@@ -340,9 +444,28 @@ class Session {
  private:
   struct Component;
   struct GroupRunner;
+  /// One plan epoch: a compiled plan plus ALL state that depends on it
+  /// (predicate program, components, engines, columnar staging, pane
+  /// clock), bounded to emitting windows starting in [emit_from,
+  /// emit_until). Query churn and plan swaps append a new epoch activated
+  /// at a pane boundary; superseded epochs drain and retire.
+  struct Runtime;
 
   Session(const WorkloadPlan& plan, const RunConfig& config,
           EmissionSink* sink);
+
+  /// Builds components/engines/masks for rt.plan (shared by Open and churn).
+  void InitRuntime(Runtime& rt);
+  /// Activates `epoch` as a new runtime at `activate_at` (< 0: next pane
+  /// boundary after the gate's max_seen), superseding the current runtimes.
+  Result<Timestamp> Swap(QueryLifecycle::CompiledEpoch epoch,
+                         Timestamp activate_at);
+  /// Retires superseded runtimes whose emitting windows all closed.
+  void ReapRuntimes();
+  void RetireRuntime(size_t index);
+  /// Runs the pane-cadenced re-optimization check and hot-swaps on drift.
+  void MaybeReoptimize();
+  HamletStats AggregateHamletStats() const;
 
   /// `arrival` is the event's arrival wall time; pass a negative value to
   /// sample it internally (batch path). `passes` (columnar path) carries the
@@ -350,49 +473,47 @@ class Session {
   /// their per-event predicate loop; nullptr (row path) lets them
   /// self-filter. Non-HAMLET engines always self-filter, so `passes` only
   /// changes where the same predicate math runs, never the results.
-  void ProcessEvent(const Event& e, double arrival,
+  void ProcessEvent(Runtime& rt, const Event& e, double arrival,
                     const QuerySet* passes = nullptr);
   /// True when pushes should flow through the columnar batch path.
-  bool UseColumnar() const {
-    return config_.columnar && !pred_program_.trivial();
-  }
+  bool UseColumnar(const Runtime& rt) const;
   /// Pass-set for staged row `i` after EvalBatch: all exec queries, minus
   /// predicated ones whose selection bit for `i` is clear.
-  QuerySet PassesForRow(int i) const;
-  void AdvancePaneTo(Timestamp new_pane_start);
-  void CloseExpiredWindows(GroupRunner& runner, Timestamp now);
-  void OpenDueWindows(GroupRunner& runner, Timestamp pane_start,
+  QuerySet PassesForRow(const Runtime& rt, int i) const;
+  void AdvancePaneTo(Runtime& rt, Timestamp new_pane_start);
+  void CloseExpiredWindows(Runtime& rt, GroupRunner& runner, Timestamp now);
+  void OpenDueWindows(Runtime& rt, GroupRunner& runner, Timestamp pane_start,
                       bool retroactive);
-  void EmitExecValue(int exec_id, int64_t group_key, Timestamp window_start,
-                     Timestamp window_end, double value, double arrival_wall);
+  void EmitExecValue(Runtime& rt, int exec_id, int64_t group_key,
+                     Timestamp window_start, Timestamp window_end,
+                     double value, double arrival_wall);
   /// Drops pending composition entries whose window closed at or before
   /// `boundary` with a branch missing — they can never complete (see
   /// RunMetrics::evicted_compositions).
-  void EvictDeadCompositions(Timestamp boundary);
+  void EvictDeadCompositions(Runtime& rt, Timestamp boundary);
   void FillMetrics(RunMetrics* m) const;
   int64_t CurrentMemory() const;
 
-  const WorkloadPlan* plan_;
   RunConfig config_;
   EmissionSink* sink_;
-  /// Schema-resolved predicate kernels, compiled once at Open (for both
-  /// paths: Open-time validation is how unresolved names surface early).
-  PredicateProgram pred_program_;
-  /// All exec query ids — the starting pass-set every row narrows down.
-  QuerySet all_execs_;
-  /// Reused columnar staging (SoA batch + per-query selection bitmaps);
-  /// capacities persist across pushes so staging allocates only while a
-  /// batch is growing past all previous sizes.
-  EventBatch batch_scratch_;
-  BatchSelection selection_;
-  std::vector<std::unique_ptr<Component>> components_;
-  /// Per exec query: which event types its pattern mentions. Drives latency
-  /// attribution — only events a query can react to stamp its windows'
-  /// arrival clocks.
-  std::vector<std::vector<bool>> exec_type_masks_;
-  /// Branch values awaiting composition: (query, group, window) -> values.
-  std::map<std::tuple<QueryId, int64_t, Timestamp>, std::vector<double>>
-      pending_compositions_;
+  /// Live query set + epoch compiler (tentpole subsystem).
+  QueryLifecycle lifecycle_;
+  /// Live plan epochs, oldest first; back() is the lead (newest) epoch.
+  /// Steady state holds exactly one.
+  std::vector<std::unique_ptr<Runtime>> runtimes_;
+  OnlineReoptimizer reoptimizer_;
+  BurstStatsCollector collector_;
+  bool reopt_enabled_ = false;
+  Timestamp last_reopt_pane_ = 0;
+  bool reopt_pane_seen_ = false;
+  /// Accumulators for state that no longer exists: retired epochs' and
+  /// evicted idle groups' engine stats and policy decisions.
+  HamletStats retired_stats_;
+  int64_t retired_decisions_ = 0;
+  int64_t evicted_idle_groups_ = 0;
+  int64_t queries_added_ = 0;
+  int64_t queries_removed_ = 0;
+  int64_t plan_swaps_ = 0;
   int64_t evicted_compositions_ = 0;
   /// Latency samples per emission.
   double latency_sum_ = 0.0;
@@ -401,8 +522,6 @@ class Session {
   int64_t peak_memory_ = 0;
   int64_t dnf_windows_ = 0;
   int64_t events_ = 0;
-  Timestamp pane_start_ = 0;
-  bool pane_started_ = false;
   OrderingGate gate_;
   /// Sum of wall time spent inside session calls.
   double busy_seconds_ = 0.0;

@@ -23,10 +23,25 @@ namespace {
 /// wake-up check) per RunConfig::shard_batch_size events instead of per
 /// event.
 struct ShardMsg {
-  enum class Kind : uint8_t { kBatch, kWatermark, kStop };
+  enum class Kind : uint8_t {
+    kBatch,
+    kWatermark,
+    kStop,
+    kAddQuery,
+    kRemoveQuery,
+    kSwapPlan
+  };
   Kind kind = Kind::kBatch;
   EventVector batch;
   Timestamp watermark = 0;
+  /// Churn payload (kAddQuery/kRemoveQuery/kSwapPlan). The activation
+  /// boundary is computed ONCE by the front — whose gate has seen every
+  /// event — so all shards swap plan epochs at the identical pane boundary
+  /// regardless of what subset of the stream each one saw.
+  Timestamp activate_at = -1;
+  Query query;                             ///< kAddQuery
+  std::string query_name;                  ///< kRemoveQuery
+  std::vector<SharingOverride> overrides;  ///< kSwapPlan
 };
 
 /// Worker-local emission buffer. Only the shard's worker thread touches it
@@ -109,9 +124,12 @@ struct ShardedSession::Shard {
   std::atomic<bool> parked{false};
 
   /// Worker-maintained copy of session->MetricsSnapshot(), refreshed when
-  /// idle and every kSnapshotEveryEvents events.
+  /// idle, every kSnapshotEveryEvents events, and at every watermark.
   mutable std::mutex snapshot_mu;
   RunMetrics snapshot;
+  /// Last watermark the worker has fully applied (after refreshing the
+  /// snapshot) — the re-optimizing front's checkpoint acknowledgement.
+  std::atomic<Timestamp> watermark_applied{-1};
   /// Written by the worker on stop, read by the front after join().
   RunMetrics final_metrics;
 
@@ -209,6 +227,24 @@ Result<std::unique_ptr<ShardedSession>> ShardedSession::Open(
   // Skew-aware routing: sticky per-key assignments shared with every copy
   // of this router (incl. PartitionedBatchCursor built from router()).
   s->router_.EnableRebalancing(config.shard_rebalance_threshold);
+  s->lifecycle_.Init(*plan.workload);
+  s->front_pane_size_ = plan.pane_size;
+  for (const ExecQuery& eq : plan.exec_queries) {
+    s->within_high_water_ = std::max(s->within_high_water_, eq.window.within);
+  }
+  s->reopt_enabled_ = config.reoptimize_every_panes > 0;
+  if (s->reopt_enabled_) {
+    s->collector_.Reset(plan.workload->schema()->num_types());
+    OnlineReoptimizerOptions opts;
+    opts.threshold = config.reoptimize_threshold;
+    opts.variant = config.cost_variant;
+    s->reoptimizer_.Bind(plan, plan.share_groups, {}, opts);
+  }
+  // Only the front re-optimizes: shards applying independent swaps from
+  // their partial statistics would diverge the plan across shards. Workers
+  // receive the front's decisions as kSwapPlan broadcasts instead.
+  RunConfig shard_config = config;
+  shard_config.reoptimize_every_panes = 0;
   s->shards_.reserve(static_cast<size_t>(config.num_shards));
   for (int i = 0; i < config.num_shards; ++i) {
     auto shard =
@@ -222,7 +258,7 @@ Result<std::unique_ptr<ShardedSession>> ShardedSession::Open(
       shard_sink = shard->sink.get();
     }
     Result<std::unique_ptr<Session>> session =
-        Session::Open(plan, config, shard_sink);
+        Session::Open(plan, shard_config, shard_sink);
     if (!session.ok()) return session.status();
     shard->session = std::move(session).value();
     s->shards_.push_back(std::move(shard));
@@ -288,6 +324,40 @@ void ShardedSession::WorkerLoop(Shard* shard) {
       case ShardMsg::Kind::kWatermark: {
         Status st = shard->session->AdvanceTo(msg.watermark);
         HAMLET_CHECK(st.ok());
+        // A watermark is a checkpoint: publish fresh metrics BEFORE
+        // acknowledging it, so a front that waits on the acknowledgement
+        // (online re-optimization) reads statistics covering every event
+        // logically before the watermark.
+        refresh_snapshot();
+        since_snapshot = 0;
+        shard->watermark_applied.store(msg.watermark,
+                                       std::memory_order_release);
+        break;
+      }
+      case ShardMsg::Kind::kAddQuery: {
+        // The front validated and compiled this exact op against the same
+        // schema before broadcasting, so per-shard failure is impossible
+        // short of a bug — and MUST be fatal: a shard skipping a churn op
+        // would answer a different query set than its siblings. The
+        // explicit activation boundary also bypasses the per-session epoch
+        // cap (the front throttles churn; shards must not diverge).
+        Result<Timestamp> r =
+            shard->session->AddQuery(msg.query, msg.activate_at);
+        HAMLET_CHECK(r.ok());
+        ++since_snapshot;
+        break;
+      }
+      case ShardMsg::Kind::kRemoveQuery: {
+        Result<Timestamp> r =
+            shard->session->RemoveQuery(msg.query_name, msg.activate_at);
+        HAMLET_CHECK(r.ok());
+        ++since_snapshot;
+        break;
+      }
+      case ShardMsg::Kind::kSwapPlan: {
+        Result<Timestamp> r = shard->session->ApplySharingOverrides(
+            msg.overrides, msg.activate_at);
+        HAMLET_CHECK(r.ok());
         ++since_snapshot;
         break;
       }
@@ -404,7 +474,9 @@ Status ShardedSession::Push(const Event& event) {
   Status ordered = gate_.CheckEvent(event.time);
   if (!ordered.ok()) return ordered;
   gate_.CommitEvent(event.time);
+  if (reopt_enabled_) collector_.CountEvent(event.type);
   StageEvent(event, config_.adaptive_batching ? IngestNow() : 0.0);
+  MaybeReoptimizeFront();
   DrainEmissions();
   return Status::Ok();
 }
@@ -421,8 +493,10 @@ Status ShardedSession::PushBatch(std::span<const Event> events) {
     Status ordered = gate_.CheckEvent(e.time);
     if (!ordered.ok()) return ordered;
     gate_.CommitEvent(e.time);
+    if (reopt_enabled_) collector_.CountEvent(e.type);
     StageEvent(e, now);
   }
+  MaybeReoptimizeFront();
   DrainEmissions();
   return Status::Ok();
 }
@@ -493,6 +567,11 @@ Status ShardedSession::PushPrePartitioned(PartitionedBatch batches) {
     }
   }
   gate_.CommitEvent(max_time);
+  if (reopt_enabled_) {
+    for (const EventVector& batch : batches) {
+      for (const Event& e : batch) collector_.CountEvent(e.type);
+    }
+  }
   // Staged events predate this chunk; flush them first so every shard's
   // queue stays in per-shard time order.
   FlushAllShards();
@@ -503,6 +582,7 @@ Status ShardedSession::PushPrePartitioned(PartitionedBatch batches) {
     msg.batch = std::move(batches[i]);
     shards_[i]->Send(std::move(msg));
   }
+  MaybeReoptimizeFront();
   DrainEmissions();
   return Status::Ok();
 }
@@ -523,8 +603,157 @@ Status ShardedSession::AdvanceTo(Timestamp watermark) {
     msg.watermark = watermark;
     shard->Send(std::move(msg));
   }
+  if (reopt_enabled_) {
+    // With online re-optimization, an explicit watermark is the drift
+    // check's synchronization point: wait until every shard acknowledged
+    // it (publishing fresh metrics first), so the check below — and every
+    // later one — reads statistics that cover the whole stream before the
+    // watermark instead of snapshots lagging by a queue depth. Emissions
+    // are drained while waiting so worker outboxes keep moving. Only the
+    // re-optimizing front pays this barrier, and only at watermarks.
+    for (auto& shard : shards_) {
+      while (shard->watermark_applied.load(std::memory_order_acquire) <
+             watermark) {
+        DrainEmissions();
+        std::this_thread::yield();
+      }
+    }
+  }
+  MaybeDrainRouter();
+  MaybeReoptimizeFront();
   DrainEmissions();
   return Status::Ok();
+}
+
+Result<Timestamp> ShardedSession::AddQuery(const Query& query) {
+  if (closed_) {
+    return Status::FailedPrecondition("AddQuery on a closed session");
+  }
+  if (MetricsSnapshot().active_epochs >= QueryLifecycle::kMaxLiveEpochs) {
+    return Status::ResourceExhausted(
+        "too many plan epochs still draining across shards (max " +
+        std::to_string(QueryLifecycle::kMaxLiveEpochs) +
+        "); advance the stream before further churn");
+  }
+  return BroadcastChurn(ChurnKind::kAddQuery, &query, nullptr, {});
+}
+
+Result<Timestamp> ShardedSession::RemoveQuery(const std::string& name) {
+  if (closed_) {
+    return Status::FailedPrecondition("RemoveQuery on a closed session");
+  }
+  if (MetricsSnapshot().active_epochs >= QueryLifecycle::kMaxLiveEpochs) {
+    return Status::ResourceExhausted(
+        "too many plan epochs still draining across shards (max " +
+        std::to_string(QueryLifecycle::kMaxLiveEpochs) +
+        "); advance the stream before further churn");
+  }
+  return BroadcastChurn(ChurnKind::kRemoveQuery, nullptr, &name, {});
+}
+
+Result<Timestamp> ShardedSession::ApplySharingOverrides(
+    std::span<const SharingOverride> overrides) {
+  if (closed_) {
+    return Status::FailedPrecondition(
+        "ApplySharingOverrides on a closed session");
+  }
+  return BroadcastChurn(ChurnKind::kSwapPlan, nullptr, nullptr,
+                        {overrides.begin(), overrides.end()});
+}
+
+Result<Timestamp> ShardedSession::BroadcastChurn(
+    ChurnKind kind, const Query* query, const std::string* name,
+    std::vector<SharingOverride> overrides) {
+  // Validate + compile ONCE, on the front, before anything is broadcast: a
+  // rejected op must leave every shard (and the front lifecycle) untouched,
+  // and a broadcast op must be infallible on the workers.
+  Result<QueryLifecycle::CompiledEpoch> epoch =
+      kind == ChurnKind::kAddQuery    ? lifecycle_.TryAdd(*query, {})
+      : kind == ChurnKind::kRemoveQuery ? lifecycle_.TryRemove(*name, {})
+                                        : lifecycle_.Compile(overrides);
+  if (!epoch.ok()) return epoch.status();
+  // One activation boundary for everyone, on the grid of the epoch being
+  // superseded (the front gate dominates every shard's view of time).
+  const Timestamp activate = QueryLifecycle::ActivationBoundary(
+      front_pane_size_, gate_.any_seen(), gate_.max_seen());
+  // The churn op is a barrier in stream order: staged events precede it.
+  FlushAllShards();
+  for (auto& shard : shards_) {
+    ShardMsg msg;
+    switch (kind) {
+      case ChurnKind::kAddQuery:
+        msg.kind = ShardMsg::Kind::kAddQuery;
+        msg.query = *query;
+        break;
+      case ChurnKind::kRemoveQuery:
+        msg.kind = ShardMsg::Kind::kRemoveQuery;
+        msg.query_name = *name;
+        break;
+      case ChurnKind::kSwapPlan:
+        msg.kind = ShardMsg::Kind::kSwapPlan;
+        msg.overrides = overrides;
+        break;
+    }
+    msg.activate_at = activate;
+    shard->Send(std::move(msg));
+  }
+  front_epoch_ = std::move(epoch).value();
+  front_pane_size_ = front_epoch_.plan->pane_size;
+  for (const ExecQuery& eq : front_epoch_.plan->exec_queries) {
+    within_high_water_ = std::max(within_high_water_, eq.window.within);
+  }
+  if (reopt_enabled_) {
+    OnlineReoptimizerOptions opts;
+    opts.threshold = config_.reoptimize_threshold;
+    opts.variant = config_.cost_variant;
+    reoptimizer_.Bind(*front_epoch_.plan, front_epoch_.potential_groups,
+                      front_epoch_.applied, opts);
+    reopt_pane_seen_ = false;
+  }
+  DrainEmissions();
+  return activate;
+}
+
+void ShardedSession::MaybeReoptimizeFront() {
+  if (!reopt_enabled_ || !gate_.any_seen() || front_pane_size_ <= 0) return;
+  const Timestamp boundary =
+      (gate_.max_seen() / front_pane_size_) * front_pane_size_;
+  const Timestamp every =
+      front_pane_size_ *
+      static_cast<Timestamp>(config_.reoptimize_every_panes);
+  if (!reopt_pane_seen_) {
+    // First boundary observation after (re)bind anchors the cadence.
+    last_reopt_pane_ = boundary;
+    reopt_pane_seen_ = true;
+    return;
+  }
+  if (boundary < last_reopt_pane_ + every) return;
+  last_reopt_pane_ = boundary;
+  // Worker snapshots lag by at most kSnapshotEveryEvents events per shard;
+  // stale statistics only delay a swap by one check interval (both the
+  // baseline and the cumulative reading come from the same snapshots, so
+  // the deltas stay consistent).
+  OnlineReoptimizer::Outcome out =
+      reoptimizer_.Check(boundary, MetricsSnapshot().hamlet, collector_);
+  if (!out.swap) return;
+  // Compilation failure keeps the running plan (never a hard error on the
+  // re-optimization path).
+  BroadcastChurn(ChurnKind::kSwapPlan, nullptr, nullptr,
+                 std::move(out.overrides));
+}
+
+void ShardedSession::MaybeDrainRouter() {
+  if (!config_.evict_idle_groups || !router_.rebalancing()) return;
+  if (!gate_.any_seen() || front_pane_size_ <= 0) return;
+  // A diverted key last seen at E <= boundary - W_max has every window that
+  // could contain its events closed AND (via evict_idle_groups) its engine
+  // state evicted from the old shard by that boundary, so if the key
+  // re-appears, re-routing it elsewhere can neither split live state nor
+  // duplicate a (window, query, group) emission: the old shard's windows
+  // all ended before any window the new shard will open.
+  const Timestamp boundary =
+      (gate_.max_seen() / front_pane_size_) * front_pane_size_;
+  router_.DrainStale(boundary - within_high_water_);
 }
 
 Result<RunMetrics> ShardedSession::Close() {
@@ -534,6 +763,19 @@ Result<RunMetrics> ShardedSession::Close() {
         "metrics; use MetricsSnapshot to re-read them)");
   }
   FlushAllShards();
+  // Idle-group eviction keys off each session's own max seen event time,
+  // and shards each saw only a subset of the stream. Broadcasting the
+  // front's max as a final watermark aligns every shard's eviction horizon
+  // with the single-threaded reference before the Close flush sweep, so
+  // the same groups evict at the same boundaries at any shard count.
+  if (config_.evict_idle_groups && gate_.any_seen()) {
+    for (auto& shard : shards_) {
+      ShardMsg msg;
+      msg.kind = ShardMsg::Kind::kWatermark;
+      msg.watermark = gate_.max_seen();
+      shard->Send(std::move(msg));
+    }
+  }
   for (auto& shard : shards_) {
     ShardMsg msg;
     msg.kind = ShardMsg::Kind::kStop;
@@ -591,6 +833,11 @@ void ShardedSession::FillIngressMetrics(RunMetrics& merged) const {
   }
   merged.max_queue_depth_msgs = max_depth;
   merged.rebalanced_keys = router_.rebalanced_keys();
+  merged.rebalance_map_size = router_.map_size();
+  // Shards never self-reoptimize (reoptimize_every_panes is forced to 0 in
+  // their configs), so the check/swap counts live on the front.
+  merged.reopt_checks = std::max(merged.reopt_checks, reoptimizer_.checks());
+  merged.reopt_swaps = std::max(merged.reopt_swaps, reoptimizer_.swaps());
   // The merge left peak at max(per-shard peaks) — the always-true floor;
   // the sampled concurrent sum can only raise it toward the true
   // simultaneous footprint (and never past the sum of peaks).

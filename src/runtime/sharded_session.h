@@ -72,10 +72,34 @@
 //    the rebalanced-key count (RunMetrics ingress fields). Count fields
 //    are deterministic for a fixed shard count; the sampled peak is not.
 //
+//  * Query churn + plan swaps: AddQuery/RemoveQuery (and the front's online
+//    re-optimizer) pre-validate and compile on the front thread, flush all
+//    staging (the churn op is a barrier in stream order), then broadcast a
+//    churn message carrying ONE explicit pane-aligned activation boundary —
+//    computed from the front gate, which has seen every event — so all
+//    shards swap epochs at the identical boundary and the union of shard
+//    emissions stays bit-identical to a single-threaded session (all
+//    lifecycle failure modes fire on the front; a worker-side failure would
+//    desynchronize the shards' query sets and is a CHECK). Per-shard
+//    self-reoptimization is disabled (shards get reoptimize_every_panes =
+//    0); only the front decides, from merged MetricsSnapshot statistics.
+//    Worker snapshots lag under sustained load, so an explicit AdvanceTo
+//    doubles as the re-optimizer's synchronization checkpoint: each worker
+//    publishes fresh metrics before acknowledging the watermark and the
+//    re-optimizing front waits for all acknowledgements, guaranteeing that
+//    every drift check after a watermark sees statistics covering the
+//    whole stream before it (only paid when reoptimize_every_panes > 0).
+//    With RunConfig::evict_idle_groups, AdvanceTo also drains router
+//    rebalance-map entries whose groups' windows have provably all closed
+//    (cutoff = current pane boundary minus the largest WITHIN ever
+//    compiled), and Close broadcasts a final watermark carrying the front's
+//    max seen time before stop so every shard's eviction horizon matches
+//    the single-threaded reference during the final flush.
+//
 // Threading contract: Open/Push/PushBatch/PushPrePartitioned/AdvanceTo/
-// Close must all be called from one thread at a time (single producer —
-// matching the SPSC ingress). MetricsSnapshot may be called concurrently
-// with pushes.
+// AddQuery/RemoveQuery/ApplySharingOverrides/Close must all be called from
+// one thread at a time (single producer — matching the SPSC ingress).
+// MetricsSnapshot may be called concurrently with pushes.
 //
 // Requirement: all exec queries in the plan must share one group-by
 // attribute (true for every paper workload; Definition 5 gives it per
@@ -144,8 +168,35 @@ class ShardedSession {
 
   /// Validates the watermark once, flushes all staged events, then
   /// broadcasts it to every shard so all panes/windows ending at or before
-  /// it close. Same contract as Session::AdvanceTo.
+  /// it close. Same contract as Session::AdvanceTo. Also the checkpoint at
+  /// which stale router rebalance-map entries drain, and — when online
+  /// re-optimization is enabled — the barrier at which the front waits for
+  /// every shard's statistics before drift checks (see file comment).
   Status AdvanceTo(Timestamp watermark);
+
+  /// Registers `query` on every shard at one shared pane-aligned activation
+  /// boundary (returned). Same validation as Session::AddQuery — performed
+  /// once, on the front — plus churn backpressure: while the merged
+  /// snapshot reports QueryLifecycle::kMaxLiveEpochs draining epochs, new
+  /// churn returns kResourceExhausted (the snapshot lags bounded-ly, so the
+  /// throttle is approximate but always recovers as shards drain).
+  Result<Timestamp> AddQuery(const Query& query);
+
+  /// Deactivates `name` on every shard at one shared pane boundary; its
+  /// open windows drain and emit before the old epoch's state is evicted.
+  Result<Timestamp> RemoveQuery(const std::string& name);
+
+  /// Hot-swaps the sharing plan (unchanged query set) on every shard — the
+  /// broadcast the front's online re-optimizer uses, exposed for tests and
+  /// manual plan pinning.
+  Result<Timestamp> ApplySharingOverrides(
+      std::span<const SharingOverride> overrides);
+
+  /// The front re-optimizer's decision log (empty when
+  /// RunConfig::reoptimize_every_panes == 0).
+  const std::vector<ReoptDecision>& reopt_log() const {
+    return reoptimizer_.log();
+  }
 
   /// Flushes staging, sends stop to every shard, joins the workers,
   /// delivers all remaining emissions to the sink, and returns the merged
@@ -166,8 +217,25 @@ class ShardedSession {
 
  private:
   struct Shard;
+  enum class ChurnKind { kAddQuery, kRemoveQuery, kSwapPlan };
 
   ShardedSession() = default;
+
+  /// Shared tail of every churn op: front-side validate + compile, flush
+  /// staging, broadcast one message per shard with the shared activation
+  /// boundary, re-bind the front re-optimizer. Exactly one of query / name
+  /// / overrides is meaningful, per `kind`.
+  Result<Timestamp> BroadcastChurn(ChurnKind kind, const Query* query,
+                                   const std::string* name,
+                                   std::vector<SharingOverride> overrides);
+  /// Front-side re-optimization check at the configured pane cadence
+  /// (no-op unless RunConfig::reoptimize_every_panes > 0).
+  void MaybeReoptimizeFront();
+  /// Drains router rebalance-map entries whose diverted groups can no
+  /// longer have open windows anywhere (requires evict_idle_groups — the
+  /// group's engine state is then also gone from its old shard, so a
+  /// re-appearing key may re-route freely).
+  void MaybeDrainRouter();
 
   /// `now_seconds` feeds the shard's adaptive batch controller; pass 0 when
   /// adaptive batching is off (the value is ignored).
@@ -193,6 +261,24 @@ class ShardedSession {
   RunConfig config_;
   EmissionSink* sink_ = nullptr;
   ShardRouter router_;
+  /// Front-side query set + compiler (the single source of churn truth —
+  /// workers only ever apply pre-validated ops).
+  QueryLifecycle lifecycle_;
+  /// The front's own compiled copy of the current epoch after the first
+  /// churn op (before that, `plan_` is current). Kept alive because the
+  /// front re-optimizer is bound to it; workers compile their own copies.
+  QueryLifecycle::CompiledEpoch front_epoch_;
+  OnlineReoptimizer reoptimizer_;
+  BurstStatsCollector collector_;
+  bool reopt_enabled_ = false;
+  /// Pane size of the CURRENT front epoch — the grid activation boundaries
+  /// and the re-optimization cadence are computed on.
+  Timestamp front_pane_size_ = 1;
+  /// Largest WITHIN across every epoch ever compiled (old epochs' windows
+  /// may still be draining) — the router-drain safety margin.
+  Timestamp within_high_water_ = 0;
+  Timestamp last_reopt_pane_ = 0;
+  bool reopt_pane_seen_ = false;
   std::vector<std::unique_ptr<Shard>> shards_;
   OrderingGate gate_;
   /// Reused scratch for DrainEmissions, so steady-state fan-in allocates

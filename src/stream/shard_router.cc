@@ -18,7 +18,7 @@ size_t ShardRouter::Route(const Event& event) const {
   if (state_ == nullptr) return ShardOf(event);
   RebalanceState& st = *state_;
   const int64_t key = KeyOf(event);
-  auto [it, is_new] = st.assignment.try_emplace(key, 0);
+  auto [it, is_new] = st.assignment.try_emplace(key, Assignment{});
   if (is_new) {
     size_t shard = ShardOf(event);
     // Windowed load = previous half-window + current partial half-window.
@@ -31,9 +31,12 @@ size_t ShardRouter::Route(const Event& event) const {
       shard = least;
       st.rebalanced_keys.fetch_add(1, std::memory_order_relaxed);
     }
-    it->second = static_cast<uint32_t>(shard);
+    it->second.shard = static_cast<uint32_t>(shard);
+    st.map_size.store(static_cast<int64_t>(st.assignment.size()),
+                      std::memory_order_relaxed);
   }
-  const size_t shard = it->second;
+  it->second.last_seen = event.time;
+  const size_t shard = it->second.shard;
   ++st.current[shard];
   if (++st.in_window >= kRebalanceHalfWindow) {
     st.previous.swap(st.current);
@@ -46,7 +49,7 @@ size_t ShardRouter::Route(const Event& event) const {
 size_t ShardRouter::AssignedShard(const Event& event) const {
   if (state_ != nullptr) {
     auto it = state_->assignment.find(KeyOf(event));
-    if (it != state_->assignment.end()) return it->second;
+    if (it != state_->assignment.end()) return it->second.shard;
   }
   return ShardOf(event);
 }
@@ -61,17 +64,46 @@ int ShardRouter::BindChunk(const std::vector<EventVector>& batches) const {
       const int64_t key = KeyOf(e);
       auto existing = state_->assignment.find(key);
       if (existing != state_->assignment.end()) {
-        if (existing->second != i) return static_cast<int>(i);
+        if (existing->second.shard != i) return static_cast<int>(i);
         continue;
       }
       auto [it, is_new] = fresh.try_emplace(key, static_cast<uint32_t>(i));
       if (!is_new && it->second != i) return static_cast<int>(i);
     }
   }
-  // Pass 2 — commit: the whole chunk checked out, bind its new keys. A
-  // rejected chunk therefore never leaves partial bindings behind.
-  state_->assignment.insert(fresh.begin(), fresh.end());
+  // Pass 2 — commit: the whole chunk checked out, bind its new keys and
+  // refresh every touched key's last-seen time (pre-partitioned traffic
+  // must keep its keys out of DrainStale's reach exactly like routed
+  // traffic). A rejected chunk never leaves partial bindings behind.
+  for (size_t i = 0; i < batches.size(); ++i) {
+    for (const Event& e : batches[i]) {
+      Assignment& a = state_->assignment[KeyOf(e)];
+      a.shard = static_cast<uint32_t>(i);
+      a.last_seen = std::max(a.last_seen, e.time);
+    }
+  }
+  state_->map_size.store(static_cast<int64_t>(state_->assignment.size()),
+                         std::memory_order_relaxed);
   return -1;
+}
+
+int64_t ShardRouter::DrainStale(Timestamp last_seen_cutoff) const {
+  if (state_ == nullptr) return 0;
+  int64_t dropped = 0;
+  for (auto it = state_->assignment.begin();
+       it != state_->assignment.end();) {
+    if (it->second.last_seen <= last_seen_cutoff) {
+      it = state_->assignment.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  if (dropped > 0) {
+    state_->map_size.store(static_cast<int64_t>(state_->assignment.size()),
+                           std::memory_order_relaxed);
+  }
+  return dropped;
 }
 
 PartitionedBatchCursor::PartitionedBatchCursor(EventCursor* cursor,

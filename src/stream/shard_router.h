@@ -108,6 +108,26 @@ class ShardRouter {
                : state_->rebalanced_keys.load(std::memory_order_relaxed);
   }
 
+  /// Live sticky-assignment entries (0 when pure). The unbounded-growth
+  /// surface DrainStale bounds: without draining, every group key ever
+  /// routed stays resident for the session's lifetime.
+  int64_t map_size() const {
+    return state_ == nullptr
+               ? 0
+               : state_->map_size.load(std::memory_order_relaxed);
+  }
+
+  /// Forgets sticky assignments of keys whose last routed event time is
+  /// <= `last_seen_cutoff`, returning how many entries were dropped. Safe
+  /// ONLY once every window a dropped key's events could fall into has
+  /// closed AND the owning shard evicted the group's runner
+  /// (RunConfig::evict_idle_groups) — a reappearing key then re-routes
+  /// fresh on BOTH sides, exactly like a never-seen key, so emissions stay
+  /// identical to a single-threaded run. ShardedSession calls this at pane
+  /// boundaries with cutoff = boundary - max(within); see
+  /// docs/API.md ("Knob matrix"). Single-threaded like Route.
+  int64_t DrainStale(Timestamp last_seen_cutoff) const;
+
   int num_shards() const { return num_shards_; }
   AttrId partition_attr() const { return partition_attr_; }
 
@@ -117,10 +137,18 @@ class ShardRouter {
   static constexpr int64_t kRebalanceHalfWindow = 2048;
 
  private:
+  /// One sticky key assignment: the shard plus the key's newest event time,
+  /// which DrainStale compares against its cutoff.
+  struct Assignment {
+    uint32_t shard = 0;
+    Timestamp last_seen = 0;
+  };
+
   struct RebalanceState {
     int64_t threshold = 0;
-    /// Every key ever routed, with its sticky shard assignment.
-    std::unordered_map<int64_t, uint32_t> assignment;
+    /// Every key ever routed, with its sticky shard assignment — bounded
+    /// under key churn only by periodic DrainStale calls.
+    std::unordered_map<int64_t, Assignment> assignment;
     /// Two-bucket sliding window of per-shard staged-event counts.
     std::vector<int64_t> current;
     std::vector<int64_t> previous;
@@ -128,6 +156,8 @@ class ShardRouter {
     /// Atomic so a metrics reader may poll it while the ingest thread
     /// routes; everything else in here is ingest-thread-only.
     std::atomic<int64_t> rebalanced_keys{0};
+    /// assignment.size() mirrored for lock-free metrics reads.
+    std::atomic<int64_t> map_size{0};
   };
 
   int64_t KeyOf(const Event& event) const {
