@@ -41,6 +41,16 @@
 // busiest shard's event share (the bottleneck the rebalancer removes), and
 // the diverted-key count.
 //
+// Part 5 — concurrent ingest + work stealing (hot-key preset): the Part 4
+// skewed stream pushed by --producers=N concurrent Producer handles
+// (strided split; the generator's strictly increasing timestamps make any
+// split per-producer ordered) through 1/2/4/8 shards, with pane-boundary
+// work stealing off vs on. Pure hash routing, so stealing is the only
+// balancer — this is the PR 5 gap the steal protocol closes: the
+// rebalancer only places NEW keys, a steal migrates a hot key that is
+// already placed. Reported: wall events/s both ways, executed steals, and
+// duplication-window double-staged events (the protocol's overhead).
+//
 // Pass --json to append one machine-readable `JSON: {...}` line per table
 // so future PRs can track the scaling numbers.
 #include <chrono>
@@ -402,7 +412,112 @@ void RunSkewed(const BenchWorkload& bw, const EventVector& events,
   }
 }
 
-void Run(int max_shards, bool json) {
+// ---------------------------------------------------------------------------
+// Part 5: concurrent producers x work stealing on the hot-key preset.
+// ---------------------------------------------------------------------------
+
+/// Wall-clock events/s with `producers` threads each pushing a strided
+/// subsequence through its own Producer handle (PushBatch(512) chunks
+/// copied out of the stride), all closing with a final watermark at the
+/// stream's last timestamp. Timed from first push through session Close.
+double MultiProducerWallEps(const WorkloadPlan& plan, const RunConfig& config,
+                            const EventVector& events, int producers,
+                            RunMetrics* metrics_out) {
+  Result<std::unique_ptr<ShardedSession>> session =
+      ShardedSession::Open(plan, config, /*sink=*/nullptr);
+  HAMLET_CHECK(session.ok());
+  std::vector<std::unique_ptr<ShardedSession::Producer>> handles;
+  for (int p = 0; p < producers; ++p) {
+    handles.push_back(session.value()->AddProducer().value());
+  }
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      constexpr size_t kChunk = 512;
+      EventVector chunk;
+      chunk.reserve(kChunk);
+      ShardedSession::Producer& handle = *handles[static_cast<size_t>(p)];
+      for (size_t i = static_cast<size_t>(p); i < events.size();
+           i += static_cast<size_t>(producers)) {
+        chunk.push_back(events[i]);
+        if (chunk.size() == kChunk) {
+          HAMLET_CHECK(handle
+                           .PushBatch(std::span<const Event>(chunk.data(),
+                                                             chunk.size()))
+                           .ok());
+          chunk.clear();
+        }
+      }
+      if (!chunk.empty()) {
+        HAMLET_CHECK(handle
+                         .PushBatch(std::span<const Event>(chunk.data(),
+                                                           chunk.size()))
+                         .ok());
+      }
+      HAMLET_CHECK(handle.AdvanceTo(events.back().time).ok());
+      HAMLET_CHECK(handle.Close().ok());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  RunMetrics m = session.value()->Close().value();
+  if (metrics_out != nullptr) *metrics_out = m;
+  return WallEps(events.size(), start);
+}
+
+void RunMultiProducer(const BenchWorkload& bw, const EventVector& events,
+                      int max_shards, int producers, bool json) {
+  Table table({"shards", "steal off eps", "steal on eps", "stolen panes",
+               "dup events", "on speedup vs 1"});
+  std::string json_rows;
+  double base_on = 0;
+  for (int shards = 1; shards <= max_shards; shards *= 2) {
+    RunConfig config;
+    config.kind = EngineKind::kHamletDynamic;
+    config.num_shards = shards;
+    const double off_eps =
+        MultiProducerWallEps(*bw.plan, config, events, producers, nullptr);
+    config.work_stealing = true;
+    RunMetrics on_metrics;
+    const double on_eps = MultiProducerWallEps(*bw.plan, config, events,
+                                               producers, &on_metrics);
+    if (shards == 1) base_on = on_eps;
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                  base_on <= 0 ? 0.0 : on_eps / base_on);
+    table.AddRow({std::to_string(shards), bench::Eps(off_eps),
+                  bench::Eps(on_eps),
+                  std::to_string(on_metrics.stolen_panes),
+                  std::to_string(on_metrics.duplicated_events), speedup});
+    if (json) {
+      char row[320];
+      std::snprintf(row, sizeof(row),
+                    "%s{\"shards\":%d,\"steal_off_eps\":%.1f,"
+                    "\"steal_on_eps\":%.1f,\"stolen_panes\":%lld,"
+                    "\"duplicated_events\":%lld,\"speedup_on\":%.3f}",
+                    json_rows.empty() ? "" : ",", shards, off_eps, on_eps,
+                    static_cast<long long>(on_metrics.stolen_panes),
+                    static_cast<long long>(on_metrics.duplicated_events),
+                    base_on <= 0 ? 0.0 : on_eps / base_on);
+      json_rows += row;
+    }
+  }
+  bench::PrintFigure(
+      "Concurrent ingest + work stealing (hot-key preset)",
+      "strided stream over " + std::to_string(producers) +
+          " producer handles, pure hash routing; stealing migrates the "
+          "already-placed hot keys the PR 5 rebalancer cannot move",
+      table);
+  if (json) {
+    std::printf(
+        "JSON: {\"bench\":\"push_overhead\",\"table\":\"mp_hot_key\","
+        "\"producers\":%d,\"max_shards\":%d,\"events\":%zu,\"rows\":[%s]}\n",
+        producers, max_shards, events.size(), json_rows.c_str());
+    std::fflush(stdout);
+  }
+}
+
+void Run(int max_shards, int producers, bool json) {
   {
     BenchWorkload bw = MakeWorkload1("ridesharing", 8,
                                      /*window_ms=*/2 * kMillisPerSecond);
@@ -438,6 +553,9 @@ void Run(int max_shards, bool json) {
     SkewGroups(skewed, bw.plan->exec_queries[0].group_by, /*num_groups=*/64,
                /*hot_fraction=*/0.3, /*seed=*/21);
     RunSkewed(bw, skewed, max_shards, json);
+    if (producers > 0) {
+      RunMultiProducer(bw, skewed, max_shards, producers, json);
+    }
   }
 }
 
@@ -445,9 +563,11 @@ void Run(int max_shards, bool json) {
 }  // namespace hamlet
 
 int main(int argc, char** argv) {
-  // --threads=N caps the scaling curve (default 8: 1/2/4/8); --json appends
-  // a machine-readable line per table.
+  // --threads=N caps the scaling curve (default 8: 1/2/4/8); --producers=N
+  // drives the hot-key preset through N concurrent Producer handles
+  // (0 skips the figure); --json appends a machine-readable line per table.
   hamlet::Run(hamlet::bench::ThreadsFlag(argc, argv, /*fallback=*/8),
+              hamlet::bench::ProducersFlag(argc, argv, /*fallback=*/2),
               hamlet::bench::JsonFlag(argc, argv));
   return 0;
 }

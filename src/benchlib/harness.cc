@@ -30,6 +30,23 @@ int ThreadsFlag(int argc, char** argv, int fallback) {
   return threads;
 }
 
+int ProducersFlag(int argc, char** argv, int fallback) {
+  int producers = fallback;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--producers=", 0) == 0) {
+      producers = std::atoi(arg.c_str() + std::string("--producers=").size());
+    } else if (arg == "--producers" && i + 1 < argc) {
+      producers = std::atoi(argv[++i]);
+    }
+  }
+  if (producers < 0) {
+    std::fprintf(stderr, "--producers must be >= 0; using 0\n");
+    producers = 0;
+  }
+  return producers;
+}
+
 bool JsonFlag(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--json") return true;

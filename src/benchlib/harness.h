@@ -31,6 +31,12 @@ int Scale(int fast, int full);
 /// figure can be re-run sharded without editing code.
 int ThreadsFlag(int argc, char** argv, int fallback = 1);
 
+/// Parses `--producers=N` (or `--producers N`) from argv; returns
+/// `fallback` when absent. Benches with a concurrent-ingest figure drive
+/// that many Producer handles (ShardedSession::AddProducer) in parallel;
+/// 0 disables the figure.
+int ProducersFlag(int argc, char** argv, int fallback = 0);
+
 /// True when `--json` is in argv. Benches that support it append one
 /// `JSON: {...}` line per figure so scripts can track numbers across PRs
 /// without scraping the aligned tables.

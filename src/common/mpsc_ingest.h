@@ -1,0 +1,314 @@
+// Multi-producer ingest hub: N per-producer SPSC rings merged into ONE
+// time-ordered stream by a single sequencer thread.
+//
+// The sharded runtime's ingress contract is single-producer: one caller
+// thread validates global event order and stages events to shard queues.
+// MpscIngestHub lifts that to N concurrent producers WITHOUT a global lock
+// or a CAS-contended MPSC ring: each producer owns a private SPSC ring
+// (src/common/spsc_queue.h) plus one atomic lower bound, and the sequencer
+// runs a k-way merge across the rings. The merge never blocks a producer
+// and producers never synchronize with each other — the only shared state
+// per producer is its ring indices and its bound.
+//
+// The bound is the whole trick. Every producer slot publishes `next_min`:
+// the smallest timestamp that producer may still push. It advances on every
+// push (to t+1, since a producer's own stream is strictly increasing) and
+// on every producer-side watermark (to max(next_min, w)); closing a slot
+// pins it at +inf. The sequencer may release the globally smallest buffered
+// event e exactly when e.time <= the bound of every OTHER active slot: no
+// producer can later push anything earlier, so the release order equals the
+// order of a single merged stream. The same scan yields the FRONTIER —
+//     min over active slots of (front event time, or next_min when empty)
+// — which is simultaneously (a) the release horizon and (b) the merged
+// watermark the session may safely broadcast: after the sequencer drains
+// until stuck, frontier >= every released timestamp, so advancing the
+// downstream gate to the frontier can never regress it.
+//
+// Both monotone by construction: each slot's bound only grows (max-stores
+// by a single writer), a freed slot leaves at +inf, and a newly claimed
+// slot starts at max(released_max + 1, claim floor) — it can constrain the
+// future, never un-release the past.
+//
+// Ordering discipline (the two loads/stores that make the merge sound):
+//  * producer: ring push FIRST, then publish next_min (release). A bound
+//    of t+1 therefore proves event t is already visible in the ring.
+//  * sequencer: load next_min (acquire) BEFORE peeking the ring. A stale
+//    bound is merely conservative (delays a release); the acquire pairs
+//    with the producer's release so a bound of t+1 guarantees the peek
+//    sees event t if it is still queued.
+//
+// What the hub does NOT do: validate. Producers enforce their own per-
+// producer ordering gates upstream; cross-producer violations (duplicate
+// timestamps, a late joiner pushing below the released horizon) surface as
+// ordinary ordering-gate rejections on the merged stream downstream —
+// never as silent misordering.
+//
+// Threading: ClaimSlot may be called from any thread (slot acquisition is
+// a CAS). After a claim, exactly ONE thread may use that slot's TryPush /
+// PublishBound / CloseSlot. Exactly one thread (the sequencer) may call
+// TryNext / Frontier / Quiescent / released_max.
+#ifndef HAMLET_COMMON_MPSC_INGEST_H_
+#define HAMLET_COMMON_MPSC_INGEST_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+
+#include "src/common/check.h"
+#include "src/common/spsc_queue.h"
+
+namespace hamlet {
+
+/// See file comment. `T` needs a public integral `.time` member (the merge
+/// key) and must be movable; the sharded runtime instantiates it with
+/// Event. `TimeT` is the timestamp type.
+template <typename T, typename TimeT = int64_t>
+class MpscIngestHub {
+ public:
+  static constexpr int kMaxProducers = 64;
+  static constexpr TimeT kTimeMax = std::numeric_limits<TimeT>::max();
+  static constexpr TimeT kTimeMin = std::numeric_limits<TimeT>::min();
+
+  /// `ring_capacity` is each producer ring's capacity (rounded up to a
+  /// power of two, minimum 2). Rings allocate lazily on first claim of
+  /// their slot and are reused across claim/close cycles.
+  explicit MpscIngestHub(size_t ring_capacity)
+      : ring_capacity_(ring_capacity < 2 ? 2 : ring_capacity) {}
+
+  MpscIngestHub(const MpscIngestHub&) = delete;
+  MpscIngestHub& operator=(const MpscIngestHub&) = delete;
+
+  // ------------------------------------------------------------------
+  // Producer side (one thread per claimed slot)
+  // ------------------------------------------------------------------
+
+  /// Claims a free slot, or returns -1 when all kMaxProducers are taken.
+  /// The new slot's bound starts at max(released_max + 1, claim floor):
+  /// anything this producer pushes below that is already merged past and
+  /// will be rejected downstream, so the bound excludes it up front and
+  /// the joiner can never stall the frontier behind history.
+  int ClaimSlot() {
+    for (int i = 0; i < kMaxProducers; ++i) {
+      Slot& s = slots_[i];
+      uint32_t expect = kFree;
+      if (!s.state.compare_exchange_strong(expect, kReserved,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_relaxed)) {
+        continue;
+      }
+      if (s.ring == nullptr) {
+        s.ring = std::make_unique<SpscQueue<T>>(ring_capacity_);
+      }
+      const TimeT released = released_max_.load(std::memory_order_acquire);
+      const TimeT floor = claim_floor_.load(std::memory_order_acquire);
+      TimeT bound = released == kTimeMin ? kTimeMin : released + 1;
+      if (floor > bound) bound = floor;
+      s.next_min.store(bound, std::memory_order_release);
+      s.state.store(kOpen, std::memory_order_release);
+      active_.fetch_add(1, std::memory_order_acq_rel);
+      return i;
+    }
+    return -1;
+  }
+
+  /// Pushes one element into `slot`'s ring. Returns false when the ring is
+  /// full (element intact — the caller decides how to wait; the sequencer
+  /// draining guarantees progress). The slot's bound advances to time+1
+  /// AFTER the push is visible (see file comment, ordering discipline).
+  bool TryPush(int slot, T&& v) {
+    Slot& s = slots_[static_cast<size_t>(slot)];
+    HAMLET_DCHECK(s.state.load(std::memory_order_relaxed) == kOpen);
+    const TimeT t = v.time;
+    if (!s.ring->TryPush(std::move(v))) return false;
+    const TimeT bound = t == kTimeMax ? kTimeMax : t + 1;
+    if (bound > s.next_min.load(std::memory_order_relaxed)) {
+      s.next_min.store(bound, std::memory_order_release);
+    }
+    return true;
+  }
+
+  /// Producer-side watermark: promises this slot will never push an
+  /// element with time < `w`. Lets the frontier advance past an idle
+  /// producer. Monotone (a lower bound is ignored).
+  void PublishBound(int slot, TimeT w) {
+    Slot& s = slots_[static_cast<size_t>(slot)];
+    HAMLET_DCHECK(s.state.load(std::memory_order_relaxed) == kOpen);
+    if (w > s.next_min.load(std::memory_order_relaxed)) {
+      s.next_min.store(w, std::memory_order_release);
+    }
+  }
+
+  /// The slot's current bound — callable by the slot's owning thread, e.g.
+  /// right after ClaimSlot to seed the producer's own ordering gate with
+  /// the admission bound (events below it would be rejected downstream
+  /// anyway; rejecting them at the handle is synchronous and per-producer).
+  TimeT slot_bound(int slot) const {
+    return slots_[static_cast<size_t>(slot)].next_min.load(
+        std::memory_order_acquire);
+  }
+
+  /// Retires the slot: bound pins at +inf and the state moves to kClosing.
+  /// The sequencer frees the slot for reuse once it drains the remaining
+  /// ring contents; the producer must not touch the slot afterwards. The
+  /// slot's final bound is latched into the closed floor FIRST, so the
+  /// producer's last watermark survives its departure (see Frontier) —
+  /// without the latch, whether a final watermark took effect would race
+  /// against the close.
+  void CloseSlot(int slot) {
+    Slot& s = slots_[static_cast<size_t>(slot)];
+    HAMLET_DCHECK(s.state.load(std::memory_order_relaxed) == kOpen);
+    const TimeT final_bound = s.next_min.load(std::memory_order_relaxed);
+    TimeT floor = closed_floor_.load(std::memory_order_relaxed);
+    while (floor < final_bound &&
+           !closed_floor_.compare_exchange_weak(floor, final_bound,
+                                                std::memory_order_release,
+                                                std::memory_order_relaxed)) {
+    }
+    s.next_min.store(kTimeMax, std::memory_order_release);
+    s.state.store(kClosing, std::memory_order_release);
+  }
+
+  // ------------------------------------------------------------------
+  // Sequencer side (exactly one thread)
+  // ------------------------------------------------------------------
+
+  /// Pops the globally smallest releasable element into `*out`. Returns
+  /// false when nothing is releasable RIGHT NOW — either every ring is
+  /// empty, or the smallest buffered element is still blocked by an
+  /// emptier slot's bound (that producer might yet push something
+  /// earlier). Also garbage-collects drained kClosing slots back to kFree.
+  bool TryNext(T* out) {
+    int best = -1;
+    TimeT best_time = kTimeMax;
+    // min over active slots' bounds, plus the runner-up so "min over the
+    // OTHER slots" needs no second scan.
+    TimeT min1 = kTimeMax, min2 = kTimeMax;
+    int min1_slot = -1;
+    for (int i = 0; i < kMaxProducers; ++i) {
+      Slot& s = slots_[i];
+      const uint32_t state = s.state.load(std::memory_order_acquire);
+      if (state == kFree || state == kReserved) continue;
+      const TimeT nm = s.next_min.load(std::memory_order_acquire);
+      const T* front = s.ring->Peek();
+      TimeT bound;
+      if (front != nullptr) {
+        bound = front->time;
+        if (bound < best_time) {
+          best_time = bound;
+          best = i;
+        }
+      } else if (state == kClosing) {
+        // Closed and drained: recycle. The slot leaves the scan at +inf,
+        // so the frontier only ever grows from its departure.
+        s.state.store(kFree, std::memory_order_release);
+        active_.fetch_sub(1, std::memory_order_acq_rel);
+        continue;
+      } else {
+        bound = nm;
+      }
+      if (bound < min1) {
+        min2 = min1;
+        min1 = bound;
+        min1_slot = i;
+      } else if (bound < min2) {
+        min2 = bound;
+      }
+    }
+    if (best < 0) return false;
+    const TimeT min_others = min1_slot == best ? min2 : min1;
+    if (best_time > min_others) return false;  // an emptier slot may still
+                                               // produce something earlier
+    const bool popped = slots_[best].ring->TryPop(out);
+    HAMLET_DCHECK(popped);
+    (void)popped;
+    if (out->time > released_max_.load(std::memory_order_relaxed)) {
+      released_max_.store(out->time, std::memory_order_release);
+    }
+    return true;
+  }
+
+  /// The merge horizon: min over active slots of (front element time, or
+  /// the slot's bound when its ring is empty). When NO slot contributes —
+  /// every producer closed and drained — the horizon is the closed floor:
+  /// the largest final bound any departed producer latched in CloseSlot.
+  /// A producer's last watermark therefore reaches the merge even if it
+  /// closes before the sequencer's next poll; kTimeMin before any slot
+  /// ever closed. After TryNext returns false, Frontier() >=
+  /// released_max(), so it is always a legal watermark for the merged
+  /// stream.
+  TimeT Frontier() const {
+    TimeT frontier = kTimeMax;
+    for (int i = 0; i < kMaxProducers; ++i) {
+      const Slot& s = slots_[i];
+      const uint32_t state = s.state.load(std::memory_order_acquire);
+      if (state == kFree || state == kReserved) continue;
+      const TimeT nm = s.next_min.load(std::memory_order_acquire);
+      const T* front = s.ring->Peek();
+      const TimeT bound = front != nullptr ? front->time : nm;
+      if (bound < frontier) frontier = bound;
+    }
+    if (frontier == kTimeMax) {
+      return closed_floor_.load(std::memory_order_acquire);
+    }
+    return frontier;
+  }
+
+  /// Raises the floor a future ClaimSlot starts its bound at — the
+  /// sequencer sets this to each broadcast watermark so a joiner can never
+  /// drag the frontier back below what downstream already saw.
+  void SetClaimFloor(TimeT floor) {
+    if (floor > claim_floor_.load(std::memory_order_relaxed)) {
+      claim_floor_.store(floor, std::memory_order_release);
+    }
+  }
+
+  /// True when every slot is kFree: all producers closed AND their rings
+  /// fully drained by TryNext. (A reserved/open slot counts as active even
+  /// if it never pushes.)
+  bool Quiescent() const {
+    return active_.load(std::memory_order_acquire) == 0;
+  }
+
+  /// Largest timestamp ever released by TryNext (kTimeMin before the
+  /// first).
+  TimeT released_max() const {
+    return released_max_.load(std::memory_order_acquire);
+  }
+
+  /// Claimed-but-not-yet-recycled slots (producers still attached, or
+  /// closed with undrained rings).
+  int active_producers() const {
+    return active_.load(std::memory_order_acquire);
+  }
+
+  size_t ring_capacity() const { return ring_capacity_; }
+
+ private:
+  enum : uint32_t { kFree = 0, kReserved = 1, kOpen = 2, kClosing = 3 };
+
+  struct Slot {
+    /// Lazily allocated on first claim, reused across claim/close cycles.
+    std::unique_ptr<SpscQueue<T>> ring;
+    /// Smallest time this slot may still push (see file comment). Written
+    /// only by the owning producer (plus claim-time init), read by the
+    /// sequencer.
+    alignas(64) std::atomic<TimeT> next_min{kTimeMin};
+    std::atomic<uint32_t> state{kFree};
+  };
+
+  const size_t ring_capacity_;
+  std::array<Slot, kMaxProducers> slots_;
+  /// Sequencer-written; claimers read it to start above the released past.
+  std::atomic<TimeT> released_max_{kTimeMin};
+  std::atomic<TimeT> claim_floor_{kTimeMin};
+  /// Max final bound over all closed slots — the frontier's resting value
+  /// once every producer has left (see CloseSlot / Frontier).
+  std::atomic<TimeT> closed_floor_{kTimeMin};
+  std::atomic<int> active_{0};
+};
+
+}  // namespace hamlet
+
+#endif  // HAMLET_COMMON_MPSC_INGEST_H_

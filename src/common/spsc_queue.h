@@ -63,6 +63,16 @@ class SpscQueue {
     return true;
   }
 
+  /// Consumer side: pointer to the front element without popping it, or
+  /// nullptr when empty. The slot stays owned by the queue until TryPop —
+  /// the k-way merge in the multi-producer sequencer peeks every producer
+  /// ring to find the minimum timestamp before committing to a pop.
+  const T* Peek() const {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return nullptr;
+    return &slots_[head & mask_];
+  }
+
   /// Consumer-side view; the producer may have pushed more already.
   bool Empty() const {
     return head_.load(std::memory_order_relaxed) ==

@@ -914,4 +914,31 @@ int64_t HamletEngine::MemoryBytes() const {
   return bytes;
 }
 
+std::vector<HamletLaneStats> HamletEngine::ExportLaneStats() const {
+  std::vector<HamletLaneStats> out;
+  out.reserve(lanes_.size());
+  for (const Lane& lane : lanes_) {
+    HamletLaneStats s;
+    s.type = lane.type;
+    s.avg_burst = lane.avg_burst;
+    s.avg_graphlet = lane.avg_graphlet;
+    s.avg_sc = lane.avg_sc;
+    s.avg_sp = lane.avg_sp;
+    out.push_back(s);
+  }
+  return out;
+}
+
+void HamletEngine::SeedLaneStats(std::span<const HamletLaneStats> stats) {
+  const size_t n = std::min(lanes_.size(), stats.size());
+  for (size_t i = 0; i < n; ++i) {
+    Lane& lane = lanes_[i];
+    if (stats[i].type != lane.type) continue;
+    lane.avg_burst = stats[i].avg_burst;
+    lane.avg_graphlet = stats[i].avg_graphlet;
+    lane.avg_sc = stats[i].avg_sc;
+    lane.avg_sp = stats[i].avg_sp;
+  }
+}
+
 }  // namespace hamlet

@@ -21,6 +21,7 @@
 #define HAMLET_HAMLET_HAMLET_ENGINE_H_
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "src/common/arena.h"
@@ -42,6 +43,19 @@ struct HamletStats {
   int64_t splits = 0;
   int64_t merges = 0;
   int64_t ops = 0;  ///< node visits + expr term ops (cost-model unit)
+};
+
+/// One lane's moving-average sharing statistics, exportable for the
+/// sharded runtime's work-stealing hand-off: when a group migrates shards,
+/// the thief's fresh engine seeds these instead of re-learning the burst
+/// shape from the defaults. Sharing decisions never change emission
+/// values, so the seed is purely a performance warm-start.
+struct HamletLaneStats {
+  TypeId type = Schema::kInvalidId;
+  double avg_burst = 4.0;
+  double avg_graphlet = 4.0;
+  double avg_sc = 0.0;
+  double avg_sp = 1.0;
 };
 
 /// Result of a closed window instance.
@@ -98,6 +112,15 @@ class HamletEngine {
 
   const HamletStats& stats() const { return stats_; }
   const SnapshotStore& snapshot_store() const { return store_; }
+
+  /// Work-stealing hand-off: the per-lane sharing statistics, in the
+  /// engine's deterministic lane order (BuildLanes is a pure function of
+  /// plan + members, so two engines over the same component agree).
+  std::vector<HamletLaneStats> ExportLaneStats() const;
+  /// Seeds this engine's lanes from a sibling engine's ExportLaneStats.
+  /// Lanes match by index; an entry whose type disagrees (layouts from
+  /// different plans) is skipped rather than misapplied.
+  void SeedLaneStats(std::span<const HamletLaneStats> stats);
 
  private:
   /// One per (type, share group) and per (type, solo query).

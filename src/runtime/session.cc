@@ -141,6 +141,18 @@ Status ValidateRunConfig(const RunConfig& config) {
   // evict_idle_groups: engine-agnostic, no cross-checks; together with
   //   shard_rebalance_threshold > 0 it enables router-map draining
   //   (RunMetrics::rebalance_map_size).
+  // work_stealing: requires steal_imbalance_ratio > 1.0 (checked even
+  //   while off, mirroring reoptimize_threshold). Unsupported with
+  //   evict_idle_groups — eviction erases the very runner state the steal
+  //   fence/adopt hand-off reasons about, and a key evicted on the victim
+  //   but live on the thief would re-route ambiguously — and with online
+  //   re-optimization (reoptimize_every_panes > 0), whose epoch swaps
+  //   would race the fence's single-epoch invariant. Query churn on a
+  //   stealing ShardedSession is rejected per call, not here. Allowed at
+  //   num_shards == 1, where it is inert (no second shard to steal to).
+  // producer_queue_capacity: only the multi-producer sharded ingest reads
+  //   it, but it is validated unconditionally so AddProducer can never
+  //   trip a latent bad value.
   if (config.reoptimize_every_panes < 0) {
     return Status::InvalidArgument(
         "reoptimize_every_panes must be >= 0 (0 disables online "
@@ -160,6 +172,29 @@ Status ValidateRunConfig(const RunConfig& config) {
         "plan to act on (kHamletDynamic or kHamletStatic); " +
         std::string(EngineKindName(config.kind)) +
         " has no share groups to re-plan");
+  }
+  if (!(config.steal_imbalance_ratio > 1.0)) {
+    return Status::InvalidArgument(
+        "steal_imbalance_ratio must be > 1.0 (the hottest shard must lead "
+        "the coldest by a real factor before stealing pays), got " +
+        std::to_string(config.steal_imbalance_ratio));
+  }
+  if (config.producer_queue_capacity < 2) {
+    return Status::InvalidArgument(
+        "producer_queue_capacity must be >= 2, got " +
+        std::to_string(config.producer_queue_capacity));
+  }
+  if (config.work_stealing && config.evict_idle_groups) {
+    return Status::Unsupported(
+        "work_stealing is incompatible with evict_idle_groups: eviction "
+        "erases the runner state the steal fence/adopt hand-off migrates, "
+        "and an evicted-then-reappearing key would re-route ambiguously");
+  }
+  if (config.work_stealing && config.reoptimize_every_panes > 0) {
+    return Status::Unsupported(
+        "work_stealing is incompatible with online re-optimization: plan "
+        "epoch swaps would race the steal protocol's single-epoch "
+        "fence/adopt invariant");
   }
   return Status::Ok();
 }
@@ -247,6 +282,8 @@ void MergeRunMetrics(RunMetrics& into, const RunMetrics& from) {
   into.reopt_swaps = std::max(into.reopt_swaps, from.reopt_swaps);
   into.active_epochs = std::max(into.active_epochs, from.active_epochs);
   into.evicted_idle_groups += from.evicted_idle_groups;
+  into.stolen_panes += from.stolen_panes;
+  into.duplicated_events += from.duplicated_events;
 }
 
 std::vector<Emission> CollectingSink::Take() {
@@ -308,6 +345,16 @@ struct Session::GroupRunner {
   /// Time of the group's last relevant event (seeded by the creating
   /// event); idle eviction compares pane boundaries against it.
   Timestamp last_event_time = 0;
+  /// Work-stealing emission bounds (the per-RUNNER analogue of
+  /// Runtime::emit_from/emit_until): the runner only OPENS windows with ws
+  /// in [emit_from, emit_until). A stolen key's victim runner fences at
+  /// the steal boundary, the thief's adopted runner starts there, so each
+  /// window belongs to exactly one shard. Defaults cover everything.
+  Timestamp emit_from = 0;
+  Timestamp emit_until = std::numeric_limits<Timestamp>::max();
+  /// Pane boundary at which a fenced runner's windows have provably all
+  /// closed; AdvancePaneTo then folds its stats and erases it.
+  Timestamp drop_after = std::numeric_limits<Timestamp>::max();
   std::unique_ptr<HamletEngine> hamlet;
   std::vector<WindowSlot> windows;
 };
@@ -497,6 +544,9 @@ void Session::OpenDueWindows(Runtime& rt, GroupRunner& runner,
     // Epoch emission bounds: windows starting outside [emit_from,
     // emit_until) belong to another epoch — the handover invariant.
     if (ws < rt.emit_from || ws >= rt.emit_until) return;
+    // Runner emission bounds: windows outside a stolen key's ownership
+    // interval belong to the other shard (see GroupRunner::emit_from).
+    if (ws < runner.emit_from || ws >= runner.emit_until) return;
     WindowSlot slot;
     slot.owner = owner;
     slot.ws = ws;
@@ -706,6 +756,16 @@ void Session::AdvancePaneTo(Runtime& rt, Timestamp new_pane_start) {
           it = comp->groups.erase(it);
           continue;
         }
+        // A steal-fenced runner whose last possible window end has passed:
+        // everything it owned emitted above, so fold its stats and erase.
+        // Unlike idle eviction this is driven purely by the steal
+        // protocol's boundaries, hence deterministic in event time.
+        if (runner.drop_after <= boundary) {
+          HAMLET_DCHECK(runner.windows.empty());
+          if (runner.hamlet) AddStats(retired_stats_, runner.hamlet->stats());
+          it = comp->groups.erase(it);
+          continue;
+        }
         OpenDueWindows(rt, runner, boundary, /*retroactive=*/false);
         if (runner.hamlet) runner.hamlet->OnPaneStart(boundary);
         ++it;
@@ -714,6 +774,13 @@ void Session::AdvancePaneTo(Runtime& rt, Timestamp new_pane_start) {
     // All engines for windows ending at `boundary` have now emitted or
     // declined; whatever composition entries remain for them are dead.
     EvictDeadCompositions(rt, boundary);
+    // Steal fences whose duplication interval has fully passed: the key's
+    // events now arrive on the thief only, so a future steal BACK may
+    // create a fresh runner here.
+    if (!group_bounds_.empty()) {
+      std::erase_if(group_bounds_,
+                    [&](const auto& kv) { return kv.second <= boundary; });
+    }
     rt.pane_start = boundary;
     rt.pane_started = true;
     peak_memory_ = std::max(peak_memory_, CurrentMemory());
@@ -749,6 +816,13 @@ void Session::ProcessEvent(Runtime& rt, const Event& e, double arrival,
     auto it = comp.groups.find(key);
     GroupRunner* runner;
     if (it == comp.groups.end()) {
+      // Steal-fenced key (victim side): boundary events duplicated to this
+      // shard feed only runners that already exist — a fresh runner would
+      // open retroactive windows the thief already owns.
+      if (!group_bounds_.empty() &&
+          group_bounds_.find(key) != group_bounds_.end()) {
+        continue;
+      }
       auto created = std::make_unique<GroupRunner>();
       created->comp = &comp;
       created->group_key = key;
@@ -1057,6 +1131,91 @@ Result<Timestamp> Session::ApplySharingOverrides(
   Result<Timestamp> activated = Swap(std::move(epoch).value(), activate_at);
   if (activated.ok()) ++plan_swaps_;
   return activated;
+}
+
+Session::GroupMigration Session::FenceGroup(int64_t group_key,
+                                            Timestamp emit_until,
+                                            Timestamp drop_after) {
+  // Stealing excludes query churn and re-optimization, so exactly one plan
+  // epoch can be live — the fence/adopt hand-off reasons about one
+  // component list on both shards.
+  HAMLET_CHECK(runtimes_.size() == 1);
+  Runtime& rt = *runtimes_.back();
+  GroupMigration migration;
+  migration.components.resize(rt.components.size());
+  for (size_t c = 0; c < rt.components.size(); ++c) {
+    Component& comp = *rt.components[c];
+    auto it = comp.groups.find(group_key);
+    if (it == comp.groups.end()) continue;
+    GroupRunner& runner = *it->second;
+    migration.components[c].runner_exists = true;
+    if (runner.hamlet != nullptr) {
+      migration.components[c].lane_stats = runner.hamlet->ExportLaneStats();
+    }
+    runner.emit_until = std::min(runner.emit_until, emit_until);
+    runner.drop_after = std::min(runner.drop_after, drop_after);
+    // Cancel windows already open at/after the fence, unemitted: the
+    // victim has processed nothing at or past the boundary (a watermark
+    // may merely have opened them early), so they hold no events, and the
+    // thief opens its own instances — emitting here would double them.
+    for (size_t i = 0; i < runner.windows.size();) {
+      WindowSlot& w = runner.windows[i];
+      if (w.ws < emit_until) {
+        ++i;
+        continue;
+      }
+      if (runner.hamlet != nullptr) runner.hamlet->CloseContext(w.ctx);
+      runner.windows[i] = std::move(runner.windows.back());
+      runner.windows.pop_back();
+    }
+  }
+  group_bounds_[group_key] = drop_after;
+  return migration;
+}
+
+void Session::AdoptGroup(int64_t group_key, Timestamp emit_from,
+                         const GroupMigration& migration) {
+  HAMLET_CHECK(runtimes_.size() == 1);
+  Runtime& rt = *runtimes_.back();
+  // Advance to the handover boundary BEFORE creating the adopted runners:
+  // every window this shard previously owned is then already open or
+  // closed (boundaries in between are visited while any old fenced
+  // incarnation of the key is still bounded, so no window leaks open in
+  // the gap), and that incarnation — whose drop_after provably precedes a
+  // re-steal boundary — has dropped. Pane advancement is deterministic in
+  // event time, so doing it at the adopt point just moves work the next
+  // event would trigger anyway.
+  if (!rt.pane_started || rt.pane_start < emit_from) {
+    AdvancePaneTo(rt, emit_from);
+  }
+  HAMLET_DCHECK(rt.pane_start == emit_from);
+  group_bounds_.erase(group_key);
+  const size_t n =
+      std::min(rt.components.size(), migration.components.size());
+  for (size_t c = 0; c < n; ++c) {
+    if (!migration.components[c].runner_exists) continue;
+    Component& comp = *rt.components[c];
+    // The router owned the key elsewhere until this boundary, so no live
+    // runner can exist here (a fenced leftover dropped during the advance
+    // above).
+    HAMLET_CHECK(comp.groups.find(group_key) == comp.groups.end());
+    auto created = std::make_unique<GroupRunner>();
+    created->comp = &comp;
+    created->group_key = group_key;
+    created->last_event_time = emit_from;
+    created->emit_from = emit_from;
+    if (config_.kind == EngineKind::kHamletDynamic ||
+        config_.kind == EngineKind::kHamletStatic ||
+        config_.kind == EngineKind::kHamletNoShare) {
+      created->hamlet = std::make_unique<HamletEngine>(*rt.plan, comp.members,
+                                                       comp.policy.get());
+      created->hamlet->SeedLaneStats(migration.components[c].lane_stats);
+    }
+    GroupRunner* runner = created.get();
+    comp.groups[group_key] = std::move(created);
+    OpenDueWindows(rt, *runner, rt.pane_start, /*retroactive=*/true);
+    if (runner->hamlet) runner->hamlet->OnPaneStart(rt.pane_start);
+  }
 }
 
 HamletStats Session::AggregateHamletStats() const {

@@ -142,6 +142,32 @@ struct RunConfig {
   /// prerequisite for ShardedSession draining stale rebalance-map entries
   /// (RunMetrics::rebalance_map_size).
   bool evict_idle_groups = false;
+  /// Pane-boundary work stealing (ShardedSession only): when an existing
+  /// group key's shard is overloaded (by more than steal_imbalance_ratio x
+  /// the least-loaded shard over a sliding window of staged events), the
+  /// front migrates whole group keys to the least-loaded shard at the next
+  /// event-time pane boundary — the victim's runner is fenced (emits only
+  /// windows starting before the boundary), the thief adopts the group
+  /// (emits windows from the boundary on, graphlet sharing statistics
+  /// handed over), and events near the boundary are duplicated to both
+  /// sides so every window sees its full event set. This closes the gap
+  /// that shard_rebalance_threshold only places NEW keys. Steal decisions
+  /// derive purely from the merged event stream, so emission sets stay
+  /// bit-identical across stealing on/off, shard counts and producer
+  /// counts. Incompatible with evict_idle_groups, online re-optimization
+  /// and query churn (see ValidateRunConfig / docs/API.md knob matrix).
+  bool work_stealing = false;
+  /// Work-stealing trigger: steal when the hottest shard's windowed load
+  /// exceeds this multiple of the coldest shard's (plus a small absolute
+  /// floor, so near-idle streams never thrash). Must be > 1.0 — checked
+  /// even while work_stealing is off, so flipping the knob on later can
+  /// never trip a latent bad value. Ignored while work_stealing is false.
+  double steal_imbalance_ratio = 2.0;
+  /// Multi-producer ingest (ShardedSession::AddProducer only): capacity,
+  /// in events, of each producer's SPSC staging ring feeding the sequencer
+  /// (src/common/mpsc_ingest.h). Must be >= 2; rounded up to a power of
+  /// two. Plain Session and the single-producer sharded path ignore it.
+  int producer_queue_capacity = 16384;
   /// Test hook: overrides the monotonic wall clock (in seconds) used for
   /// latency attribution, busy-time accounting and adaptive batching, so
   /// timing-sensitive tests run deterministically under sanitizer/CI load.
@@ -285,6 +311,16 @@ struct RunMetrics {
   int64_t active_epochs = 0;
   /// Group runners evicted by RunConfig::evict_idle_groups.
   int64_t evicted_idle_groups = 0;
+  /// Group-key migrations executed by pane-boundary work stealing
+  /// (RunConfig::work_stealing; counted on the ShardedSession front, 0
+  /// elsewhere). Deterministic for a fixed stream and shard count.
+  int64_t stolen_panes = 0;
+  /// Events staged to BOTH the victim and the thief during a steal's
+  /// duplication window (the victim's fenced windows still need them).
+  /// The front subtracts this from the summed per-shard `events` so that
+  /// counter always equals the ingested stream length; this field keeps
+  /// the double-processing cost visible.
+  int64_t duplicated_events = 0;
 };
 
 /// Folds `from` into `into` the way ShardedSession combines per-shard
@@ -432,6 +468,45 @@ class Session {
   /// The session's CURRENT query set (reflects Add/RemoveQuery).
   const std::vector<Query>& queries() const { return lifecycle_.queries(); }
 
+  /// Work-stealing hand-off payload for one group key: per component (in
+  /// the session's deterministic component order), whether the victim held
+  /// a runner — the thief eagerly creates runners exactly for those, so
+  /// retroactive window opening matches the single-threaded reference —
+  /// plus the runner's HAMLET per-type sharing statistics, which warm-start
+  /// the thief's burst/graphlet moving averages (sharing decisions never
+  /// change emission values, so the seed is a pure performance carry-over).
+  struct GroupMigration {
+    struct ComponentState {
+      bool runner_exists = false;
+      std::vector<HamletLaneStats> lane_stats;
+    };
+    std::vector<ComponentState> components;
+  };
+
+  /// Victim side of a pane-boundary group steal (ShardedSession steal
+  /// protocol; requires a single live plan epoch — stealing excludes query
+  /// churn). Bounds the key's existing runners to windows starting before
+  /// `emit_until` (windows already open at/after it are cancelled unemitted
+  /// — they hold no events yet and the thief re-opens them), blocks NEW
+  /// runner creation for the key until `drop_after` (events near the
+  /// boundary are duplicated to both shards; a fresh victim-side runner
+  /// would double the thief's retroactive windows), and schedules the
+  /// fenced runners to be dropped once a pane boundary reaches
+  /// `drop_after`, by which time all their windows have closed. Returns
+  /// the hand-off payload for AdoptGroup.
+  GroupMigration FenceGroup(int64_t group_key, Timestamp emit_until,
+                            Timestamp drop_after);
+
+  /// Thief side: first advances panes to `emit_from` (every window the
+  /// victim still owns is then already open or closed here, and any
+  /// previously fenced incarnation of the key has dropped), then eagerly
+  /// creates runners for exactly the components the victim had, emitting
+  /// windows from `emit_from` on. Components without a victim runner are
+  /// left to create naturally on their first event — unbounded, exactly
+  /// like the reference.
+  void AdoptGroup(int64_t group_key, Timestamp emit_from,
+                  const GroupMigration& migration);
+
   /// Flushes all remaining open windows and returns the final metrics.
   /// A second Close returns kFailedPrecondition (the first call's metrics
   /// remain available through MetricsSnapshot).
@@ -506,6 +581,13 @@ class Session {
   bool reopt_enabled_ = false;
   Timestamp last_reopt_pane_ = 0;
   bool reopt_pane_seen_ = false;
+  /// Fenced group keys (victim side of a steal): while a key is present,
+  /// ProcessEvent creates NO new runner for it — duplicated boundary
+  /// events feed only the fenced runners that already exist. The value is
+  /// the fence's drop_after; entries sweep once a pane boundary reaches
+  /// it. Empty except on steal victims, so the hot path pays one
+  /// empty-check.
+  std::map<int64_t, Timestamp> group_bounds_;
   /// Accumulators for state that no longer exists: retired epochs' and
   /// evicted idle groups' engine stats and policy decisions.
   HamletStats retired_stats_;

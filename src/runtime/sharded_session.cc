@@ -6,6 +6,7 @@
 #include <bit>
 #include <chrono>
 #include <condition_variable>
+#include <limits>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -29,7 +30,9 @@ struct ShardMsg {
     kStop,
     kAddQuery,
     kRemoveQuery,
-    kSwapPlan
+    kSwapPlan,
+    kStealFence,
+    kStealAdopt
   };
   Kind kind = Kind::kBatch;
   EventVector batch;
@@ -42,6 +45,14 @@ struct ShardMsg {
   Query query;                             ///< kAddQuery
   std::string query_name;                  ///< kRemoveQuery
   std::vector<SharingOverride> overrides;  ///< kSwapPlan
+  /// Steal payload (kStealFence/kStealAdopt). `steal_boundary` is the pane
+  /// boundary B: the victim fences to windows starting before it, the
+  /// thief adopts windows starting at or after it.
+  int64_t steal_key = 0;
+  Timestamp steal_boundary = 0;
+  Timestamp steal_drop_after = 0;          ///< kStealFence: B + max WITHIN
+  uint64_t steal_seq = 0;                  ///< kStealFence: ack token
+  Session::GroupMigration migration;       ///< kStealAdopt: fence's payload
 };
 
 /// Worker-local emission buffer. Only the shard's worker thread touches it
@@ -76,6 +87,18 @@ constexpr size_t kBatchHistBuckets = 16;
 /// Concurrent-footprint sampling cadence, in staging flushes (see
 /// FlushShard).
 constexpr int kMemSampleEveryFlushes = 16;
+
+/// Work stealing only triggers when the max-loaded shard exceeds
+/// ratio * min + this floor: tiny absolute imbalances (a few events) never
+/// justify a migration's fence/adopt round-trip.
+constexpr int64_t kStealLoadFloor = 64;
+/// Migrations per pane boundary are capped; persistent imbalance re-fires
+/// at the next crossing.
+constexpr int kMaxStealsPerBoundary = 8;
+/// Sequencer idle backoff: after this many empty merge rounds, sleep
+/// instead of yielding (bounds wake-up latency to ~the sleep length).
+constexpr int kSequencerIdleSpins = 64;
+constexpr auto kSequencerIdleSleep = std::chrono::microseconds(50);
 
 size_t BatchHistBucket(size_t batch_size) {
   const size_t b = static_cast<size_t>(std::bit_width(batch_size)) - 1;
@@ -130,6 +153,13 @@ struct ShardedSession::Shard {
   /// Last watermark the worker has fully applied (after refreshing the
   /// snapshot) — the re-optimizing front's checkpoint acknowledgement.
   std::atomic<Timestamp> watermark_applied{-1};
+  /// Steal-fence reply: the worker stores the hand-off payload under
+  /// steal_mu, then acks the fence's sequence number; the front spins on
+  /// steal_ack, then takes the payload. One fence is in flight at a time
+  /// (the front is synchronous), so one reply slot suffices.
+  std::mutex steal_mu;
+  Session::GroupMigration steal_payload;
+  std::atomic<uint64_t> steal_ack{0};
   /// Written by the worker on stop, read by the front after join().
   RunMetrics final_metrics;
 
@@ -227,6 +257,14 @@ Result<std::unique_ptr<ShardedSession>> ShardedSession::Open(
   // Skew-aware routing: sticky per-key assignments shared with every copy
   // of this router (incl. PartitionedBatchCursor built from router()).
   s->router_.EnableRebalancing(config.shard_rebalance_threshold);
+  s->stealing_ = config.work_stealing && config.num_shards > 1;
+  if (s->stealing_) {
+    // The steal protocol moves ESTABLISHED keys, so the router must track
+    // assignments even when skew-aware first-sight placement is off.
+    s->router_.EnableReassignment();
+    s->steal_load_cur_.assign(static_cast<size_t>(config.num_shards), 0);
+    s->steal_load_prev_.assign(static_cast<size_t>(config.num_shards), 0);
+  }
   s->lifecycle_.Init(*plan.workload);
   s->front_pane_size_ = plan.pane_size;
   for (const ExecQuery& eq : plan.exec_queries) {
@@ -270,7 +308,14 @@ Result<std::unique_ptr<ShardedSession>> ShardedSession::Open(
 }
 
 ShardedSession::~ShardedSession() {
-  if (!closed_) Close();
+  if (closed_.load(std::memory_order_acquire)) return;
+  // A destructor cannot fail, so tear down even if producer handles are
+  // still open (using them afterwards is the caller's bug — Close() is the
+  // API that enforces handle closure). The sequencer drains what was
+  // already pushed, then the normal close path runs.
+  StopSequencer();
+  mp_mode_.store(false, std::memory_order_relaxed);
+  Close();
 }
 
 void ShardedSession::WorkerLoop(Shard* shard) {
@@ -361,6 +406,26 @@ void ShardedSession::WorkerLoop(Shard* shard) {
         ++since_snapshot;
         break;
       }
+      case ShardMsg::Kind::kStealFence: {
+        // Victim side of a migration: bound the key's runners, cancel its
+        // unfed windows at/after the boundary, and hand the runner layout
+        // + HAMLET lane statistics back to the front for the thief.
+        Session::GroupMigration m = shard->session->FenceGroup(
+            msg.steal_key, msg.steal_boundary, msg.steal_drop_after);
+        {
+          std::lock_guard<std::mutex> lock(shard->steal_mu);
+          shard->steal_payload = std::move(m);
+        }
+        shard->steal_ack.store(msg.steal_seq, std::memory_order_release);
+        ++since_snapshot;
+        break;
+      }
+      case ShardMsg::Kind::kStealAdopt: {
+        shard->session->AdoptGroup(msg.steal_key, msg.steal_boundary,
+                                   msg.migration);
+        ++since_snapshot;
+        break;
+      }
       case ShardMsg::Kind::kStop: {
         Result<RunMetrics> final = shard->session->Close();
         HAMLET_CHECK(final.ok());
@@ -386,7 +451,164 @@ double ShardedSession::IngestNow() const {
 }
 
 void ShardedSession::StageEvent(const Event& event, double now_seconds) {
-  Shard& shard = *shards_[router_.Route(event)];
+  if (!stealing_) {
+    StageTo(*shards_[router_.Route(event)], event, now_seconds);
+    return;
+  }
+  // Work-stealing staging path. Order matters for determinism: pane
+  // crossings retire finished migrations and evaluate steal triggers
+  // BEFORE this event is routed, so the triggering event itself already
+  // lands on the thief — every decision is a pure function of the event
+  // stream prefix.
+  const Timestamp pane = front_pane_size_ > 0 ? front_pane_size_ : 1;
+  const Timestamp event_pane = (event.time / pane) * pane;
+  if (staged_any_ && event_pane > last_staged_pane_) {
+    if (!active_migrations_.empty()) {
+      std::erase_if(active_migrations_, [&](const auto& kv) {
+        return kv.second.dup_until <= event_pane;
+      });
+    }
+    MaybeSteal(event_pane);
+  }
+  last_staged_pane_ = event_pane;
+  staged_any_ = true;
+  const int64_t key = router_.GroupKeyOf(event);
+  const size_t target = router_.Route(event);
+  StageTo(*shards_[target], event, now_seconds);
+  if (!active_migrations_.empty()) {
+    // Migrating key inside its duplication window: the victim's fenced
+    // windows (start < B, end > B) still need this event.
+    auto it = active_migrations_.find(key);
+    if (it != active_migrations_.end() &&
+        event.time < it->second.dup_until) {
+      StageTo(*shards_[it->second.victim], event, now_seconds);
+      dup_events_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  ++steal_load_cur_[target];
+  ++steal_key_load_[key].cur;
+  if (++steal_in_window_ >= ShardRouter::kRebalanceHalfWindow) {
+    RollStealWindow();
+  }
+}
+
+void ShardedSession::RollStealWindow() {
+  steal_in_window_ = 0;
+  std::swap(steal_load_prev_, steal_load_cur_);
+  std::fill(steal_load_cur_.begin(), steal_load_cur_.end(), 0);
+  for (auto it = steal_key_load_.begin(); it != steal_key_load_.end();) {
+    if (it->second.cur == 0 && it->second.prev == 0) {
+      it = steal_key_load_.erase(it);
+      continue;
+    }
+    it->second.prev = it->second.cur;
+    it->second.cur = 0;
+    ++it;
+  }
+}
+
+void ShardedSession::MaybeSteal(Timestamp boundary) {
+  for (int round = 0; round < kMaxStealsPerBoundary; ++round) {
+    size_t victim = 0;
+    size_t thief = 0;
+    int64_t max_load = -1;
+    int64_t min_load = std::numeric_limits<int64_t>::max();
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      const int64_t load = steal_load_prev_[s] + steal_load_cur_[s];
+      if (load > max_load) {
+        max_load = load;
+        victim = s;
+      }
+      if (load < min_load) {
+        min_load = load;
+        thief = s;
+      }
+    }
+    if (victim == thief ||
+        static_cast<double>(max_load) <=
+            config_.steal_imbalance_ratio * static_cast<double>(min_load) +
+                static_cast<double>(kStealLoadFloor)) {
+      return;
+    }
+    // Candidate: the victim's heaviest key that actually improves the
+    // balance (moving it must leave the thief below the victim's old
+    // load, or keys ping-pong). Scanned with an explicit best-key rule —
+    // heaviest, then smallest key — because unordered_map iteration order
+    // must not leak into the (deterministic) decision.
+    int64_t best_key = 0;
+    int64_t best_load = -1;
+    bool found = false;
+    for (const auto& [key, kl] : steal_key_load_) {
+      const int64_t c = kl.cur + kl.prev;
+      if (c <= 0 || min_load + c >= max_load) continue;
+      if (router_.AssignedShardOfKey(key) != victim) continue;
+      // A key still inside a duplication window cannot re-steal: the next
+      // fence's boundary must be >= the previous fence's drop_after.
+      if (active_migrations_.count(key) != 0) continue;
+      if (c > best_load || (c == best_load && key < best_key)) {
+        best_key = key;
+        best_load = c;
+        found = true;
+      }
+    }
+    if (!found) return;
+    ExecuteSteal(best_key, victim, thief, boundary);
+  }
+}
+
+void ShardedSession::ExecuteSteal(int64_t key, size_t victim, size_t thief,
+                                  Timestamp boundary) {
+  Shard& v = *shards_[victim];
+  Shard& t = *shards_[thief];
+  const Timestamp drop_after = boundary + within_high_water_;
+  // From here on the key's events route to the thief; the duplication
+  // window below keeps the victim fed until its fenced windows all close.
+  router_.Reassign(key, thief, boundary);
+  // The fence/adopt pair is a barrier in stream order on both shards:
+  // staged events logically precede it.
+  FlushShard(v);
+  FlushShard(t);
+  const uint64_t seq = ++steal_seq_counter_;
+  ShardMsg fence;
+  fence.kind = ShardMsg::Kind::kStealFence;
+  fence.steal_key = key;
+  fence.steal_boundary = boundary;
+  fence.steal_drop_after = drop_after;
+  fence.steal_seq = seq;
+  v.Send(std::move(fence));
+  // Synchronous wait for the victim's hand-off payload (it has to work
+  // through its queued batches first). Emissions keep draining meanwhile
+  // so no worker outbox backs up.
+  while (v.steal_ack.load(std::memory_order_acquire) < seq) {
+    DrainEmissions();
+    std::this_thread::yield();
+  }
+  ShardMsg adopt;
+  adopt.kind = ShardMsg::Kind::kStealAdopt;
+  adopt.steal_key = key;
+  adopt.steal_boundary = boundary;
+  {
+    std::lock_guard<std::mutex> lock(v.steal_mu);
+    adopt.migration = std::move(v.steal_payload);
+    v.steal_payload = Session::GroupMigration{};
+  }
+  t.Send(std::move(adopt));
+  active_migrations_[key] = ActiveMigration{victim, drop_after};
+  // The key's window counts move with it so the next trigger evaluates
+  // the post-steal balance (clamped: a key that migrated mid-window may
+  // have contributed to more than one shard's buckets).
+  KeyLoad& kl = steal_key_load_[key];
+  const int64_t move_cur = std::min(kl.cur, steal_load_cur_[victim]);
+  const int64_t move_prev = std::min(kl.prev, steal_load_prev_[victim]);
+  steal_load_cur_[victim] -= move_cur;
+  steal_load_cur_[thief] += move_cur;
+  steal_load_prev_[victim] -= move_prev;
+  steal_load_prev_[thief] += move_prev;
+  stolen_panes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ShardedSession::StageTo(Shard& shard, const Event& event,
+                             double now_seconds) {
   shard.staging.push_back(event);
   size_t threshold = static_cast<size_t>(config_.shard_batch_size);
   if (config_.adaptive_batching) {
@@ -471,6 +693,11 @@ Status ShardedSession::Push(const Event& event) {
   if (closed_) {
     return Status::FailedPrecondition("Push on a closed session");
   }
+  if (mp_mode_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition(
+        "session-level Push on a multi-producer session; push through the "
+        "Producer handles (AddProducer)");
+  }
   Status ordered = gate_.CheckEvent(event.time);
   if (!ordered.ok()) return ordered;
   gate_.CommitEvent(event.time);
@@ -484,6 +711,11 @@ Status ShardedSession::Push(const Event& event) {
 Status ShardedSession::PushBatch(std::span<const Event> events) {
   if (closed_) {
     return Status::FailedPrecondition("PushBatch on a closed session");
+  }
+  if (mp_mode_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition(
+        "session-level PushBatch on a multi-producer session; push through "
+        "the Producer handles (AddProducer)");
   }
   // One clock read per call, not per event: events of one batch arrived
   // together, so they share an arrival instant (their inter-arrival gap is
@@ -505,6 +737,17 @@ Status ShardedSession::PushPrePartitioned(PartitionedBatch batches) {
   if (closed_) {
     return Status::FailedPrecondition(
         "PushPrePartitioned on a closed session");
+  }
+  if (mp_mode_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition(
+        "PushPrePartitioned on a multi-producer session; push through the "
+        "Producer handles (AddProducer)");
+  }
+  if (stealing_) {
+    return Status::FailedPrecondition(
+        "PushPrePartitioned with work_stealing enabled: caller-side "
+        "partitioning bypasses the steal controller's routing and "
+        "duplication window; use Push/PushBatch");
   }
   if (batches.size() != shards_.size()) {
     return Status::InvalidArgument(
@@ -591,6 +834,16 @@ Status ShardedSession::AdvanceTo(Timestamp watermark) {
   if (closed_) {
     return Status::FailedPrecondition("AdvanceTo on a closed session");
   }
+  if (mp_mode_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition(
+        "session-level AdvanceTo on a multi-producer session; use "
+        "Producer::AdvanceTo (the session watermark is the merged "
+        "frontier)");
+  }
+  return AdvanceToInternal(watermark);
+}
+
+Status ShardedSession::AdvanceToInternal(Timestamp watermark) {
   Status ordered = gate_.CheckWatermark(watermark);
   if (!ordered.ok()) return ordered;
   gate_.CommitWatermark(watermark);
@@ -625,10 +878,230 @@ Status ShardedSession::AdvanceTo(Timestamp watermark) {
   return Status::Ok();
 }
 
+Result<std::unique_ptr<ShardedSession::Producer>>
+ShardedSession::AddProducer() {
+  if (closed_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("AddProducer on a closed session");
+  }
+  std::lock_guard<std::mutex> lock(producer_mu_);
+  if (!poison_status_.ok()) return poison_status_;
+  if (!mp_mode_.load(std::memory_order_relaxed)) {
+    // First producer: the session switches to multi-producer mode for
+    // good. The check against gate_ is safe here — the sequencer does not
+    // exist yet, and once mp_mode_ is set this branch never re-runs.
+    if (gate_.any_seen()) {
+      return Status::FailedPrecondition(
+          "AddProducer after session-level Push/AdvanceTo: a session uses "
+          "ONE ingest mode — open the producers first");
+    }
+    hub_ = std::make_unique<MpscIngestHub<Event>>(
+        static_cast<size_t>(config_.producer_queue_capacity));
+    seq_stop_.store(false, std::memory_order_relaxed);
+    sequencer_ = std::thread(&ShardedSession::SequencerLoop, this);
+    mp_mode_.store(true, std::memory_order_release);
+  }
+  const int slot = hub_->ClaimSlot();
+  if (slot < 0) {
+    return Status::ResourceExhausted(
+        "all " + std::to_string(MpscIngestHub<Event>::kMaxProducers) +
+        " producer slots are claimed by open handles");
+  }
+  producers_open_.fetch_add(1, std::memory_order_acq_rel);
+  std::unique_ptr<Producer> producer(new Producer(this, slot));
+  // Seed the handle's gate with the slot's admission bound so a late
+  // joiner pushing below the merged horizon gets a synchronous
+  // kInvalidArgument from its own handle instead of poisoning the session.
+  const Timestamp bound = hub_->slot_bound(slot);
+  if (bound > MpscIngestHub<Event>::kTimeMin) {
+    producer->gate_.CommitWatermark(bound);
+  }
+  return producer;
+}
+
+ShardedSession::Producer::~Producer() {
+  if (!closed_) Close();
+}
+
+Status ShardedSession::Producer::Push(const Event& event) {
+  if (closed_) {
+    return Status::FailedPrecondition("Push on a closed producer handle");
+  }
+  if (owner_->poisoned_.load(std::memory_order_acquire)) {
+    return owner_->PoisonStatus();
+  }
+  Status ordered = gate_.CheckEvent(event.time);
+  if (!ordered.ok()) return ordered;
+  gate_.CommitEvent(event.time);
+  Event copy = event;
+  while (!owner_->hub_->TryPush(slot_, std::move(copy))) {
+    // Bounded-ring backpressure: the sequencer is behind; yield until it
+    // frees a slot. A poisoned session aborts the wait (the sequencer
+    // keeps draining, but delivering this event is pointless).
+    if (owner_->poisoned_.load(std::memory_order_acquire)) {
+      return owner_->PoisonStatus();
+    }
+    std::this_thread::yield();
+  }
+  return Status::Ok();
+}
+
+Status ShardedSession::Producer::PushBatch(std::span<const Event> events) {
+  for (const Event& event : events) {
+    Status st = Push(event);
+    if (!st.ok()) return st;
+  }
+  return Status::Ok();
+}
+
+Status ShardedSession::Producer::AdvanceTo(Timestamp watermark) {
+  if (closed_) {
+    return Status::FailedPrecondition(
+        "AdvanceTo on a closed producer handle");
+  }
+  if (owner_->poisoned_.load(std::memory_order_acquire)) {
+    return owner_->PoisonStatus();
+  }
+  Status ordered = gate_.CheckWatermark(watermark);
+  if (!ordered.ok()) return ordered;
+  gate_.CommitWatermark(watermark);
+  owner_->hub_->PublishBound(slot_, watermark);
+  return Status::Ok();
+}
+
+Status ShardedSession::Producer::Close() {
+  if (closed_) {
+    return Status::FailedPrecondition("producer handle already closed");
+  }
+  closed_ = true;
+  owner_->hub_->CloseSlot(slot_);
+  owner_->producers_open_.fetch_sub(1, std::memory_order_acq_rel);
+  return Status::Ok();
+}
+
+void ShardedSession::SequencerLoop() {
+  int idle = 0;
+  Event event;
+  for (;;) {
+    bool did_work = false;
+    while (hub_->TryNext(&event)) {
+      did_work = true;
+      IngestReleased(event);
+    }
+    // Broadcast only after draining until stuck: the frontier then bounds
+    // every released timestamp, so it is a legal watermark.
+    MaybeBroadcastFrontier();
+    if (seq_stop_.load(std::memory_order_acquire)) {
+      // Close() guarantees every producer handle is closed before setting
+      // the stop flag, so this final drain empties the hub completely
+      // (closed slots' bounds are +inf — nothing blocks a release). The
+      // frontier now rests at the hub's closed floor (the max final
+      // producer bound) — broadcast it, so the producers' last watermarks
+      // reach the shards DETERMINISTICALLY rather than only when the idle
+      // loop happened to poll between the last AdvanceTo and the close.
+      while (hub_->TryNext(&event)) IngestReleased(event);
+      MaybeBroadcastFrontier();
+      return;
+    }
+    if (did_work) {
+      idle = 0;
+      continue;
+    }
+    DrainEmissions();
+    if (++idle < kSequencerIdleSpins) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(kSequencerIdleSleep);
+    }
+  }
+}
+
+void ShardedSession::IngestReleased(const Event& event) {
+  // A poisoned session still drains the hub — abandoning it would leave
+  // producers spinning on full rings — but discards the events.
+  if (poisoned_.load(std::memory_order_relaxed)) return;
+  Status ordered = gate_.CheckEvent(event.time);
+  if (!ordered.ok()) {
+    // A cross-producer violation the per-producer gates could not see
+    // (e.g. two producers pushing the same timestamp). The session
+    // poisons — a sticky error every producer observes — instead of
+    // feeding the engines a misordered stream.
+    Poison(std::move(ordered));
+    return;
+  }
+  gate_.CommitEvent(event.time);
+  if (reopt_enabled_) collector_.CountEvent(event.type);
+  StageEvent(event, config_.adaptive_batching ? IngestNow() : 0.0);
+  MaybeReoptimizeFront();
+  DrainEmissions();
+}
+
+void ShardedSession::MaybeBroadcastFrontier() {
+  if (poisoned_.load(std::memory_order_relaxed)) return;
+  const Timestamp frontier = hub_->Frontier();
+  // With every producer closed and drained the frontier rests at the
+  // hub's closed floor (max final bound), so departed producers' last
+  // watermarks still broadcast. <= 0 covers the pre-first-bound state;
+  // +inf can only appear transiently mid-recycle.
+  if (frontier >= MpscIngestHub<Event>::kTimeMax || frontier <= 0) return;
+  if (front_pane_size_ <= 0) return;
+  const Timestamp fpane = (frontier / front_pane_size_) * front_pane_size_;
+  // Broadcast one LESS than the frontier pane (floored at the largest
+  // released/committed time, which the gate requires). The raw frontier
+  // must not go out: a push of event t publishes bound t+1, so a frontier
+  // landing exactly on a pane boundary would open a pane the event stream
+  // never reached — and whether that broadcast won the race against the
+  // producer closing would decide the emission set. Both max_seen and
+  // fpane-1 only ever advance panes a processed event or explicit
+  // watermark already reached, so the broadcast is emission-neutral no
+  // matter how the polling races; producer watermarks simply propagate
+  // with up to one pane of lag (the shutdown broadcast and Close's flush
+  // finish the tail).
+  Timestamp watermark = fpane - 1;
+  if (gate_.any_seen() && gate_.max_seen() > watermark) {
+    watermark = gate_.max_seen();
+  }
+  if (watermark <= 0) return;
+  // Throttle on the pane boundary the broadcast would ADVANCE TO (not the
+  // raw frontier pane): watermarks sharing a boundary open and close the
+  // same windows, so re-announcing one is pure per-shard queue overhead —
+  // while a skipped boundary would change the emission set with timing.
+  const Timestamp boundary =
+      (watermark / front_pane_size_) * front_pane_size_;
+  if (boundary <= last_frontier_pane_) return;
+  last_frontier_pane_ = boundary;
+  // Joiners admit at or above the broadcast so they can never drag the
+  // frontier (or their own events) below what downstream already saw.
+  hub_->SetClaimFloor(watermark);
+  Status st = AdvanceToInternal(watermark);
+  // The value is >= every committed event and watermark by construction,
+  // so the gate can never reject it.
+  HAMLET_CHECK(st.ok());
+}
+
+void ShardedSession::StopSequencer() {
+  if (!sequencer_.joinable()) return;
+  seq_stop_.store(true, std::memory_order_release);
+  sequencer_.join();
+}
+
+void ShardedSession::Poison(Status status) {
+  {
+    std::lock_guard<std::mutex> lock(producer_mu_);
+    if (poison_status_.ok()) poison_status_ = std::move(status);
+  }
+  poisoned_.store(true, std::memory_order_release);
+}
+
+Status ShardedSession::PoisonStatus() {
+  std::lock_guard<std::mutex> lock(producer_mu_);
+  return poison_status_;
+}
+
 Result<Timestamp> ShardedSession::AddQuery(const Query& query) {
   if (closed_) {
     return Status::FailedPrecondition("AddQuery on a closed session");
   }
+  if (Status guard = ChurnGuard("AddQuery"); !guard.ok()) return guard;
   if (MetricsSnapshot().active_epochs >= QueryLifecycle::kMaxLiveEpochs) {
     return Status::ResourceExhausted(
         "too many plan epochs still draining across shards (max " +
@@ -642,6 +1115,7 @@ Result<Timestamp> ShardedSession::RemoveQuery(const std::string& name) {
   if (closed_) {
     return Status::FailedPrecondition("RemoveQuery on a closed session");
   }
+  if (Status guard = ChurnGuard("RemoveQuery"); !guard.ok()) return guard;
   if (MetricsSnapshot().active_epochs >= QueryLifecycle::kMaxLiveEpochs) {
     return Status::ResourceExhausted(
         "too many plan epochs still draining across shards (max " +
@@ -657,8 +1131,30 @@ Result<Timestamp> ShardedSession::ApplySharingOverrides(
     return Status::FailedPrecondition(
         "ApplySharingOverrides on a closed session");
   }
+  if (Status guard = ChurnGuard("ApplySharingOverrides"); !guard.ok()) {
+    return guard;
+  }
   return BroadcastChurn(ChurnKind::kSwapPlan, nullptr, nullptr,
                         {overrides.begin(), overrides.end()});
+}
+
+Status ShardedSession::ChurnGuard(const char* op) const {
+  // Query churn from the caller thread would race the sequencer's front
+  // state in multi-producer mode, and a plan-epoch swap would break the
+  // steal protocol's single-epoch fence/adopt invariant (FenceGroup /
+  // AdoptGroup CHECK one live runtime).
+  if (mp_mode_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition(
+        std::string(op) + " on a multi-producer session (query churn is "
+        "front-thread only; close the producer handles first)");
+  }
+  if (stealing_) {
+    return Status::Unsupported(
+        std::string(op) +
+        " with work_stealing enabled: plan epoch swaps would race the "
+        "steal protocol's single-epoch fence/adopt invariant");
+  }
+  return Status::Ok();
 }
 
 Result<Timestamp> ShardedSession::BroadcastChurn(
@@ -762,6 +1258,19 @@ Result<RunMetrics> ShardedSession::Close() {
         "Close on a closed session (first Close already returned the final "
         "metrics; use MetricsSnapshot to re-read them)");
   }
+  if (mp_mode_.load(std::memory_order_acquire)) {
+    if (producers_open_.load(std::memory_order_acquire) > 0) {
+      return Status::FailedPrecondition(
+          "Close with " +
+          std::to_string(producers_open_.load(std::memory_order_relaxed)) +
+          " producer handle(s) still open; close every producer first");
+    }
+    // All handles closed: the sequencer's final drain empties the hub,
+    // merges the tail, and the join makes its front state (gate_, staging,
+    // steal bookkeeping) visible to this thread for the close path below.
+    StopSequencer();
+    HAMLET_CHECK(hub_->Quiescent());
+  }
   FlushAllShards();
   // Idle-group eviction keys off each session's own max seen event time,
   // and shards each saw only a subset of the stream. Broadcasting the
@@ -834,6 +1343,15 @@ void ShardedSession::FillIngressMetrics(RunMetrics& merged) const {
   merged.max_queue_depth_msgs = max_depth;
   merged.rebalanced_keys = router_.rebalanced_keys();
   merged.rebalance_map_size = router_.map_size();
+  // Shards never steal on their own; migrations execute on the front.
+  merged.stolen_panes += stolen_panes_.load(std::memory_order_relaxed);
+  // Duplication-window events were processed by two shards each, so the
+  // summed per-shard counts overstate the ingested stream by exactly the
+  // duplicate count. shard_events stays honest per shard (it reflects
+  // real per-shard work); the merged total reverts to stream length.
+  const int64_t dup = dup_events_.load(std::memory_order_relaxed);
+  merged.duplicated_events += dup;
+  merged.events -= std::min(dup, merged.events);
   // Shards never self-reoptimize (reoptimize_every_panes is forced to 0 in
   // their configs), so the check/swap counts live on the front.
   merged.reopt_checks = std::max(merged.reopt_checks, reoptimizer_.checks());

@@ -96,10 +96,64 @@
 //    max seen time before stop so every shard's eviction horizon matches
 //    the single-threaded reference during the final flush.
 //
+//  * Concurrent ingest (AddProducer): N producer threads may ingest
+//    concurrently through per-producer handles instead of the single
+//    front thread. Each Producer owns a private SPSC ring plus a published
+//    lower bound inside an MpscIngestHub (src/common/mpsc_ingest.h); an
+//    internal sequencer thread k-way-merges the rings back into ONE
+//    time-ordered stream and becomes the front — it runs the same
+//    gate/stage/flush machinery, so everything downstream of the merge is
+//    identical to single-producer ingest and the emission SET is invariant
+//    across producer counts. Per-producer watermarks (Producer::AdvanceTo)
+//    merge through the hub frontier — min over producers of (buffered
+//    front event, or published bound) — which the sequencer broadcasts as
+//    the session watermark whenever it crosses a pane boundary. Producer
+//    handles enforce their OWN ordering gates (each producer's stream must
+//    be strictly increasing and respect the handle's admission bound, so a
+//    late joiner cannot push below what was already broadcast);
+//    cross-producer violations the handle gates cannot see — two producers
+//    pushing the same timestamp — poison the session with a sticky error
+//    instead of feeding engines a misordered stream. Once AddProducer is
+//    called, session-level Push/PushBatch/PushPrePartitioned/AdvanceTo and
+//    query churn return kFailedPrecondition for the session's lifetime
+//    (one ingest mode per session), and sink emissions are delivered on
+//    the sequencer thread. Close requires every producer handle closed
+//    first. Producers may join and leave mid-stream (AddProducer /
+//    Producer::Close) — the admission bound makes churn safe.
+//  * Pane-boundary work stealing (RunConfig::work_stealing): closes the
+//    skew gap sticky routing leaves open — rebalancing only places NEW
+//    keys, so a group that becomes hot after placement pins its shard
+//    forever. With stealing, the front tracks per-shard and per-group
+//    staged-event loads over a sliding window; when an event-time pane
+//    crossing finds the max-loaded shard above steal_imbalance_ratio x the
+//    min-loaded shard plus a floor, whole established groups migrate at
+//    that pane boundary B: the router reassigns the key, the victim shard
+//    gets a FENCE message (bound the key's runners to windows starting
+//    before B, cancel its unfed windows at/after B, schedule the runner
+//    drop at B + max WITHIN), the front synchronously collects the fence's
+//    hand-off payload (which components had runners, plus HAMLET lane
+//    statistics as a warm start) and sends the thief an ADOPT message
+//    (advance panes to B, eagerly re-create exactly the victim's runners
+//    bounded to windows from B on). Events of a migrating key are staged
+//    to BOTH shards while windows still span the boundary (time < B + max
+//    WITHIN), so victim windows finish with full data; such events count
+//    twice in RunMetrics::events but never produce duplicate emissions
+//    (window ownership is partitioned by start time at B). Every steal
+//    decision derives from the event stream alone — never wall-clock or
+//    watermark arrival timing — so emissions stay bit-identical across
+//    producer counts and stealing on/off, for a fixed shard count.
+//    RunMetrics::stolen_panes counts executed migrations. Incompatible
+//    with evict_idle_groups and online re-optimization (Open rejects the
+//    combinations), and with query churn and PushPrePartitioned (rejected
+//    per call); see docs/API.md's knob matrix.
+//
 // Threading contract: Open/Push/PushBatch/PushPrePartitioned/AdvanceTo/
 // AddQuery/RemoveQuery/ApplySharingOverrides/Close must all be called from
 // one thread at a time (single producer — matching the SPSC ingress).
-// MetricsSnapshot may be called concurrently with pushes.
+// AddProducer may be called from any thread; each Producer handle is
+// single-threaded, but DIFFERENT handles may run on different threads
+// concurrently — that is the point of the hub. MetricsSnapshot may be
+// called concurrently with pushes from any mode.
 //
 // Requirement: all exec queries in the plan must share one group-by
 // attribute (true for every paper workload; Definition 5 gives it per
@@ -110,9 +164,13 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <span>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
+#include "src/common/mpsc_ingest.h"
 #include "src/runtime/session.h"
 #include "src/stream/shard_router.h"
 
@@ -155,6 +213,62 @@ class ShardedSession {
 
   /// Ingests a time-ordered batch; stops at the first invalid event.
   Status PushBatch(std::span<const Event> events);
+
+  /// One concurrent-ingest handle (see file comment, "Concurrent
+  /// ingest"). Single-threaded per handle; different handles may push from
+  /// different threads concurrently. The handle must be closed (or
+  /// destroyed) before the session's Close, and must not outlive the
+  /// session.
+  class Producer {
+   public:
+    /// Closes the handle if still open (closure status is discarded —
+    /// close explicitly to observe it).
+    ~Producer();
+
+    Producer(const Producer&) = delete;
+    Producer& operator=(const Producer&) = delete;
+
+    /// Same per-stream contract as Session::Push, enforced per producer:
+    /// this handle's event times must strictly increase, never regress
+    /// behind its own watermark, and start at or after the handle's
+    /// admission bound (the merged stream's frontier at AddProducer time —
+    /// older events are already merged past). Blocks while the handle's
+    /// ring is full (the sequencer is draining it). Returns the session's
+    /// sticky poison error after a cross-producer ordering violation.
+    Status Push(const Event& event);
+
+    /// Push for each event, stopping at the first invalid one.
+    Status PushBatch(std::span<const Event> events);
+
+    /// Per-producer watermark: promises this handle will never push an
+    /// event with time < `watermark`. The session watermark is the MERGED
+    /// frontier over all producers, so one lagging producer holds
+    /// everyone's window closure back until it advances (or closes).
+    Status AdvanceTo(Timestamp watermark);
+
+    /// Retires the handle: its bound pins at +infinity, so the merged
+    /// frontier no longer waits on it. Events already pushed still drain.
+    /// Idempotent-ish: a second Close returns kFailedPrecondition.
+    Status Close();
+
+   private:
+    friend class ShardedSession;
+    Producer(ShardedSession* owner, int slot) : owner_(owner), slot_(slot) {}
+
+    ShardedSession* owner_;
+    int slot_;
+    OrderingGate gate_;
+    bool closed_ = false;
+  };
+
+  /// Opens a concurrent-ingest handle, switching the session to
+  /// multi-producer mode for good on first call (rejected once any
+  /// session-level Push/AdvanceTo committed — one ingest mode per
+  /// session). Callable from any thread, concurrently with other
+  /// producers' traffic — this is how producers join mid-stream. Fails
+  /// with kResourceExhausted when all MpscIngestHub::kMaxProducers slots
+  /// are taken by open handles.
+  Result<std::unique_ptr<Producer>> AddProducer();
 
   /// Ingests one pre-partitioned chunk: batches[i] is shard i's
   /// subsequence, in stream order (build with router() — e.g. via
@@ -237,9 +351,49 @@ class ShardedSession {
   /// re-appearing key may re-route freely).
   void MaybeDrainRouter();
 
+  /// Body of AdvanceTo after the closed/mode checks — shared with the
+  /// sequencer's frontier broadcasts, which are ordinary watermarks.
+  Status AdvanceToInternal(Timestamp watermark);
+  /// Shared churn rejection for multi-producer mode and work stealing.
+  Status ChurnGuard(const char* op) const;
+
+  // --- multi-producer ingest (sequencer thread) ---
+  /// The sequencer: drains the hub's merge until stuck, broadcasts the
+  /// frontier at pane crossings, exits on seq_stop_ after a final drain.
+  void SequencerLoop();
+  /// Front-side handling of one merged event: gate (poison on
+  /// cross-producer violations), stage, re-optimize, drain — the
+  /// sequencer's equivalent of Push's body.
+  void IngestReleased(const Event& event);
+  /// Broadcasts the hub frontier as a session watermark when it crossed a
+  /// pane boundary since the last broadcast (and raises the claim floor so
+  /// joiners admit at or above it).
+  void MaybeBroadcastFrontier();
+  void StopSequencer();
+  /// Sticky cross-producer ordering error (set once, then returned by
+  /// every producer call).
+  void Poison(Status status);
+  Status PoisonStatus();
+
+  // --- pane-boundary work stealing (front/sequencer thread) ---
+  /// Steal-trigger evaluation at event-time pane boundary `boundary`:
+  /// executes up to kMaxStealsPerBoundary migrations while the load
+  /// imbalance persists and a candidate key improves it.
+  void MaybeSteal(Timestamp boundary);
+  /// One migration: reassign the key, fence the victim (synchronously
+  /// collecting the hand-off payload), adopt on the thief, open the
+  /// duplication window.
+  void ExecuteSteal(int64_t key, size_t victim, size_t thief,
+                    Timestamp boundary);
+  /// Rolls the two-bucket sliding load window (per shard and per key).
+  void RollStealWindow();
+
   /// `now_seconds` feeds the shard's adaptive batch controller; pass 0 when
   /// adaptive batching is off (the value is ignored).
   void StageEvent(const Event& event, double now_seconds);
+  /// The single-shard tail of StageEvent: append to `shard`'s staging
+  /// buffer and flush at the (adaptive) batch threshold.
+  void StageTo(Shard& shard, const Event& event, double now_seconds);
   /// Hands the shard's staged events to its queue as one batch message.
   void FlushShard(Shard& shard);
   void FlushAllShards();
@@ -303,6 +457,64 @@ class ShardedSession {
   std::atomic<int64_t> mem_high_water_{0};
   /// Front-thread throttle for SampleConcurrentMemory.
   int flushes_since_mem_sample_ = 0;
+
+  // --- multi-producer ingest state ---
+  /// Created on the first AddProducer, together with the sequencer thread;
+  /// null in single-producer mode.
+  std::unique_ptr<MpscIngestHub<Event>> hub_;
+  std::thread sequencer_;
+  std::atomic<bool> seq_stop_{false};
+  /// Sticky: once true, session-level ingest entry points are rejected.
+  std::atomic<bool> mp_mode_{false};
+  std::atomic<int> producers_open_{0};
+  /// Guards AddProducer's one-time switch and poison_status_.
+  std::mutex producer_mu_;
+  Status poison_status_;                ///< guarded by producer_mu_
+  std::atomic<bool> poisoned_{false};   ///< lock-free "is poisoned" hint
+  /// Largest pane boundary the sequencer has broadcast the frontier at
+  /// (sequencer thread only).
+  Timestamp last_frontier_pane_ = -1;
+
+  // --- work-stealing state (front/sequencer thread only, except the
+  // atomic counter) ---
+  bool stealing_ = false;
+  /// Two-bucket sliding window of per-shard staged-event counts (same
+  /// half-window length as the router's rebalancer).
+  std::vector<int64_t> steal_load_cur_;
+  std::vector<int64_t> steal_load_prev_;
+  struct KeyLoad {
+    int64_t cur = 0;
+    int64_t prev = 0;
+  };
+  /// Per-group-key staged-event counts over the same window; entries idle
+  /// for two half-windows drop out, bounding the map by active keys.
+  std::unordered_map<int64_t, KeyLoad> steal_key_load_;
+  int64_t steal_in_window_ = 0;
+  /// Pane of the last staged event — steal triggers fire exactly when this
+  /// advances (event-time pane crossings; never watermark-driven, which
+  /// would be nondeterministic across producer counts).
+  Timestamp last_staged_pane_ = 0;
+  bool staged_any_ = false;
+  /// One in-flight migration: events of the key with time < dup_until are
+  /// staged to the victim too, so its fenced windows finish with full
+  /// data. Entries retire at the first pane crossing past dup_until —
+  /// BEFORE trigger evaluation, so a re-steal's boundary is always >= the
+  /// previous fence's drop_after.
+  struct ActiveMigration {
+    size_t victim = 0;
+    Timestamp dup_until = 0;
+  };
+  std::unordered_map<int64_t, ActiveMigration> active_migrations_;
+  /// Monotone fence-request sequence; each Shard acks the last one it
+  /// served (steal_ack), which is what the front's synchronous wait spins
+  /// on.
+  uint64_t steal_seq_counter_ = 0;
+  /// Executed migrations (RunMetrics::stolen_panes). Atomic so a monitor
+  /// thread's MetricsSnapshot may read it while the front steals.
+  std::atomic<int64_t> stolen_panes_{0};
+  /// Events double-staged into a duplication window
+  /// (RunMetrics::duplicated_events); same atomicity rationale.
+  std::atomic<int64_t> dup_events_{0};
 };
 
 }  // namespace hamlet

@@ -1,6 +1,7 @@
 #include "src/stream/shard_router.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "src/common/check.h"
 
@@ -12,6 +13,27 @@ void ShardRouter::EnableRebalancing(int64_t threshold_events) {
   state_->threshold = threshold_events;
   state_->current.assign(static_cast<size_t>(num_shards_), 0);
   state_->previous.assign(static_cast<size_t>(num_shards_), 0);
+}
+
+void ShardRouter::EnableReassignment() {
+  if (num_shards_ <= 1 || state_ != nullptr) return;
+  // An unreachable threshold keeps Route's first-sight placement purely
+  // hash-based; the state exists only so assignments are tracked and
+  // Reassign can move them.
+  state_ = std::make_shared<RebalanceState>();
+  state_->threshold = std::numeric_limits<int64_t>::max();
+  state_->current.assign(static_cast<size_t>(num_shards_), 0);
+  state_->previous.assign(static_cast<size_t>(num_shards_), 0);
+}
+
+void ShardRouter::Reassign(int64_t key, size_t shard, Timestamp last_seen) {
+  HAMLET_CHECK(state_ != nullptr);
+  HAMLET_CHECK(shard < static_cast<size_t>(num_shards_));
+  Assignment& a = state_->assignment[key];
+  a.shard = static_cast<uint32_t>(shard);
+  a.last_seen = std::max(a.last_seen, last_seen);
+  state_->map_size.store(static_cast<int64_t>(state_->assignment.size()),
+                         std::memory_order_relaxed);
 }
 
 size_t ShardRouter::Route(const Event& event) const {

@@ -66,6 +66,44 @@ class ShardRouter {
         static_cast<uint64_t>(num_shards_));
   }
 
+  /// The group-by key the route is derived from — public so the sharded
+  /// runtime's steal controller can track per-key loads and record
+  /// reassignments without duplicating the attribute extraction.
+  int64_t GroupKeyOf(const Event& event) const { return KeyOf(event); }
+
+  /// The pure hash route of a bare key (ShardOf without an Event).
+  size_t ShardOfKey(int64_t key) const {
+    if (num_shards_ == 1) return 0;
+    return static_cast<size_t>(SplitMix64Mix(static_cast<uint64_t>(key)) %
+                               static_cast<uint64_t>(num_shards_));
+  }
+
+  /// The shard a bare key is (or would be) routed to — AssignedShard
+  /// without an Event.
+  size_t AssignedShardOfKey(int64_t key) const {
+    if (state_ != nullptr) {
+      auto it = state_->assignment.find(key);
+      if (it != state_->assignment.end()) return it->second.shard;
+    }
+    return ShardOfKey(key);
+  }
+
+  /// Turns on sticky key->shard assignment tracking WITHOUT skew-aware
+  /// placement of new keys: new keys take their hash shard, but Reassign
+  /// may later move them. The work-stealing front needs the assignment
+  /// map even when shard_rebalance_threshold is 0; with rebalancing
+  /// already enabled this is a no-op. Call before routing.
+  void EnableReassignment();
+
+  /// Moves an EXISTING key's sticky assignment to `shard` — the
+  /// work-stealing migration primitive. Unlike Route's first-sight
+  /// placement this deliberately changes where an established group lands;
+  /// the caller (ShardedSession's steal protocol) owns the fence/adopt
+  /// hand-off that keeps per-group window order intact across the move.
+  /// Requires reassignment/rebalancing state (CHECK) and binds the key if
+  /// it was somehow unseen. `last_seen` refreshes the DrainStale clock.
+  void Reassign(int64_t key, size_t shard, Timestamp last_seen);
+
   /// Turns on skew-aware routing: a group key seen for the FIRST time whose
   /// hash shard leads the least-loaded shard by more than `threshold_events`
   /// staged events (over a sliding window of recent routes) is assigned to

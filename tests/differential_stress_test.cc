@@ -1,0 +1,223 @@
+// Differential stress harness: ONE generated stream, replayed under a
+// seeded random sample of runtime configurations — engine kind x shard
+// count x ingest mode (session-level batches of varying size, or 1/2/4
+// concurrent producers, optionally with mid-stream producer churn) x
+// staging batch size x adaptive batching x columnar x work stealing x
+// queue capacity — asserting the emission set is bit-identical to the
+// single-threaded batch reference every time. Every documented
+// emission-neutral knob has to actually be neutral, in combination, under
+// real concurrency.
+//
+// The sample is drawn from a seed that is logged on entry and printed in
+// every failure label, and overridable via --seed= / HAMLET_TEST_SEED
+// (tests/test_seed.h), so any failure replays exactly. The tier-1 run
+// samples a small config set; `ctest -C long` (differential_stress_long)
+// replays the same stream under --stress_configs=50.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/benchlib/workloads.h"
+#include "src/runtime/executor.h"
+#include "src/runtime/sharded_session.h"
+#include "tests/test_seed.h"
+
+namespace hamlet {
+namespace {
+
+int g_stress_configs = 12;
+
+constexpr EngineKind kAllKinds[] = {
+    EngineKind::kHamletDynamic, EngineKind::kHamletStatic,
+    EngineKind::kHamletNoShare, EngineKind::kGretaGraph,
+    EngineKind::kGretaPrefix,   EngineKind::kTwoStep,
+    EngineKind::kSharon};
+
+struct StressConfig {
+  EngineKind kind = EngineKind::kHamletDynamic;
+  int shards = 1;
+  int producers = 0;  // 0 = session-level ingest
+  int push_batch = 16;
+  int shard_batch = 128;
+  int queue_capacity = 8192;
+  bool adaptive = false;
+  bool columnar = true;
+  bool stealing = false;
+  bool churn = false;  // producer handles leave/join at mid-stream
+
+  std::string Describe() const {
+    std::string s = EngineKindName(kind);
+    s += "/N=" + std::to_string(shards);
+    s += producers == 0 ? "/session" : "/P=" + std::to_string(producers);
+    s += "/push=" + std::to_string(push_batch);
+    s += "/stage=" + std::to_string(shard_batch);
+    s += "/q=" + std::to_string(queue_capacity);
+    if (adaptive) s += "/adaptive";
+    if (!columnar) s += "/scalar";
+    if (stealing) s += "/steal";
+    if (churn) s += "/churn";
+    return s;
+  }
+};
+
+StressConfig SampleConfig(Rng& rng) {
+  StressConfig c;
+  c.kind = kAllKinds[rng.NextBelow(7)];
+  c.shards = static_cast<int>(rng.NextBelow(4)) + 1;
+  const int producer_choices[] = {0, 1, 2, 4};
+  c.producers = producer_choices[rng.NextBelow(4)];
+  const int push_choices[] = {1, 16, 64};
+  c.push_batch = push_choices[rng.NextBelow(3)];
+  const int stage_choices[] = {1, 32, 256};
+  c.shard_batch = stage_choices[rng.NextBelow(3)];
+  const int queue_choices[] = {64, 8192};
+  c.queue_capacity = queue_choices[rng.NextBelow(2)];
+  c.adaptive = rng.NextBelow(2) == 1;
+  c.columnar = rng.NextBelow(2) == 1;
+  c.stealing = rng.NextBelow(2) == 1;
+  c.churn = c.producers >= 2 && rng.NextBelow(2) == 1;
+  return c;
+}
+
+void ExpectSameValue(double a, double b, const std::string& label) {
+  if (std::isnan(a) && std::isnan(b)) return;
+  EXPECT_EQ(a, b) << label;
+}
+
+void ExpectSameEmissionSet(const std::vector<Emission>& expected,
+                           const std::vector<Emission>& actual,
+                           const std::string& label) {
+  ASSERT_EQ(expected.size(), actual.size()) << label;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    const Emission& a = expected[i];
+    const Emission& b = actual[i];
+    const std::string at = label + " emission #" + std::to_string(i);
+    EXPECT_EQ(a.query, b.query) << at;
+    EXPECT_EQ(a.group_key, b.group_key) << at;
+    EXPECT_EQ(a.window_start, b.window_start) << at;
+    EXPECT_EQ(a.window_end, b.window_end) << at;
+    ExpectSameValue(a.value, b.value, at);
+  }
+}
+
+// Feeds `ev` through P concurrent producer handles; with `churn`, the
+// first wave of handles retires at mid-stream and a fresh wave carries
+// the tail.
+void FeedProducers(ShardedSession* session, const EventVector& ev,
+                   int num_producers, bool churn) {
+  const size_t mid = churn ? ev.size() / 2 : ev.size();
+  for (int phase = 0; phase < (churn ? 2 : 1); ++phase) {
+    const size_t begin = phase == 0 ? 0 : mid;
+    const size_t end = phase == 0 ? mid : ev.size();
+    std::vector<std::unique_ptr<ShardedSession::Producer>> producers;
+    for (int p = 0; p < num_producers; ++p) {
+      producers.push_back(session->AddProducer().value());
+    }
+    std::vector<std::thread> threads;
+    for (int p = 0; p < num_producers; ++p) {
+      threads.emplace_back([&, p, begin, end] {
+        ShardedSession::Producer& producer =
+            *producers[static_cast<size_t>(p)];
+        for (size_t i = begin + static_cast<size_t>(p); i < end;
+             i += static_cast<size_t>(num_producers)) {
+          ASSERT_TRUE(producer.Push(ev[i]).ok());
+        }
+        if (end == ev.size() && !ev.empty()) {
+          ASSERT_TRUE(producer.AdvanceTo(ev.back().time).ok());
+        }
+        ASSERT_TRUE(producer.Close().ok());
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+}
+
+TEST(DifferentialStress, SampledConfigsMatchBatchReference) {
+  const uint64_t seed = test::SeedOr(0x5EED5);
+  BenchWorkload bw =
+      MakeWorkload1("ridesharing", 6, /*window_ms=*/5 * kMillisPerSecond);
+  GeneratorConfig gen;
+  gen.seed = seed;
+  gen.events_per_minute = 900;
+  gen.duration_minutes = 1;
+  gen.num_groups = 8;
+  gen.burstiness = 0.7;
+  gen.max_burst = 10;
+  EventVector ev = bw.generator->Generate(gen);
+  ASSERT_FALSE(ev.empty());
+
+  // One batch reference per engine kind, computed on demand.
+  std::map<EngineKind, RunOutput> references;
+  auto reference = [&](EngineKind kind) -> const RunOutput& {
+    auto it = references.find(kind);
+    if (it == references.end()) {
+      RunConfig config;
+      config.kind = kind;
+      StreamExecutor executor(*bw.plan, config);
+      it = references.emplace(kind, executor.Run(ev)).first;
+      EXPECT_TRUE(it->second.status.ok()) << it->second.status.ToString();
+      EXPECT_GT(it->second.emissions.size(), 0u) << EngineKindName(kind);
+    }
+    return it->second;
+  };
+
+  Rng rng(seed ^ 0x9E3779B97F4A7C15ull);
+  for (int i = 0; i < g_stress_configs; ++i) {
+    const StressConfig sc = SampleConfig(rng);
+    const std::string label = "seed=" + std::to_string(seed) + " config#" +
+                              std::to_string(i) + " " + sc.Describe();
+    SCOPED_TRACE(label);
+    RunConfig config;
+    config.kind = sc.kind;
+    config.num_shards = sc.shards;
+    config.shard_batch_size = sc.shard_batch;
+    config.shard_queue_capacity = sc.queue_capacity;
+    config.adaptive_batching = sc.adaptive;
+    config.columnar = sc.columnar;
+    config.work_stealing = sc.stealing;
+    CollectingSink sink;
+    Result<std::unique_ptr<ShardedSession>> opened =
+        ShardedSession::Open(*bw.plan, config, &sink);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    ShardedSession& session = *opened.value();
+    if (sc.producers == 0) {
+      for (size_t j = 0; j < ev.size();
+           j += static_cast<size_t>(sc.push_batch)) {
+        const size_t len = std::min(static_cast<size_t>(sc.push_batch),
+                                    ev.size() - j);
+        Status s =
+            session.PushBatch(std::span<const Event>(ev.data() + j, len));
+        ASSERT_TRUE(s.ok()) << s.ToString();
+      }
+      ASSERT_TRUE(session.AdvanceTo(ev.back().time).ok());
+    } else {
+      FeedProducers(&session, ev, sc.producers, sc.churn);
+    }
+    Result<RunMetrics> metrics = session.Close();
+    ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+    const RunOutput& ref = reference(sc.kind);
+    ExpectSameEmissionSet(ref.emissions, sink.Take(), label);
+    EXPECT_EQ(ref.metrics.events, metrics.value().events) << label;
+    EXPECT_EQ(ref.metrics.emissions, metrics.value().emissions) << label;
+    if (!sc.stealing) {
+      EXPECT_EQ(metrics.value().stolen_panes, 0) << label;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hamlet
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--stress_configs=", 17) == 0) {
+      hamlet::g_stress_configs = std::atoi(argv[i] + 17);
+    }
+  }
+  return hamlet::test::RunSeededSuite(argc, argv);
+}

@@ -8,6 +8,7 @@
 
 #include "src/benchlib/workloads.h"
 #include "src/runtime/executor.h"
+#include "tests/test_seed.h"
 
 namespace hamlet {
 namespace {
@@ -25,7 +26,7 @@ TEST(ExecutorStressTest, EnginesAgreeOnGeneratedRidesharingStream) {
   BenchWorkload bw =
       MakeWorkload1("ridesharing", 8, /*window_ms=*/5 * kMillisPerSecond);
   GeneratorConfig gen;
-  gen.seed = 77;
+  gen.seed = test::SeedOr(77);
   gen.events_per_minute = 1200;
   gen.duration_minutes = 1;
   gen.num_groups = 3;
@@ -60,7 +61,7 @@ TEST(ExecutorStressTest, EnginesAgreeOnGeneratedRidesharingStream) {
 TEST(ExecutorStressTest, WorkloadTwoAgreesAcrossPolicies) {
   BenchWorkload bw = MakeWorkload2(12);
   GeneratorConfig gen;
-  gen.seed = 5;
+  gen.seed = test::SeedOr(5);
   gen.events_per_minute = 150;
   gen.duration_minutes = 20;
   gen.num_groups = 2;
@@ -117,7 +118,7 @@ TEST(ExecutorStressTest, SlidingWindowsOverGeneratedStream) {
   EXPECT_EQ(plan.pane_size, 5 * kMillisPerSecond);
 
   GeneratorConfig gen;
-  gen.seed = 21;
+  gen.seed = test::SeedOr(21);
   gen.events_per_minute = 600;
   gen.duration_minutes = 1;
   gen.num_groups = 2;
@@ -143,7 +144,7 @@ TEST(ExecutorStressTest, MetricsScaleWithLoad) {
   BenchWorkload bw =
       MakeWorkload1("nyc_taxi", 6, /*window_ms=*/10 * kMillisPerSecond);
   GeneratorConfig small;
-  small.seed = 3;
+  small.seed = test::SeedOr(3);
   small.events_per_minute = 500;
   small.duration_minutes = 1;
   small.num_groups = 2;
@@ -183,3 +184,7 @@ TEST(ExecutorStressTest, WorkloadFactoriesProduceValidPlans) {
 
 }  // namespace
 }  // namespace hamlet
+
+int main(int argc, char** argv) {
+  return hamlet::test::RunSeededSuite(argc, argv);
+}

@@ -6,6 +6,7 @@
 #include "src/common/rng.h"
 #include "src/plan/template_info.h"
 #include "src/query/parser.h"
+#include "tests/test_seed.h"
 
 namespace hamlet {
 namespace {
@@ -39,7 +40,7 @@ Pattern RandomPattern(Rng& rng, int* next_type) {
 }
 
 TEST(ParserFuzzTest, PatternRoundTripIsIdentity) {
-  Rng rng(0xAB5);
+  Rng rng(test::SeedOr(0xAB5));
   for (int trial = 0; trial < 500; ++trial) {
     int next_type = 0;
     Pattern original = RandomPattern(rng, &next_type);
@@ -52,7 +53,7 @@ TEST(ParserFuzzTest, PatternRoundTripIsIdentity) {
 }
 
 TEST(ParserFuzzTest, QueryRoundTripIsIdentity) {
-  Rng rng(0xF00D);
+  Rng rng(test::SeedOr(0xF00D));
   const char* aggs[] = {"COUNT(*)",    "COUNT(B)",     "SUM(B.price)",
                         "AVG(B.price)", "MIN(B.price)", "MAX(B.price)"};
   const char* wheres[] = {"",
@@ -83,7 +84,7 @@ TEST(ParserFuzzTest, QueryRoundTripIsIdentity) {
 }
 
 TEST(ParserFuzzTest, RandomSupportedPatternsCompile) {
-  Rng rng(0xDEAD);
+  Rng rng(test::SeedOr(0xDEAD));
   for (int trial = 0; trial < 500; ++trial) {
     Schema schema;
     int next_type = 0;
@@ -133,3 +134,7 @@ TEST(ParserFuzzTest, GarbageInputsFailGracefully) {
 
 }  // namespace
 }  // namespace hamlet
+
+int main(int argc, char** argv) {
+  return hamlet::test::RunSeededSuite(argc, argv);
+}

@@ -1,0 +1,73 @@
+// Shared --seed= plumbing for the randomized suites.
+//
+// A suite that includes this header and defines
+//
+//   int main(int argc, char** argv) {
+//     return hamlet::test::RunSeededSuite(argc, argv);
+//   }
+//
+// (linking GTest::gtest instead of GTest::gtest_main) accepts
+// `--seed=<value>` on its command line (or the HAMLET_TEST_SEED
+// environment variable; the flag wins) and logs the effective seeding
+// mode on entry. Test bodies draw their seeds through SeedOr(default):
+// without an override each test keeps its baked-in default, so recorded
+// failures stay reproducible; with one, every SeedOr call returns the
+// override and logs it, so a failure seen once can be replayed exactly —
+// e.g. `./differential_stress_test --seed=0xBADF00D`.
+#ifndef HAMLET_TESTS_TEST_SEED_H_
+#define HAMLET_TESTS_TEST_SEED_H_
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace hamlet::test {
+
+inline uint64_t g_seed_override = 0;
+inline bool g_seed_overridden = false;
+
+/// The test's seed: the suite-wide --seed= override when one was given,
+/// else `default_seed`. Logged either way, so every run's seeds are in
+/// the output before any failure.
+inline uint64_t SeedOr(uint64_t default_seed) {
+  const uint64_t seed = g_seed_overridden ? g_seed_override : default_seed;
+  std::fprintf(stderr, "[seed] using %llu (0x%llx)%s\n",
+               static_cast<unsigned long long>(seed),
+               static_cast<unsigned long long>(seed),
+               g_seed_overridden ? " [overridden]" : "");
+  return seed;
+}
+
+/// InitGoogleTest + seed-flag parsing + RUN_ALL_TESTS.
+inline int RunSeededSuite(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      g_seed_override = std::strtoull(argv[i] + 7, nullptr, 0);
+      g_seed_overridden = true;
+    }
+  }
+  if (!g_seed_overridden) {
+    if (const char* env = std::getenv("HAMLET_TEST_SEED")) {
+      g_seed_override = std::strtoull(env, nullptr, 0);
+      g_seed_overridden = true;
+    }
+  }
+  if (g_seed_overridden) {
+    std::fprintf(stderr, "[seed] override active: %llu (0x%llx)\n",
+                 static_cast<unsigned long long>(g_seed_override),
+                 static_cast<unsigned long long>(g_seed_override));
+  } else {
+    std::fprintf(stderr,
+                 "[seed] no --seed= / HAMLET_TEST_SEED override; using "
+                 "per-test default seeds\n");
+  }
+  return RUN_ALL_TESTS();
+}
+
+}  // namespace hamlet::test
+
+#endif  // HAMLET_TESTS_TEST_SEED_H_

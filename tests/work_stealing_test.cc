@@ -1,0 +1,325 @@
+// Pane-boundary work stealing tests (RunConfig::work_stealing).
+//
+// The skew stream is CONSTRUCTED so steals provably occur: three hot keys
+// whose hash shard (probed through ShardedSession::RouterFor) is shard 0
+// and one key on shard 1, at equal per-key rates, give shard 0 three
+// quarters of the load — past steal_imbalance_ratio x the min + floor
+// within the first sliding half-window. The suite asserts the steal
+// actually executed (RunMetrics::stolen_panes > 0, and 0 with the knob
+// off) and that the emission set is bitwise invariant: stealing on ==
+// stealing off == single-threaded batch Run, and two stealing runs agree
+// with each other including the steal count (the controller sees the
+// deterministic staged stream, so its decisions must replay exactly).
+//
+// Also covered: the knob's compatibility matrix (evict_idle_groups and
+// online re-optimization rejected at Open, live churn and
+// PushPrePartitioned rejected per call), config validation, the inert
+// single-shard case, and stealing under concurrent multi-producer ingest.
+//
+// Runs under TSan and ASan in CI: the fence/adopt hand-off and the
+// fence-ack spin are cross-thread protocol steps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/query/parser.h"
+#include "src/runtime/executor.h"
+#include "src/runtime/sharded_session.h"
+
+namespace hamlet {
+namespace {
+
+constexpr EngineKind kAllKinds[] = {
+    EngineKind::kHamletDynamic, EngineKind::kHamletStatic,
+    EngineKind::kHamletNoShare, EngineKind::kGretaGraph,
+    EngineKind::kGretaPrefix,   EngineKind::kTwoStep,
+    EngineKind::kSharon};
+
+struct ShardedResult {
+  std::vector<Emission> emissions;
+  RunMetrics metrics;
+};
+
+void ExpectSameValue(double a, double b, const std::string& label) {
+  if (std::isnan(a) && std::isnan(b)) return;
+  EXPECT_EQ(a, b) << label;
+}
+
+void ExpectSameEmissionSet(const std::vector<Emission>& expected,
+                           const std::vector<Emission>& actual,
+                           const std::string& label) {
+  ASSERT_EQ(expected.size(), actual.size()) << label;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    const Emission& a = expected[i];
+    const Emission& b = actual[i];
+    const std::string at = label + " emission #" + std::to_string(i);
+    EXPECT_EQ(a.query, b.query) << at;
+    EXPECT_EQ(a.group_key, b.group_key) << at;
+    EXPECT_EQ(a.window_start, b.window_start) << at;
+    EXPECT_EQ(a.window_end, b.window_end) << at;
+    ExpectSameValue(a.value, b.value, at);
+  }
+}
+
+class WorkStealingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_.AddAttr("v");
+    schema_.AddAttr("g");
+    type_a_ = schema_.AddType("A");
+    type_b_ = schema_.AddType("B");
+    workload_ = std::make_unique<Workload>(&schema_);
+    for (const char* text :
+         {"RETURN COUNT(*) PATTERN SEQ(A, B+) GROUPBY g WITHIN 30 ms "
+          "SLIDE 10 ms",
+          "RETURN SUM(B.v) PATTERN SEQ(A, B+) GROUPBY g WITHIN 20 ms "
+          "SLIDE 10 ms"}) {
+      ASSERT_TRUE(workload_->Add(ParseQuery(text).value()).ok());
+    }
+    // The plan keeps a pointer into the workload, so both live on the
+    // fixture.
+    plan_ =
+        std::make_unique<WorkloadPlan>(AnalyzeWorkload(*workload_).value());
+  }
+
+  Event Make(Timestamp t, TypeId type, int64_t group) {
+    Event e(t, type);
+    e.set_attr(0, static_cast<double>(t % 7));
+    e.set_attr(1, static_cast<double>(group));
+    return e;
+  }
+
+  // Three keys hashing to shard 0 of a 2-shard router plus one key on
+  // shard 1, probed through the session's own route so the skew is real
+  // on every platform.
+  void FindSkewKeys(std::vector<int64_t>* hot, int64_t* cold) {
+    ShardRouter probe = ShardedSession::RouterFor(*plan_, 2).value();
+    *cold = -1;
+    for (int64_t k = 0; k < 256 && (hot->size() < 3 || *cold < 0); ++k) {
+      if (probe.ShardOfKey(k) == 0) {
+        if (hot->size() < 3) hot->push_back(k);
+      } else if (*cold < 0) {
+        *cold = k;
+      }
+    }
+    ASSERT_EQ(hot->size(), 3u);
+    ASSERT_GE(*cold, 0);
+  }
+
+  // Round-robin over {hot0, hot1, hot2, cold} at one event per ms: shard 0
+  // carries 3/4 of the staged load, forever.
+  EventVector SkewStream(const std::vector<int64_t>& hot, int64_t cold,
+                         int rounds) {
+    EventVector ev;
+    Timestamp t = 1;
+    for (int r = 0; r < rounds; ++r) {
+      const TypeId type = (r % 5 == 0) ? type_a_ : type_b_;
+      for (int64_t k : {hot[0], hot[1], hot[2], cold}) {
+        ev.push_back(Make(t++, type, k));
+      }
+    }
+    return ev;
+  }
+
+  ShardedResult RunSharded(RunConfig config, int num_shards,
+                           const EventVector& ev) {
+    config.num_shards = num_shards;
+    CollectingSink sink;
+    Result<std::unique_ptr<ShardedSession>> session =
+        ShardedSession::Open(*plan_, config, &sink);
+    HAMLET_CHECK(session.ok());
+    constexpr size_t kChunk = 64;
+    for (size_t i = 0; i < ev.size(); i += kChunk) {
+      const size_t len = std::min(kChunk, ev.size() - i);
+      Status s = session.value()->PushBatch(
+          std::span<const Event>(ev.data() + i, len));
+      EXPECT_TRUE(s.ok()) << s.ToString();
+    }
+    EXPECT_TRUE(session.value()->AdvanceTo(ev.back().time).ok());
+    ShardedResult out;
+    out.metrics = session.value()->Close().value();
+    out.emissions = sink.Take();
+    return out;
+  }
+
+  Schema schema_;
+  TypeId type_a_ = 0;
+  TypeId type_b_ = 0;
+  std::unique_ptr<Workload> workload_;
+  std::unique_ptr<WorkloadPlan> plan_;
+};
+
+TEST_F(WorkStealingTest, StealsFireAndEmissionsAreInvariantAllEngines) {
+  std::vector<int64_t> hot;
+  int64_t cold = -1;
+  FindSkewKeys(&hot, &cold);
+  EventVector ev = SkewStream(hot, cold, /*rounds=*/1200);
+  for (EngineKind kind : kAllKinds) {
+    RunConfig config;
+    config.kind = kind;
+    StreamExecutor executor(*plan_, config);
+    RunOutput batch = executor.Run(ev);
+    ASSERT_TRUE(batch.status.ok()) << batch.status.ToString();
+    ASSERT_GT(batch.emissions.size(), 0u) << EngineKindName(kind);
+
+    const std::string label = EngineKindName(kind);
+    ShardedResult off = RunSharded(config, 2, ev);
+    ExpectSameEmissionSet(batch.emissions, off.emissions, label + "/off");
+    EXPECT_EQ(off.metrics.stolen_panes, 0) << label;
+
+    config.work_stealing = true;
+    ShardedResult on = RunSharded(config, 2, ev);
+    ExpectSameEmissionSet(batch.emissions, on.emissions, label + "/on");
+    EXPECT_GT(on.metrics.stolen_panes, 0)
+        << label << ": the constructed skew must force at least one steal";
+    EXPECT_EQ(batch.metrics.emissions, on.metrics.emissions) << label;
+
+    // Determinism: the controller reads the deterministic staged stream,
+    // so a replay reproduces the steals exactly — count included.
+    ShardedResult again = RunSharded(config, 2, ev);
+    ExpectSameEmissionSet(on.emissions, again.emissions, label + "/replay");
+    EXPECT_EQ(on.metrics.stolen_panes, again.metrics.stolen_panes) << label;
+  }
+}
+
+TEST_F(WorkStealingTest, FourShardsStayInvariant) {
+  std::vector<int64_t> hot;
+  int64_t cold = -1;
+  FindSkewKeys(&hot, &cold);
+  EventVector ev = SkewStream(hot, cold, 1200);
+  RunConfig config;
+  config.kind = EngineKind::kHamletDynamic;
+  StreamExecutor executor(*plan_, config);
+  RunOutput batch = executor.Run(ev);
+  ASSERT_TRUE(batch.status.ok());
+  config.work_stealing = true;
+  ShardedResult on = RunSharded(config, 4, ev);
+  ExpectSameEmissionSet(batch.emissions, on.emissions, "N=4/on");
+}
+
+TEST_F(WorkStealingTest, SingleShardIsInert) {
+  std::vector<int64_t> hot;
+  int64_t cold = -1;
+  FindSkewKeys(&hot, &cold);
+  EventVector ev = SkewStream(hot, cold, 300);
+  RunConfig config;
+  config.kind = EngineKind::kGretaGraph;
+  config.work_stealing = true;
+  StreamExecutor executor(*plan_, config);
+  RunOutput batch = executor.Run(ev);
+  ASSERT_TRUE(batch.status.ok());
+  ShardedResult one = RunSharded(config, 1, ev);
+  ExpectSameEmissionSet(batch.emissions, one.emissions, "N=1");
+  EXPECT_EQ(one.metrics.stolen_panes, 0);
+}
+
+TEST_F(WorkStealingTest, StealingUnderMultiProducerIngest) {
+  std::vector<int64_t> hot;
+  int64_t cold = -1;
+  FindSkewKeys(&hot, &cold);
+  EventVector ev = SkewStream(hot, cold, 1200);
+  RunConfig config;
+  config.kind = EngineKind::kHamletDynamic;
+  StreamExecutor executor(*plan_, config);
+  RunOutput batch = executor.Run(ev);
+  ASSERT_TRUE(batch.status.ok());
+
+  config.work_stealing = true;
+  config.num_shards = 2;
+  CollectingSink sink;
+  auto session = ShardedSession::Open(*plan_, config, &sink).value();
+  constexpr int kProducers = 2;
+  std::vector<std::unique_ptr<ShardedSession::Producer>> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.push_back(session->AddProducer().value());
+  }
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (size_t i = static_cast<size_t>(p); i < ev.size(); i += kProducers) {
+        ASSERT_TRUE(producers[static_cast<size_t>(p)]->Push(ev[i]).ok());
+      }
+      ASSERT_TRUE(producers[static_cast<size_t>(p)]
+                      ->AdvanceTo(ev.back().time)
+                      .ok());
+      ASSERT_TRUE(producers[static_cast<size_t>(p)]->Close().ok());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  RunMetrics metrics = session->Close().value();
+  ExpectSameEmissionSet(batch.emissions, sink.Take(), "mp+steal");
+  EXPECT_GT(metrics.stolen_panes, 0);
+}
+
+TEST_F(WorkStealingTest, CompatibilityMatrixRejectedAtOpen) {
+  CollectingSink sink;
+  RunConfig config;
+  config.kind = EngineKind::kHamletDynamic;
+  config.num_shards = 2;
+  config.work_stealing = true;
+
+  RunConfig evict = config;
+  evict.evict_idle_groups = true;
+  auto r1 = ShardedSession::Open(*plan_, evict, &sink);
+  ASSERT_FALSE(r1.ok());
+  EXPECT_EQ(r1.status().code(), StatusCode::kUnsupported)
+      << r1.status().ToString();
+
+  RunConfig reopt = config;
+  reopt.reoptimize_every_panes = 4;
+  auto r2 = ShardedSession::Open(*plan_, reopt, &sink);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), StatusCode::kUnsupported)
+      << r2.status().ToString();
+
+  // The ratio is validated even with stealing off, so a latent bad value
+  // can never bite when the knob is flipped on later.
+  RunConfig ratio;
+  ratio.kind = EngineKind::kHamletDynamic;
+  ratio.steal_imbalance_ratio = 1.0;
+  auto r3 = ShardedSession::Open(*plan_, ratio, &sink);
+  ASSERT_FALSE(r3.ok());
+  EXPECT_EQ(r3.status().code(), StatusCode::kInvalidArgument);
+
+  RunConfig ring;
+  ring.kind = EngineKind::kHamletDynamic;
+  ring.producer_queue_capacity = 1;
+  auto r4 = ShardedSession::Open(*plan_, ring, &sink);
+  ASSERT_FALSE(r4.ok());
+  EXPECT_EQ(r4.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(WorkStealingTest, ChurnAndPrePartitionedRejectedWhileStealing) {
+  CollectingSink sink;
+  RunConfig config;
+  config.kind = EngineKind::kHamletDynamic;
+  config.num_shards = 2;
+  config.work_stealing = true;
+  auto session = ShardedSession::Open(*plan_, config, &sink).value();
+  ASSERT_TRUE(session->Push(Make(1, type_a_, 1)).ok());
+
+  Query q = ParseQuery("RETURN COUNT(*) PATTERN SEQ(A, B+) GROUPBY g "
+                       "WITHIN 10 ms")
+                .value();
+  auto add = session->AddQuery(q);
+  ASSERT_FALSE(add.ok());
+  EXPECT_EQ(add.status().code(), StatusCode::kUnsupported)
+      << add.status().ToString();
+  auto remove = session->RemoveQuery("q0");
+  ASSERT_FALSE(remove.ok());
+  EXPECT_EQ(remove.status().code(), StatusCode::kUnsupported);
+
+  std::vector<EventVector> chunk(2);
+  chunk[0].push_back(Make(2, type_b_, 1));
+  Status pre = session->PushPrePartitioned(chunk);
+  EXPECT_EQ(pre.code(), StatusCode::kFailedPrecondition) << pre.ToString();
+
+  EXPECT_TRUE(session->Close().ok());
+}
+
+}  // namespace
+}  // namespace hamlet
