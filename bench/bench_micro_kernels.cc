@@ -1,9 +1,9 @@
 // Google-benchmark micro-kernels for the hot paths: expression algebra,
 // snapshot store access, GRETA per-event propagation, HAMLET shared
-// propagation, and the row-vs-columnar predicate pipeline. These are the
-// constants behind the paper's cost model terms; the BM_Predicate* pairs
-// are the CI guard for the columnar layer's speedup claim (see
-// docs/BENCHMARKS.md).
+// propagation, the row-vs-columnar predicate pipeline, and row-vs-run
+// engine propagation. These are the constants behind the paper's cost
+// model terms; the row/columnar and row/run pairs are the CI guard for
+// the columnar layer's speedup claims (see docs/BENCHMARKS.md).
 //
 // Flags: `--json` is shorthand for --benchmark_format=json (the CI
 // artifact); all other arguments pass through to google-benchmark.
@@ -217,6 +217,60 @@ void BM_MaskedAggRowPath(benchmark::State& state) {
                           static_cast<int64_t>(setup.col.size()));
 }
 BENCHMARK(BM_MaskedAggRowPath)->Arg(1000)->Arg(10000);
+
+// Row vs run propagation into the HAMLET engine: the same pre-filtered
+// bursty stream, fed per event (OnEventFiltered — one lane transition,
+// negation check and graphlet append per row) vs as contiguous runs
+// (OnRunFiltered — transitions hoisted to the run head, node-free fast
+// appends for the tail). CI asserts run >= row on this pair; the stream's
+// 8-long B bursts are the shape the run path is built for.
+struct PropagationSetup : EngineSetup {
+  EventBatch batch;
+  std::vector<RunSpan> runs;
+  QuerySet all;
+
+  explicit PropagationSetup(int num_events) : EngineSetup(num_events) {
+    batch = EventBatch::FromRows(events, schema.num_attrs());
+    all = QuerySet::FirstN(plan->num_exec());
+    SegmentRuns(batch, batch.size(), /*pane_size=*/0, all,
+                /*predicated_queries=*/{}, /*masks=*/{}, &runs);
+  }
+};
+
+template <typename FeedFn>
+void RunPropagationBench(benchmark::State& state, PropagationSetup& setup,
+                         FeedFn&& feed) {
+  AlwaysSharePolicy policy;
+  const Timestamp start = setup.events.front().time;
+  const Timestamp end = setup.events.back().time + 1;
+  for (auto _ : state) {
+    HamletEngine engine(*setup.plan, setup.all, &policy);
+    for (int e = 0; e < setup.plan->num_exec(); ++e)
+      engine.OpenContext(e, start, end);
+    engine.OnPaneStart(start);
+    feed(engine);
+    engine.OnPaneEnd();
+    benchmark::DoNotOptimize(engine.stats().events);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(setup.events.size()));
+}
+
+void BM_RowPropagation(benchmark::State& state) {
+  PropagationSetup setup(static_cast<int>(state.range(0)));
+  RunPropagationBench(state, setup, [&](HamletEngine& engine) {
+    for (const Event& e : setup.events) engine.OnEventFiltered(e, setup.all);
+  });
+}
+BENCHMARK(BM_RowPropagation)->Arg(1000)->Arg(10000);
+
+void BM_RunPropagation(benchmark::State& state) {
+  PropagationSetup setup(static_cast<int>(state.range(0)));
+  RunPropagationBench(state, setup, [&](HamletEngine& engine) {
+    for (const RunSpan& r : setup.runs) engine.OnRunFiltered(setup.batch, r);
+  });
+}
+BENCHMARK(BM_RunPropagation)->Arg(1000)->Arg(10000);
 
 void BM_MaskedAggColumnarKernel(benchmark::State& state) {
   MaskedAggSetup setup(static_cast<int>(state.range(0)));

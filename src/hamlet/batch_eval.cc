@@ -74,16 +74,26 @@ BatchResult EvalHamletBatchColumnar(const WorkloadPlan& plan,
   for (int e = 0; e < plan.num_exec(); ++e)
     ctxs.push_back(engine.OpenContext(e, start, end));
   engine.OnPaneStart(start);
-  Event row;
-  const std::vector<int>& pq = prog.predicated_queries();
-  for (int i = 0; i < batch.size(); ++i) {
-    batch.CopyRow(i, &row);
-    QuerySet passes = all;
-    for (size_t k = 0; k < pq.size(); ++k) {
-      if (!selection.masks[k].Test(i))
-        passes.Erase(pq[static_cast<size_t>(k)]);
-    }
-    engine.OnEventFiltered(row, passes);
+  // Run-granular dispatch: segment the selection bitmaps + type column into
+  // maximal same-type, same-pass-set runs (pane_size <= 0: single pane, no
+  // pane splits) and feed each through the engine's run entry point — the
+  // same code path Session's batch ingress uses.
+  std::vector<RunSpan> runs;
+  SegmentRuns(batch, batch.size(), /*pane_size=*/0, all,
+              prog.predicated_queries(), selection.masks, &runs);
+  // The per-row loop used to rely on the engine dropping irrelevant types;
+  // the run entry point makes that filter the dispatcher's job.
+  const int num_types = plan.workload->schema()->num_types();
+  std::vector<bool> relevant(static_cast<size_t>(num_types), false);
+  for (const ExecQuery& eq : plan.exec_queries) {
+    for (TypeId t : eq.tmpl.pattern.AllTypes())
+      relevant[static_cast<size_t>(t)] = true;
+  }
+  for (const RunSpan& run : runs) {
+    if (run.type < 0 || run.type >= num_types ||
+        !relevant[static_cast<size_t>(run.type)])
+      continue;
+    engine.OnRunFiltered(batch, run);
   }
   engine.OnPaneEnd();
   return FinishBatch(plan, engine, ctxs);

@@ -110,6 +110,21 @@ void Expr::AddExpr(const Expr& other) {
   num_inline_ = 0;
 }
 
+int Expr::AppendFastSumEvent(SnapshotId start_var, SnapshotId entry_var,
+                             bool is_target, double val, bool need_sum,
+                             bool need_count_e) {
+  // The virtual node lives entirely in Expr's inline buffer: a FastSum
+  // running sum carries the two vars {u, x}, so the merge below never spills
+  // and the steady-state run loop stays heap-allocation-free.
+  Expr node;
+  node.AddVar(start_var, 1.0);
+  node.AddVar(entry_var, 1.0);
+  node.AddExpr(*this);
+  if (is_target) node.ApplyTargetEvent(val, need_sum, need_count_e);
+  AddExpr(node);
+  return node.num_terms();
+}
+
 void Expr::ApplyTargetEvent(double val, bool need_sum, bool need_count_e) {
   // count(this) = c0.count + sum alpha_i * V_i.count. Folding
   // sum += val * count and count_e += count therefore shifts the constant

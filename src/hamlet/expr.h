@@ -98,6 +98,19 @@ class Expr {
   ///   if need_sum:     sum     += val * count(this)
   void ApplyTargetEvent(double val, bool need_sum, bool need_count_e);
 
+  /// Appends one FastSum event to this running sum IN PLACE:
+  ///   node(e) = u + x + this;  node(e).ApplyTargetEvent(...);  this += node(e)
+  /// — exactly the per-event sequence of the engine's shared kFastSum branch
+  /// (count(e) = u + x + R, Algorithm 1 Line 18), performed without
+  /// materializing a stored GraphletNode. The run-granular propagation path
+  /// calls this once per row of a run; because the virtual node is built with
+  /// the same AddVar/AddExpr/ApplyTargetEvent calls the row path uses, the
+  /// resulting running sum is bit-identical to appending row by row. Returns
+  /// the virtual node's term count (the row path's ops charge).
+  int AppendFastSumEvent(SnapshotId start_var, SnapshotId entry_var,
+                         bool is_target, double val, bool need_sum,
+                         bool need_count_e);
+
   /// Evaluates against the snapshot values of `ctx`.
   LinAgg Eval(const SnapshotStore& store, ContextId ctx) const;
 

@@ -92,9 +92,16 @@ struct Graphlet {
   CtxMap<MinMax> run_mm;
 
   std::vector<GraphletNode> nodes;
+  /// Events appended WITHOUT a stored node: the run-granular fast paths skip
+  /// node materialization when the graphlet is provably write-only (never
+  /// scanned, no min/max, not retained). num_events() must still count them
+  /// — the burst-size averages and FoldGraphlet's empty guard depend on it.
+  int extra_events = 0;
   Timestamp open_time = 0;
 
-  int num_events() const { return static_cast<int>(nodes.size()); }
+  int num_events() const {
+    return static_cast<int>(nodes.size()) + extra_events;
+  }
 
   /// Resets logical state while KEEPING heap capacities (nodes vector, Expr
   /// spill, CtxMap spill) — the ObjectPool<Graphlet> recycling contract
@@ -117,6 +124,7 @@ struct Graphlet {
     entry_mm.Clear();
     run_mm.Clear();
     nodes.clear();
+    extra_events = 0;
     open_time = 0;
   }
 

@@ -247,30 +247,230 @@ void HamletEngine::OnEvent(const Event& e) {
 }
 
 void HamletEngine::OnEventFiltered(const Event& e, const QuerySet& passes) {
-  HAMLET_DCHECK(e.time > last_time_);
-  last_time_ = e.time;
-  if (e.type < 0 || e.type >= num_types_ ||
-      !type_relevant_[static_cast<size_t>(e.type)])
+  // A single-row run: ProcessRun is exactly the old per-event body, which
+  // is what keeps the row and run paths one body and their emissions
+  // bit-identical.
+  ProcessRun(e, passes);
+}
+
+void HamletEngine::OnRunFiltered(const EventBatch& batch, const RunSpan& run) {
+  const int n = run.row_end - run.row_begin;
+  if (n <= 0) return;
+  run_scratch_valid_ = false;
+  Event e0;
+  batch.CopyRow(run.row_begin, &e0);
+  if (n == 1) {
+    ProcessRun(e0, run.passes);
     return;
-  ++stats_.events;
+  }
+  // Precondition: the run-granular dispatchers (run segmenter + Session's
+  // component type gate, EvalHamletBatchColumnar's relevance filter) drop
+  // irrelevant types before calling.
+  HAMLET_DCHECK(e0.type >= 0 && e0.type < num_types_ &&
+                type_relevant_[static_cast<size_t>(e0.type)]);
+
+  QuerySet matched =
+      positive_of_type_[static_cast<size_t>(e0.type)].Intersect(run.passes);
+  QuerySet neg_matched =
+      negated_of_type_[static_cast<size_t>(e0.type)].Intersect(run.passes);
+  QuerySet touched = matched.Union(neg_matched);
+
+  if (!matched.Intersect(neg_matched).Empty()) {
+    // Some query both matches this type positively and negates it: its
+    // negation state interleaves with its own appends row by row, so the
+    // run decomposition below would not be exact. Replay per row (checked
+    // before any state is touched, so each row is counted once).
+    const Event* rows = MaterializedRows(batch, run.row_begin, run.row_end);
+    for (int i = 0; i < n; ++i) ProcessRun(rows[i], run.passes);
+    return;
+  }
+
+  HAMLET_DCHECK(e0.time > last_time_);
+  last_time_ = batch.time(run.row_end - 1);
+  stats_.events += n;
+  if (touched.Empty()) {
+    events_this_pane_ += n;
+    return;
+  }
+  // Stage the pane counter the way the row path observes it: the only
+  // mid-run reader is WindowEventsEstimate() at the burst open (row 0),
+  // which the row path reaches with exactly one event counted.
   ++events_this_pane_;
+
+  // One lane transition per run: after row 0 no foreign lane can become
+  // active (only lanes of the run's type activate), so the remaining rows'
+  // sweeps are no-ops in the row path.
+  CloseForeignLanes(e0, touched);
+  ApplyNegation(e0, neg_matched);
+
+  if (!matched.Empty()) {
+    for (Lane& lane : lanes_) {
+      if (lane.type != e0.type) continue;
+      QuerySet m = lane.static_members.Intersect(matched);
+      if (m.Empty()) continue;
+      InsertIntoLane(lane, e0, m);
+    }
+  }
+
+  // matched and neg_matched are disjoint here, so negation writes (per
+  // negated query) and appends (per matched query) touch disjoint state
+  // and commute: applying the last row's negation stamp now leaves every
+  // per-query timestamp and context clear exactly as the row-by-row
+  // interleaving would.
+  if (!neg_matched.Empty()) {
+    Event e_last;
+    batch.CopyRow(run.row_end - 1, &e_last);
+    ApplyNegation(e_last, neg_matched);
+  }
+  if (!matched.Empty()) {
+    for (Lane& lane : lanes_) {
+      if (lane.type != e0.type) continue;
+      QuerySet m = lane.static_members.Intersect(matched);
+      if (m.Empty()) continue;
+      AppendRun(lane, batch, run.row_begin + 1, run.row_end, m);
+    }
+  }
+  events_this_pane_ += n - 1;
+}
+
+void HamletEngine::ProcessRun(const Event& e, const QuerySet& passes) {
+  // Precondition: OnEvent and the run-granular dispatchers drop irrelevant
+  // types before calling.
+  HAMLET_DCHECK(e.type >= 0 && e.type < num_types_ &&
+                type_relevant_[static_cast<size_t>(e.type)]);
 
   QuerySet matched =
       positive_of_type_[static_cast<size_t>(e.type)].Intersect(passes);
   QuerySet neg_matched =
       negated_of_type_[static_cast<size_t>(e.type)].Intersect(passes);
   QuerySet touched = matched.Union(neg_matched);
-  if (touched.Empty()) return;
+
+  HAMLET_DCHECK(e.time > last_time_);
+  last_time_ = e.time;
+  ++stats_.events;
+  if (touched.Empty()) {
+    ++events_this_pane_;
+    return;
+  }
+  ++events_this_pane_;
 
   CloseForeignLanes(e, touched);
   ApplyNegation(e, neg_matched);
 
-  if (matched.Empty()) return;
-  for (Lane& lane : lanes_) {
-    if (lane.type != e.type) continue;
-    QuerySet m = lane.static_members.Intersect(matched);
-    if (m.Empty()) continue;
-    InsertIntoLane(lane, e, m);
+  if (!matched.Empty()) {
+    for (Lane& lane : lanes_) {
+      if (lane.type != e.type) continue;
+      QuerySet m = lane.static_members.Intersect(matched);
+      if (m.Empty()) continue;
+      InsertIntoLane(lane, e, m);
+    }
+  }
+}
+
+const Event* HamletEngine::MaterializedRows(const EventBatch& batch,
+                                            int begin, int end) {
+  if (!run_scratch_valid_) {
+    run_scratch_.resize(static_cast<size_t>(end - begin));
+    for (int i = begin; i < end; ++i)
+      batch.CopyRow(i, &run_scratch_[static_cast<size_t>(i - begin)]);
+    run_scratch_valid_ = true;
+  }
+  return run_scratch_.data();
+}
+
+void HamletEngine::AppendRun(Lane& lane, const EventBatch& batch, int begin,
+                             int end, const QuerySet& matched) {
+  const int n = end - begin;
+  // Row 0 already went through InsertIntoLane: the burst is open, the
+  // sharing decision is made, and every graphlet this run appends to exists.
+  // Classify each append sub-target as fast (write-only: provably never
+  // scanned, no min/max, not retained -> node materialization and per-row
+  // dispatch overhead can be skipped) or slow (replayed row-major below).
+  const bool lane_mm = lane.profile.need_min || lane.profile.need_max;
+  const bool is_target = lane.type == lane.profile.target_type;
+  const AttrId target_attr = lane.profile.target_attr;
+
+  Graphlet* shared = lane.shared_graphlet;
+  bool shared_fast = false;
+  if (shared != nullptr) {
+    const bool divergent = matched.Intersect(shared->sharers) !=
+                           shared->sharers;
+    shared_fast = shared->mode == PropagationMode::kFastSum && !divergent &&
+                  !lane_mm && !lane.retain_history;
+  }
+  if (shared_fast) {
+    const double* vals = (target_attr == Schema::kInvalidId || !is_target)
+                             ? nullptr
+                             : batch.column(target_attr).data();
+    for (int i = begin; i < end; ++i) {
+      const double val = vals == nullptr ? 0.0 : vals[i];
+      stats_.ops += shared->running_sum.AppendFastSumEvent(
+          shared->start_var, shared->entry_var, is_target, val,
+          lane.profile.need_sum, lane.profile.need_count_e);
+    }
+    shared->extra_events += n;
+  }
+
+  QuerySet slow_solo;
+  matched.Minus(lane.current_shared).ForEach([&](QueryId q) {
+    const ExecQuery& eq = Exec(q);
+    const AggProfile profile = AggProfile::For(eq.aggregate);
+    if (eq.has_edge_predicates() || profile.need_min || profile.need_max ||
+        lane.retain_history) {
+      slow_solo.Insert(q);
+      return;
+    }
+    Graphlet* g = nullptr;
+    for (auto& [id, gl] : lane.solo_graphlets) {
+      if (id == q) g = gl;
+    }
+    // Hoisted AppendSolo fast path: context-outer, run-inner, with the
+    // per-context lookups lifted out of the row loop. The FP operation
+    // sequence per row is identical to AppendSolo's, so the running sums
+    // are bit-identical.
+    const bool q_target = lane.type == profile.target_type;
+    const double* vals = profile.target_attr == Schema::kInvalidId
+                             ? nullptr
+                             : batch.column(profile.target_attr).data();
+    for (ContextId c : open_ctxs_[static_cast<size_t>(q)]) {
+      const LinAgg entry = g->solo_entry.Get(c, LinAgg());
+      const double start = g->solo_start.Get(c, 0.0);
+      LinAgg running = g->solo_sums.Get(c, LinAgg());
+      for (int i = begin; i < end; ++i) {
+        LinAgg v = entry;
+        if (g->self_loop) v.Add(running);
+        v.count += start;
+        if (q_target) {
+          const double val = vals == nullptr ? 0.0 : vals[i];
+          v.count_e += v.count;
+          v.sum += val * v.count;
+        }
+        running.Add(v);
+      }
+      g->solo_sums.Mut(c) = running;
+      stats_.ops += n;
+    }
+    g->extra_events += n;
+  });
+
+  // Slow sub-targets replay row-major, preserving the row path's within-row
+  // order (shared append, then solos in id order): a scanning append reads
+  // this lane's live graphlet nodes with no future-time filter, so it must
+  // never observe rows later than its own.
+  const bool shared_slow = shared != nullptr && !shared_fast;
+  if (shared_slow || !slow_solo.Empty()) {
+    const Event* rows = MaterializedRows(batch, begin, end);
+    for (int i = 0; i < n; ++i) {
+      const Event& e = rows[i];
+      if (shared_slow) AppendShared(lane, *shared, e, matched);
+      slow_solo.ForEach([&](QueryId q) {
+        Graphlet* g = nullptr;
+        for (auto& [id, gl] : lane.solo_graphlets) {
+          if (id == q) g = gl;
+        }
+        AppendSolo(lane, *g, e, q);
+      });
+    }
   }
 }
 
@@ -556,17 +756,34 @@ NodeValue HamletEngine::ScanPredecessors(int exec_id, const Event& e,
 
 void HamletEngine::AppendShared(Lane& lane, Graphlet& g, const Event& e,
                                 const QuerySet& matched) {
-  GraphletNode node;
-  node.event = e;
-  node.members = matched.Intersect(g.sharers);
+  const QuerySet members = matched.Intersect(g.sharers);
   const bool need_mm = lane.profile.need_min || lane.profile.need_max;
-  const bool divergent = node.members != g.sharers;
+  const bool divergent = members != g.sharers;
   const double val = lane.profile.target_attr == Schema::kInvalidId
                          ? 0.0
                          : (e.type == lane.profile.target_type
                                 ? e.attr(lane.profile.target_attr)
                                 : 0.0);
   const bool is_target = e.type == lane.profile.target_type;
+
+  if (g.mode == PropagationMode::kFastSum && !divergent && !need_mm &&
+      !lane.retain_history) {
+    // Node-free append: nothing will ever read this event's node (no
+    // scanner reaches a !retain_history lane, no min/max fold), so fold its
+    // count(e) = u + x + R straight into the running sum. Keeping the
+    // per-event path node-free here is what makes engine memory a function
+    // of burst structure alone, independent of ingestion chunking — the
+    // run path (AppendRun) applies the same rule for rows past the head.
+    stats_.ops += g.running_sum.AppendFastSumEvent(
+        g.start_var, g.entry_var, is_target, val, lane.profile.need_sum,
+        lane.profile.need_count_e);
+    ++g.extra_events;
+    return;
+  }
+
+  GraphletNode node;
+  node.event = e;
+  node.members = members;
 
   if (g.mode == PropagationMode::kFastSum && !divergent) {
     // count(e) = u + x + R (Algorithm 1, Line 18 — shared propagation).
@@ -769,6 +986,27 @@ void HamletEngine::AppendSolo(Lane& lane, Graphlet& g, const Event& e,
       profile.target_attr == Schema::kInvalidId
           ? 0.0
           : (is_target ? e.attr(profile.target_attr) : 0.0);
+
+  if (!eq.has_edge_predicates() && !need_mm && !lane.retain_history) {
+    // Node-free append, mirroring AppendShared's fast branch: the numeric
+    // per-context values land in solo_sums only. Same conditions as
+    // AppendRun's hoisted solo loop, so head rows and run tails make
+    // identical materialization decisions.
+    for (ContextId c : open_ctxs_[static_cast<size_t>(exec_id)]) {
+      LinAgg v = g.solo_entry.Get(c, LinAgg());
+      if (g.self_loop) v.Add(g.solo_sums.Get(c, LinAgg()));
+      ++stats_.ops;
+      v.count += g.solo_start.Get(c, 0.0);
+      if (is_target) {
+        v.count_e += v.count;
+        v.sum += val * v.count;
+      }
+      g.solo_sums.Mut(c).Add(v);
+    }
+    ++g.extra_events;
+    return;
+  }
+
   GraphletNode node;
   node.event = e;
   node.members = QuerySet::Single(exec_id);
@@ -822,7 +1060,9 @@ void HamletEngine::AddToContext(ContextState& ctx, int exec_id, TypeId type,
 }
 
 void HamletEngine::FoldGraphlet(Lane& lane, Graphlet& g) {
-  if (g.nodes.empty()) return;
+  // num_events(), not nodes.empty(): the run path's fast appends skip node
+  // materialization, leaving their contribution only in the running sums.
+  if (g.num_events() == 0) return;
   g.sharers.ForEach([&](QueryId q) {
     for (ContextId c : open_ctxs_[static_cast<size_t>(q)]) {
       ContextState& ctx = contexts_[static_cast<size_t>(c)];

@@ -27,6 +27,7 @@
 #include "src/common/arena.h"
 #include "src/hamlet/graphlet.h"
 #include "src/hamlet/sharing_policy.h"
+#include "src/query/run_segmenter.h"
 
 namespace hamlet {
 
@@ -104,6 +105,15 @@ class HamletEngine {
   /// outside this engine's members are ignored). OnEvent is a thin wrapper
   /// computing `passes` per row, so the two paths are bit-identical.
   void OnEventFiltered(const Event& e, const QuerySet& passes);
+  /// Run-granular dispatch: feeds one segmented run (same type, same
+  /// pass-set, one pane — see src/query/run_segmenter.h) in a single call.
+  /// Lane transitions (CloseForeignLanes / ApplyNegation / burst open +
+  /// sharing decision) happen once per run, and write-only graphlets take
+  /// hoisted snapshot-count propagation loops over the whole run instead of
+  /// per-event dispatch. Emissions are bit-identical to feeding the span's
+  /// rows through OnEventFiltered one by one: both are the same ProcessRun
+  /// body, and every hoist replays the row path's exact FP op sequence.
+  void OnRunFiltered(const EventBatch& batch, const RunSpan& run);
   void OnPaneEnd();
 
   /// Logical memory footprint (paper's metric: stored events, snapshot
@@ -170,6 +180,21 @@ class HamletEngine {
   void BuildLanes();
 
   // --- event path ---
+  /// One filtered event through the full per-event pipeline (transition,
+  /// negation, lane inserts): the old OnEventFiltered body, shared with
+  /// OnRunFiltered's run-head row and its per-row fallback.
+  void ProcessRun(const Event& e, const QuerySet& passes);
+  /// Appends batch rows [begin, end) (the run's tail: the head row went
+  /// through InsertIntoLane) to the lane's open graphlets. Write-only
+  /// sub-targets are hoisted and read the batch columns directly — no
+  /// per-row Event materialization; slow sub-targets replay row-major over
+  /// MaterializedRows().
+  void AppendRun(Lane& lane, const EventBatch& batch, int begin, int end,
+                 const QuerySet& matched);
+  /// Lazily materializes batch rows [begin, end) into run_scratch_ (at most
+  /// once per OnRunFiltered call) and returns the rows, shifted so index 0
+  /// is row `begin`.
+  const Event* MaterializedRows(const EventBatch& batch, int begin, int end);
   void CloseForeignLanes(const Event& e, const QuerySet& touched);
   void ApplyNegation(const Event& e, const QuerySet& neg_matched);
   void InsertIntoLane(Lane& lane, const Event& e, const QuerySet& matched);
@@ -248,6 +273,11 @@ class HamletEngine {
   std::vector<std::pair<Timestamp, int64_t>> pane_event_counts_;
   int64_t events_this_pane_ = 0;
   HamletStats stats_;
+  /// OnRunFiltered's row materialization scratch (capacity reused); valid
+  /// for the current run only when run_scratch_valid_ — reset per call so
+  /// slow sub-targets across multiple lanes materialize at most once.
+  std::vector<Event> run_scratch_;
+  bool run_scratch_valid_ = false;
 
   double WindowEventsEstimate() const;
 };

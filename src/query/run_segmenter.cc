@@ -1,0 +1,87 @@
+#include "src/query/run_segmenter.h"
+
+#include <cstdint>
+
+namespace hamlet {
+
+namespace {
+
+/// boundary_words bit i (i >= 1) = 1 iff any mask's bit differs between rows
+/// i-1 and i. Word-parallel: d = w ^ (w << 1 | carry of previous word's top
+/// bit), OR-accumulated across masks. Bit 0 is never set (row 0 starts a run
+/// unconditionally).
+void BuildFlipBitmap(const std::vector<SelectionMask>& masks, int rows,
+                     std::vector<uint64_t>* boundary_words) {
+  const size_t num_words = (static_cast<size_t>(rows) + 63) / 64;
+  boundary_words->assign(num_words, 0);
+  for (const SelectionMask& mask : masks) {
+    std::span<const uint64_t> w = mask.words();
+    uint64_t carry = 0;  // previous word's top bit, shifted into bit 0
+    for (size_t j = 0; j < num_words; ++j) {
+      const uint64_t cur = w[j];
+      (*boundary_words)[j] |= cur ^ ((cur << 1) | carry);
+      carry = cur >> 63;
+    }
+  }
+  if (num_words > 0) (*boundary_words)[0] &= ~uint64_t{1};
+}
+
+inline bool TestBit(const std::vector<uint64_t>& words, int i) {
+  return (words[static_cast<size_t>(i) >> 6] >>
+          (static_cast<size_t>(i) & 63)) &
+         1u;
+}
+
+}  // namespace
+
+void SegmentRuns(const EventBatch& batch, int rows, Timestamp pane_size,
+                 const QuerySet& all_execs,
+                 const std::vector<int>& predicated_queries,
+                 const std::vector<SelectionMask>& masks,
+                 std::vector<RunSpan>* out) {
+  out->clear();
+  if (rows <= 0) return;
+
+  // Pre-merge all mask flips into one boundary bitmap so the row scan below
+  // does one bit test instead of one Test() per predicated query.
+  static thread_local std::vector<uint64_t> flip_words;
+  BuildFlipBitmap(masks, rows, &flip_words);
+
+  std::span<const TypeId> types = batch.types();
+  std::span<const Timestamp> times = batch.times();
+
+  auto passes_at = [&](int i) {
+    QuerySet passes = all_execs;
+    for (size_t k = 0; k < predicated_queries.size(); ++k) {
+      if (!masks[k].Test(i)) passes.Erase(predicated_queries[k]);
+    }
+    return passes;
+  };
+
+  int begin = 0;
+  TypeId run_type = types[0];
+  Timestamp run_pane = pane_size > 0 ? times[0] / pane_size : 0;
+  for (int i = 1; i < rows; ++i) {
+    const bool type_break = types[static_cast<size_t>(i)] != run_type;
+    const bool pane_break =
+        pane_size > 0 &&
+        times[static_cast<size_t>(i)] / pane_size != run_pane;
+    if (type_break || pane_break || TestBit(flip_words, i)) {
+      RunSpan& run = out->emplace_back();
+      run.type = run_type;
+      run.row_begin = begin;
+      run.row_end = i;
+      run.passes = passes_at(begin);
+      begin = i;
+      run_type = types[static_cast<size_t>(i)];
+      if (pane_size > 0) run_pane = times[static_cast<size_t>(i)] / pane_size;
+    }
+  }
+  RunSpan& run = out->emplace_back();
+  run.type = run_type;
+  run.row_begin = begin;
+  run.row_end = rows;
+  run.passes = passes_at(begin);
+}
+
+}  // namespace hamlet

@@ -9,6 +9,8 @@
 #include <tuple>
 #include <utility>
 
+#include "src/query/run_segmenter.h"
+
 namespace hamlet {
 
 double MonotonicSeconds() {
@@ -141,6 +143,11 @@ Status ValidateRunConfig(const RunConfig& config) {
   // evict_idle_groups: engine-agnostic, no cross-checks; together with
   //   shard_rebalance_threshold > 0 it enables router-map draining
   //   (RunMetrics::rebalance_map_size).
+  // run_propagation: no cross-checks — valid for every engine kind, shard
+  //   count, producer count, churn and re-optimization. It only takes
+  //   effect on columnar-staged PushBatch ingestion (columnar == false or
+  //   the row path make it inert, never invalid), and emission sets are
+  //   bit-identical either way.
   // work_stealing: requires steal_imbalance_ratio > 1.0 (checked even
   //   while off, mirroring reoptimize_threshold). Unsupported with
   //   evict_idle_groups — eviction erases the very runner state the steal
@@ -258,6 +265,13 @@ void MergeRunMetrics(RunMetrics& into, const RunMetrics& from) {
   into.evicted_compositions += from.evicted_compositions;
   AddStats(into.hamlet, from.hamlet);
   into.decisions += from.decisions;
+  into.runs += from.runs;
+  if (into.run_len_hist.size() < from.run_len_hist.size()) {
+    into.run_len_hist.resize(from.run_len_hist.size(), 0);
+  }
+  for (size_t i = 0; i < from.run_len_hist.size(); ++i) {
+    into.run_len_hist[i] += from.run_len_hist[i];
+  }
   if (into.shard_batch_hist.size() < from.shard_batch_hist.size()) {
     into.shard_batch_hist.resize(from.shard_batch_hist.size(), 0);
   }
@@ -375,6 +389,9 @@ struct Session::Runtime {
   /// batch is growing past all previous sizes.
   EventBatch batch_scratch;
   BatchSelection selection;
+  /// Staged run list over batch_scratch (RunConfig::run_propagation);
+  /// capacity reused across batches like the staging scratch above.
+  std::vector<RunSpan> run_spans;
   std::vector<std::unique_ptr<Component>> components;
   /// Per exec query: which event types its pattern mentions. Drives latency
   /// attribution — only events a query can react to stamp its windows'
@@ -532,6 +549,13 @@ Session::~Session() = default;
 
 bool Session::UseColumnar(const Runtime& rt) const {
   return config_.columnar && !rt.pred_program.trivial();
+}
+
+bool Session::UseRunPath() const {
+  // Unlike UseColumnar, a trivial predicate program does NOT opt out: run
+  // dispatch pays for the staging even with nothing to filter (every run
+  // then passes all_execs), because the amortized engine calls are the win.
+  return config_.columnar && config_.run_propagation;
 }
 
 void Session::OpenDueWindows(Runtime& rt, GroupRunner& runner,
@@ -928,38 +952,191 @@ Status Session::PushBatch(std::span<const Event> events) {
   // Columnar epochs: transpose the run into each epoch's SoA staging batch
   // and run its predicate kernels batch-wide up front. A mid-batch ordering
   // violation stops exactly where the row path would — kernels touched the
-  // invalid suffix but no engine did.
+  // invalid suffix but no engine did. The run path stages even
+  // trivial-program epochs: the segmenter consumes the staged batch.
   for (auto& rtp : runtimes_) {
     Runtime& rt = *rtp;
-    if (!UseColumnar(rt)) continue;
+    if (!UseColumnar(rt) && !UseRunPath()) continue;
     rt.batch_scratch.Clear();
     rt.batch_scratch.AppendRows(events);
     rt.pred_program.EvalBatch(rt.batch_scratch, &rt.selection);
   }
   Status result = Status::Ok();
-  for (size_t i = 0; i < events.size(); ++i) {
-    const Event& e = events[i];
-    Status ordered = gate_.CheckEvent(e.time);
-    if (!ordered.ok()) {
-      result = ordered;
-      break;
+  if (UseRunPath()) {
+    // Ordering-gate pre-pass: commit the valid prefix before dispatch. The
+    // final gate state, counters and engine-visible events are identical to
+    // the per-event interleaving (engines never see the invalid suffix
+    // either way; the only mid-batch gate reader is the idle-eviction
+    // horizon, whose event-triggered checks are insensitive to it).
+    int valid = 0;
+    for (const Event& e : events) {
+      Status ordered = gate_.CheckEvent(e.time);
+      if (!ordered.ok()) {
+        result = ordered;
+        break;
+      }
+      gate_.CommitEvent(e.time);
+      ++events_;
+      if (reopt_enabled_) collector_.CountEvent(e.type);
+      ++valid;
     }
-    gate_.CommitEvent(e.time);
-    ++events_;
-    if (reopt_enabled_) collector_.CountEvent(e.type);
-    for (auto& rtp : runtimes_) {
-      Runtime& rt = *rtp;
-      if (UseColumnar(rt)) {
-        QuerySet passes = PassesForRow(rt, static_cast<int>(i));
-        ProcessEvent(rt, e, /*arrival=*/-1.0, &passes);
-      } else {
-        ProcessEvent(rt, e, /*arrival=*/-1.0);
+    for (auto& rtp : runtimes_) DispatchRuns(*rtp, events, valid);
+  } else {
+    for (size_t i = 0; i < events.size(); ++i) {
+      const Event& e = events[i];
+      Status ordered = gate_.CheckEvent(e.time);
+      if (!ordered.ok()) {
+        result = ordered;
+        break;
+      }
+      gate_.CommitEvent(e.time);
+      ++events_;
+      if (reopt_enabled_) collector_.CountEvent(e.type);
+      for (auto& rtp : runtimes_) {
+        Runtime& rt = *rtp;
+        if (UseColumnar(rt)) {
+          QuerySet passes = PassesForRow(rt, static_cast<int>(i));
+          ProcessEvent(rt, e, /*arrival=*/-1.0, &passes);
+        } else {
+          ProcessEvent(rt, e, /*arrival=*/-1.0);
+        }
       }
     }
   }
   ReapRuntimes();
   MaybeReoptimize();
   return result;
+}
+
+void Session::DispatchRuns(Runtime& rt, std::span<const Event> events,
+                           int rows) {
+  if (rows <= 0) return;
+  SegmentRuns(rt.batch_scratch, rows, rt.plan->pane_size, rt.all_execs,
+              rt.pred_program.predicated_queries(), rt.selection.masks,
+              &rt.run_spans);
+  const Timestamp pane = rt.plan->pane_size;
+  const bool cohort_kind = config_.kind == EngineKind::kTwoStep ||
+                           config_.kind == EngineKind::kSharon;
+  for (const RunSpan& run : rt.run_spans) {
+    // Run-shape metrics: bucket i counts runs of length [2^i, 2^(i+1)).
+    ++runs_;
+    const int len = run.row_end - run.row_begin;
+    const size_t bucket =
+        static_cast<size_t>(std::bit_width(static_cast<uint64_t>(len)) - 1);
+    if (run_len_hist_.size() <= bucket) run_len_hist_.resize(bucket + 1, 0);
+    ++run_len_hist_[bucket];
+
+    // One pane advance per run: runs are pane-confined, so the first row's
+    // pane is every row's pane.
+    const Event& first = events[static_cast<size_t>(run.row_begin)];
+    const Timestamp event_pane = (first.time / pane) * pane;
+    if (!rt.pane_started || event_pane > rt.pane_start) {
+      AdvancePaneTo(rt, event_pane);
+    }
+    // One arrival sample per run (the row path samples per event; latency
+    // attribution is a wall-clock metric, not part of emission values).
+    const double arrival = ClockNow(config_.clock_override);
+    for (auto& compp : rt.components) {
+      Component& comp = *compp;
+      if (run.type < 0 ||
+          run.type >= static_cast<TypeId>(comp.type_mask.size()) ||
+          !comp.type_mask[static_cast<size_t>(run.type)])
+        continue;
+      // Sub-split at group-key changes: runs are segmented globally, group
+      // partitioning is per component (group-by attrs differ), so the
+      // per-group spans are carved here, straight off the key column.
+      const double* key_col = comp.group_by == Schema::kInvalidId
+                                  ? nullptr
+                                  : rt.batch_scratch.column_data(comp.group_by);
+      int sub = run.row_begin;
+      while (sub < run.row_end) {
+        int64_t key = 0;
+        int sub_end = run.row_end;
+        if (comp.group_by != Schema::kInvalidId) {
+          key = static_cast<int64_t>(
+              std::llround(key_col == nullptr
+                               ? 0.0
+                               : key_col[static_cast<size_t>(sub)]));
+          sub_end = sub + 1;
+          while (sub_end < run.row_end &&
+                 static_cast<int64_t>(std::llround(
+                     key_col == nullptr
+                         ? 0.0
+                         : key_col[static_cast<size_t>(sub_end)])) == key) {
+            ++sub_end;
+          }
+        }
+        const Event& e0 = events[static_cast<size_t>(sub)];
+        auto it = comp.groups.find(key);
+        GroupRunner* runner = nullptr;
+        if (it == comp.groups.end()) {
+          // Steal-fenced key (victim side): duplicated boundary events feed
+          // only runners that already exist — same rule as ProcessEvent.
+          if (!group_bounds_.empty() &&
+              group_bounds_.find(key) != group_bounds_.end()) {
+            sub = sub_end;
+            continue;
+          }
+          auto created = std::make_unique<GroupRunner>();
+          created->comp = &comp;
+          created->group_key = key;
+          created->last_event_time = e0.time;
+          if (config_.kind == EngineKind::kHamletDynamic ||
+              config_.kind == EngineKind::kHamletStatic ||
+              config_.kind == EngineKind::kHamletNoShare) {
+            created->hamlet = std::make_unique<HamletEngine>(
+                *rt.plan, comp.members, comp.policy.get());
+          }
+          runner = created.get();
+          comp.groups[key] = std::move(created);
+          OpenDueWindows(rt, *runner, rt.pane_start, /*retroactive=*/true);
+          if (runner->hamlet) runner->hamlet->OnPaneStart(rt.pane_start);
+        } else {
+          runner = it->second.get();
+        }
+        runner->last_event_time = events[static_cast<size_t>(sub_end - 1)].time;
+        auto stamp_if_relevant = [&](WindowSlot& w, TypeId type) {
+          const std::vector<bool>& owner_mask =
+              cohort_kind
+                  ? comp.cohort_type_masks[static_cast<size_t>(w.owner)]
+                  : rt.exec_type_masks[static_cast<size_t>(w.owner)];
+          if (owner_mask[static_cast<size_t>(type)]) {
+            w.last_arrival_wall = arrival;
+          }
+        };
+        if (runner->hamlet) {
+          // The latency-stamp window scan, hoisted to once per run: windows
+          // are pane-aligned and the run is pane-confined, so a window
+          // containing the first row contains every row.
+          for (WindowSlot& w : runner->windows) {
+            if (e0.time < w.ws || e0.time >= w.we) continue;
+            stamp_if_relevant(w, run.type);
+          }
+          RunSpan group_run;
+          group_run.type = run.type;
+          group_run.row_begin = sub;
+          group_run.row_end = sub_end;
+          group_run.passes = run.passes;
+          runner->hamlet->OnRunFiltered(rt.batch_scratch, group_run);
+        } else {
+          // Non-HAMLET engines are per-window and consume rows one at a
+          // time; the run path still amortizes the pane advance, type gate
+          // and group lookup across the span.
+          for (int i = sub; i < sub_end; ++i) {
+            const Event& e = events[static_cast<size_t>(i)];
+            for (WindowSlot& w : runner->windows) {
+              if (e.time < w.ws || e.time >= w.we) continue;
+              stamp_if_relevant(w, e.type);
+              if (w.greta) w.greta->OnEvent(e);
+              if (w.two_step) w.two_step->OnEvent(e);
+              if (w.sharon) w.sharon->OnEvent(e);
+            }
+          }
+        }
+        sub = sub_end;
+      }
+    }
+  }
 }
 
 Status Session::AdvanceTo(Timestamp watermark) {
@@ -1295,6 +1472,8 @@ void Session::FillMetrics(RunMetrics* m) const {
   m->reopt_swaps = reoptimizer_.swaps();
   m->active_epochs = static_cast<int64_t>(runtimes_.size());
   m->evicted_idle_groups = evicted_idle_groups_;
+  m->runs = runs_;
+  m->run_len_hist = run_len_hist_;
 }
 
 RunMetrics Session::MetricsSnapshot() const {

@@ -115,6 +115,21 @@ struct RunConfig {
   /// attributes fail Open with kInvalidArgument instead of tripping a
   /// per-event DCHECK later.
   bool columnar = true;
+  /// Run-granular propagation: segment each staged batch into maximal
+  /// same-type, same-pass-set, pane-confined runs (src/query/
+  /// run_segmenter.h) and dispatch each run through the engines in ONE call
+  /// — one pane advance, one group lookup and one latency-stamp window scan
+  /// per run, and HamletEngine::OnRunFiltered amortizes lane transitions
+  /// and snapshot-count propagation across the run's rows. Valid for every
+  /// engine kind (non-HAMLET engines keep per-row dispatch inside the run
+  /// loop) and composes with shards, producers, churn and re-optimization.
+  /// Emission sets are BIT-IDENTICAL on or off (CTest-enforced by
+  /// tests/run_propagation_test.cc): the run body replays the row path's
+  /// exact FP op sequence. Requires `columnar` (the segmenter consumes the
+  /// staged batch + selection bitmaps); ignored on the row path. Affects
+  /// PushBatch-fed ingestion (ShardedSession workers included); single-row
+  /// Push stays on per-event dispatch, which is the same body.
+  bool run_propagation = true;
   /// Online plan re-optimization cadence, in panes: every this many pane
   /// boundaries the session re-derives the cost-model inputs from live
   /// statistics (src/optimizer/online_optimizer.h), re-runs the pruned plan
@@ -276,6 +291,16 @@ struct RunMetrics {
   HamletStats hamlet;
   /// Sharing decisions taken (dynamic policy only).
   int64_t decisions = 0;
+  /// Runs dispatched by RunConfig::run_propagation (0 when off or on the
+  /// per-event row path): the number of segmented batch spans fed through
+  /// the engines in one call each. events / runs is the mean amortization
+  /// the run path achieved.
+  int64_t runs = 0;
+  /// Histogram of dispatched run lengths: bucket i counts runs of length in
+  /// [2^i, 2^(i+1)). Bucket 0 dominating means the stream interleaves types
+  /// too finely for run propagation to pay; mass in higher buckets is the
+  /// paper's bursty regime. Merged across shards by bucket-wise sum.
+  std::vector<int64_t> run_len_hist;
   /// Sharded ingress only (empty/0 for plain Sessions) — the burst-adaptive
   /// ingress surface:
   /// Histogram of flushed staging-batch sizes across all shards: bucket i
@@ -552,6 +577,13 @@ class Session {
                     const QuerySet* passes = nullptr);
   /// True when pushes should flow through the columnar batch path.
   bool UseColumnar(const Runtime& rt) const;
+  /// True when PushBatch should flow through run-granular dispatch
+  /// (requires columnar staging; see RunConfig::run_propagation).
+  bool UseRunPath() const;
+  /// Run-granular batch dispatch: segments staged rows [0, rows) of
+  /// `rt.batch_scratch` into runs and feeds each through the engines in one
+  /// call (`events` are the same rows, used where whole Events are needed).
+  void DispatchRuns(Runtime& rt, std::span<const Event> events, int rows);
   /// Pass-set for staged row `i` after EvalBatch: all exec queries, minus
   /// predicated ones whose selection bit for `i` is clear.
   QuerySet PassesForRow(const Runtime& rt, int i) const;
@@ -604,6 +636,9 @@ class Session {
   int64_t peak_memory_ = 0;
   int64_t dnf_windows_ = 0;
   int64_t events_ = 0;
+  /// Run-shape counters behind RunMetrics::runs / run_len_hist.
+  int64_t runs_ = 0;
+  std::vector<int64_t> run_len_hist_;
   OrderingGate gate_;
   /// Sum of wall time spent inside session calls.
   double busy_seconds_ = 0.0;

@@ -55,6 +55,23 @@ class EventBatch {
   std::span<const Timestamp> times() const { return times_; }
   std::span<const TypeId> types() const { return types_; }
 
+  /// Contiguous run-span views over [begin, end): what a RunSpan indexes
+  /// into. Same storage as the whole-batch spans, just sliced — the
+  /// run-granular engine path reads these instead of CopyRow'ing per row.
+  std::span<const Timestamp> times(int begin, int end) const {
+    return std::span<const Timestamp>(times_).subspan(
+        static_cast<size_t>(begin), static_cast<size_t>(end - begin));
+  }
+  std::span<const TypeId> types(int begin, int end) const {
+    return std::span<const TypeId>(types_).subspan(
+        static_cast<size_t>(begin), static_cast<size_t>(end - begin));
+  }
+  std::span<const double> column(AttrId a, int begin, int end) const {
+    return std::span<const double>(cols_[static_cast<size_t>(a)])
+        .subspan(static_cast<size_t>(begin),
+                 static_cast<size_t>(end - begin));
+  }
+
   /// Column for attribute `a`; one double per row, 0.0 where the row lacked
   /// the attribute (matching Event's zero-initialized attrs array).
   std::span<const double> column(AttrId a) const {
