@@ -7,6 +7,8 @@ namespace hamlet {
 namespace bench {
 
 bool FullScale() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at bench startup,
+  // before any worker thread exists; nothing ever calls setenv.
   const char* env = std::getenv("HAMLET_BENCH_SCALE");
   return env != nullptr && std::string(env) == "full";
 }

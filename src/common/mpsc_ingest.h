@@ -37,6 +37,45 @@
 //    with the producer's release so a bound of t+1 guarantees the peek
 //    sees event t if it is still queued.
 //
+// Per-atomic memory-order contract (keep in sync with the code):
+//
+//   Slot::next_min   Single writer (the owning producer; plus claim-time
+//                    init while the slot is kReserved, i.e. owned by the
+//                    claimer). Release stores publish "everything at times
+//                    < bound is already in the ring"; the sequencer's
+//                    acquire loads pair with them (the bound-before-peek
+//                    rule above). Owner-side reads are relaxed — the owner
+//                    sees its own stores. Monotone except the kTimeMax pin
+//                    on close.
+//
+//   Slot::state      The slot lifecycle CAS ring: kFree -CAS(acq_rel)->
+//                    kReserved -> kOpen (release, publishing ring + bound
+//                    init) -> kClosing (release, after the closed-floor
+//                    latch) -> kFree (sequencer release, after the drain).
+//                    Sequencer reads are acquire so a kOpen/kClosing
+//                    observation implies the slot's ring pointer and bound
+//                    are visible.
+//
+//   released_max_    Written only by the sequencer (release); claimers
+//                    acquire-read it so a new slot's bound starts above
+//                    every released timestamp THEY can observe. Relaxed
+//                    sequencer self-reads.
+//
+//   claim_floor_     Monotone max, sequencer release-stores (after a
+//                    watermark broadcast), claimers acquire-read. A stale
+//                    read is conservative: the per-producer gate and the
+//                    downstream ordering gate still reject anything below
+//                    the broadcast horizon.
+//
+//   closed_floor_    Monotone max via CAS(release) in CloseSlot — the
+//                    latch that makes a departing producer's final
+//                    watermark deterministic; Frontier acquire-reads it
+//                    only when no slot contributes.
+//
+//   active_          Claim/recycle counter, acq_rel RMWs; Quiescent's
+//                    acquire load pairs with the recycling fetch_sub so
+//                    "0 active" implies every ring drain is visible.
+//
 // What the hub does NOT do: validate. Producers enforce their own per-
 // producer ordering gates upstream; cross-producer violations (duplicate
 // timestamps, a late joiner pushing below the released horizon) surface as
@@ -286,6 +325,17 @@ class MpscIngestHub {
   size_t ring_capacity() const { return ring_capacity_; }
 
  private:
+  // Producers spin on these atomics while pushing and the sequencer scans
+  // all 64 slots per merge round; a TimeT (or a platform) whose atomic
+  // degrades to a lock would turn every scan into 64 lock acquisitions.
+  static_assert(std::atomic<TimeT>::is_always_lock_free,
+                "MpscIngestHub bounds must be lock-free atomics; use an "
+                "integral TimeT with native atomic support");
+  static_assert(std::atomic<uint32_t>::is_always_lock_free,
+                "slot lifecycle states must be lock-free atomics");
+  static_assert(std::atomic<int>::is_always_lock_free,
+                "the active-producer counter must be a lock-free atomic");
+
   enum : uint32_t { kFree = 0, kReserved = 1, kOpen = 2, kClosing = 3 };
 
   struct Slot {

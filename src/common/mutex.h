@@ -1,0 +1,214 @@
+// Annotated synchronization primitives: Clang Thread Safety Analysis made
+// mandatory for the concurrent runtime.
+//
+// Every lock in src/ outside this directory must be one of these wrappers,
+// never a raw std::mutex/std::scoped_lock (enforced by tools/lint/). The
+// wrappers carry Clang's thread-safety capability attributes, so a build
+// with -Wthread-safety (CMake option HAMLET_THREAD_SAFETY, preset
+// `thread-safety`) proves at compile time that:
+//
+//  * every field marked HAMLET_GUARDED_BY(mu) is only touched while `mu`
+//    is held (MutexLock in scope, or a function annotated
+//    HAMLET_REQUIRES(mu));
+//  * a function annotated HAMLET_REQUIRES(cap) is only called from
+//    contexts that hold `cap`;
+//  * scoped locks are not double-acquired or leaked across paths.
+//
+// On non-Clang compilers (the tier-1 GCC build) every attribute expands to
+// nothing and the wrappers compile to the std primitives they wrap — zero
+// runtime or codegen difference either way.
+//
+// Capability aliases for thread roles
+// -----------------------------------
+// Not all single-writer state is guarded by a runtime lock: the sharded
+// runtime has state owned by "whichever thread is the front" (the caller
+// thread in single-producer mode, the sequencer thread in multi-producer
+// mode) that is never locked because exactly one thread can be the front at
+// a time. ThreadRole gives that ownership discipline a *static* identity:
+// it is a phantom capability with no runtime state — Acquire()/Release()
+// compile to nothing — but fields marked HAMLET_GUARDED_BY(role) and
+// helpers marked HAMLET_REQUIRES(role) are checked exactly like
+// mutex-guarded state. Entry points that ARE the role's thread take a
+// ThreadRoleGuard; everything downstream is then proven to run only on
+// that thread's call paths. (The analysis is static: it cannot catch two
+// threads calling the same entry point at runtime — that contract stays
+// dynamic, see the TSan preset — but it rejects the bug class we actually
+// shipped: a new code path reaching role-owned state from the wrong side.)
+#ifndef HAMLET_COMMON_MUTEX_H_
+#define HAMLET_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+namespace hamlet {
+
+// ---------------------------------------------------------------------------
+// Clang Thread Safety Analysis attribute macros.
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+// ---------------------------------------------------------------------------
+#if defined(__clang__)
+#define HAMLET_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define HAMLET_THREAD_ANNOTATION_(x)  // no-op off Clang
+#endif
+
+/// Marks a type as a capability (lockable). The string names the kind in
+/// diagnostics ("mutex", "role").
+#define HAMLET_CAPABILITY(x) HAMLET_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases a
+/// capability.
+#define HAMLET_SCOPED_CAPABILITY HAMLET_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Field may only be accessed while holding the given capability.
+#define HAMLET_GUARDED_BY(x) HAMLET_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer field: the *pointee* may only be accessed while holding the
+/// capability (the pointer itself is unguarded).
+#define HAMLET_PT_GUARDED_BY(x) HAMLET_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function requires the capability to be held on entry (and does not
+/// release it).
+#define HAMLET_REQUIRES(...) \
+  HAMLET_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the capability held (deadlock guard).
+#define HAMLET_EXCLUDES(...) \
+  HAMLET_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the capability and holds it past return.
+#define HAMLET_ACQUIRE(...) \
+  HAMLET_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define HAMLET_RELEASE(...) \
+  HAMLET_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `ret`.
+#define HAMLET_TRY_ACQUIRE(ret, ...) \
+  HAMLET_THREAD_ANNOTATION_(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Declares lock acquisition order (deadlock prevention documentation;
+/// checked when -Wthread-safety-beta is on).
+#define HAMLET_ACQUIRED_BEFORE(...) \
+  HAMLET_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define HAMLET_ACQUIRED_AFTER(...) \
+  HAMLET_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Asserts (without acquiring) that the capability is held — for call paths
+/// the analysis cannot follow, e.g. a callback invoked under a lock.
+#define HAMLET_ASSERT_CAPABILITY(x) \
+  HAMLET_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Returns a reference to the given capability (getter annotations).
+#define HAMLET_RETURN_CAPABILITY(x) HAMLET_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch. Every use MUST carry an inline comment justifying why the
+/// analysis cannot see the invariant (tools/lint/ flags bare uses... by
+/// review convention; the analysis itself cannot).
+#define HAMLET_NO_THREAD_SAFETY_ANALYSIS \
+  HAMLET_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+// ---------------------------------------------------------------------------
+// Wrappers
+// ---------------------------------------------------------------------------
+
+class CondVar;
+
+/// std::mutex with a capability identity. Prefer MutexLock over manual
+/// Lock/Unlock — the scoped form is what the analysis checks best.
+class HAMLET_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() HAMLET_ACQUIRE() { mu_.lock(); }
+  void Unlock() HAMLET_RELEASE() { mu_.unlock(); }
+  bool TryLock() HAMLET_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Scoped lock over a Mutex (the std::lock_guard/std::unique_lock
+/// replacement). Holds from construction to destruction; CondVar::Wait*
+/// may release and reacquire it in between, which preserves the scoped
+/// capability as far as the analysis is concerned (the lock is held again
+/// whenever user code runs).
+class HAMLET_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) HAMLET_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() HAMLET_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable bound to Mutex/MutexLock. Wait/WaitFor take the live
+/// MutexLock; the caller must hold it on the condvar's own mutex — the
+/// analysis enforces that indirectly (any guarded state consulted in the
+/// wait predicate needs the lock in scope), and the std layer enforces it
+/// dynamically (undefined behavior otherwise, caught by TSan).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(MutexLock& lock,
+                         const std::chrono::duration<Rep, Period>& timeout) {
+    return cv_.wait_for(lock.lock_, timeout);
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// Phantom capability naming a logical thread role (see file comment).
+/// Acquire/Release compile to nothing; the value is purely the static
+/// check that role-guarded state is only reached from role-holding paths.
+class HAMLET_CAPABILITY("role") ThreadRole {
+ public:
+  ThreadRole() = default;
+  ThreadRole(const ThreadRole&) = delete;
+  ThreadRole& operator=(const ThreadRole&) = delete;
+
+  void Acquire() HAMLET_ACQUIRE() {}
+  void Release() HAMLET_RELEASE() {}
+};
+
+/// Scoped role occupancy: construct at the top of an entry point that runs
+/// on the role's thread. Zero-cost (the "lock" is a no-op); exists so the
+/// analysis can tie the scope to HAMLET_GUARDED_BY(role) fields.
+class HAMLET_SCOPED_CAPABILITY ThreadRoleGuard {
+ public:
+  explicit ThreadRoleGuard(ThreadRole& role) HAMLET_ACQUIRE(role)
+      : role_(role) {
+    role_.Acquire();
+  }
+  ~ThreadRoleGuard() HAMLET_RELEASE() { role_.Release(); }
+
+  ThreadRoleGuard(const ThreadRoleGuard&) = delete;
+  ThreadRoleGuard& operator=(const ThreadRoleGuard&) = delete;
+
+ private:
+  ThreadRole& role_;
+};
+
+}  // namespace hamlet
+
+#endif  // HAMLET_COMMON_MUTEX_H_

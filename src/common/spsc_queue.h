@@ -12,6 +12,31 @@
 // tail_ (next slot to push) monotonically increase and are reduced modulo a
 // power-of-two capacity. Each index lives on its own cache line so the
 // producer and consumer do not false-share.
+//
+// Memory-order contract (the whole correctness argument — keep in sync with
+// any change to the loads/stores below):
+//
+//   tail_  is written ONLY by the producer. Its release store in TryPush
+//          publishes the slot write that precedes it; the consumer's acquire
+//          loads (TryPop/Peek/Empty) synchronize with it, so observing
+//          `tail_ > head` implies the slot's payload is fully constructed.
+//          The producer's own loads of tail_ are relaxed — it is the only
+//          writer, so it always sees its own latest value.
+//
+//   head_  is the mirror image: written ONLY by the consumer, release store
+//          in TryPop publishing the slot RESET (the T{} assignment), so the
+//          producer's acquire load in TryPush knows the slot's old payload
+//          has been moved out before it overwrites it. The consumer's own
+//          loads of head_ are relaxed.
+//
+//   Neither index ever needs seq_cst: each side spins on the OTHER side's
+//   index, and a stale read only under-reports available slots/items —
+//   conservative in both directions (a spurious "full"/"empty" retries; it
+//   can never fabricate a slot).
+//
+//   ApproxSize is producer-exact / consumer-approximate by the same
+//   argument, and clamps to 0 against the (possible) torn head>tail view a
+//   third observer could see — it is a load-only metric, never a publisher.
 #ifndef HAMLET_COMMON_SPSC_QUEUE_H_
 #define HAMLET_COMMON_SPSC_QUEUE_H_
 
@@ -92,6 +117,12 @@ class SpscQueue {
   size_t capacity() const { return mask_ + 1; }
 
  private:
+  // The hot path is two atomic uint64 ops per message; a type change that
+  // demoted either index to a locking atomic would silently serialize every
+  // shard hand-off, so lock-freeness is a compile-time invariant.
+  static_assert(std::atomic<uint64_t>::is_always_lock_free,
+                "SpscQueue's ring indices must be lock-free atomics");
+
   std::vector<T> slots_;
   size_t mask_ = 0;
   alignas(64) std::atomic<uint64_t> head_{0};

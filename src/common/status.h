@@ -30,7 +30,11 @@ enum class StatusCode {
 const char* StatusCodeName(StatusCode code);
 
 /// Success-or-error result of an operation, carrying a message on failure.
-class Status {
+/// [[nodiscard]] at class level: every function returning Status is flagged
+/// when its result is ignored — silently dropped errors were a repeat bug
+/// class before the static-analysis pass. Intentional discards (e.g. a
+/// best-effort Close in a destructor) must say so with `(void)` + a comment.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -74,8 +78,9 @@ class Status {
 
 /// Value-or-Status. `value()` aborts if the result holds an error; callers
 /// must test `ok()` first (or use `value_or`-style access patterns).
+/// [[nodiscard]] for the same reason as Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value (success).
   Result(T value) : value_(std::move(value)) {}  // NOLINT

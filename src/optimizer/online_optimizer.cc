@@ -101,7 +101,7 @@ OnlineReoptimizer::Outcome OnlineReoptimizer::Check(
   // Evidence floor: keep accumulating (baseline untouched) until the
   // interval carries enough engine events to estimate the cost factors.
   if (delta.events < opts_.min_events || span <= 0) return out;
-  ++checks_;
+  checks_.fetch_add(1, std::memory_order_relaxed);
 
   const double b =
       static_cast<double>(delta.events) /
@@ -201,7 +201,7 @@ OnlineReoptimizer::Outcome OnlineReoptimizer::Check(
   log_.push_back(std::move(decision));
 
   if (any_change && drift) {
-    ++swaps_;
+    swaps_.fetch_add(1, std::memory_order_relaxed);
     out.swap = true;
     out.overrides = std::move(proposal);
     for (size_t gi = 0; gi < groups_.size(); ++gi) {

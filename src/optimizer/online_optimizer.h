@@ -25,6 +25,7 @@
 #ifndef HAMLET_OPTIMIZER_ONLINE_OPTIMIZER_H_
 #define HAMLET_OPTIMIZER_ONLINE_OPTIMIZER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -119,8 +120,10 @@ class OnlineReoptimizer {
                 const BurstStatsCollector& collector);
 
   const std::vector<ReoptDecision>& log() const { return log_; }
-  int64_t checks() const { return checks_; }
-  int64_t swaps() const { return swaps_; }
+  /// Safe to read from any thread: ShardedSession::MetricsSnapshot reports
+  /// these counters from monitor threads while the front is mid-check.
+  int64_t checks() const { return checks_.load(std::memory_order_relaxed); }
+  int64_t swaps() const { return swaps_.load(std::memory_order_relaxed); }
   bool bound() const { return plan_ != nullptr; }
 
  private:
@@ -148,8 +151,11 @@ class OnlineReoptimizer {
   bool have_baseline_ = false;
   Timestamp last_boundary_ = 0;
   std::vector<ReoptDecision> log_;
-  int64_t checks_ = 0;
-  int64_t swaps_ = 0;
+  /// Plain int64_t raced with MetricsSnapshot's cross-thread reads before
+  /// the thread-safety pass; relaxed atomics — the counts are monotonic
+  /// telemetry, no ordering is implied.
+  std::atomic<int64_t> checks_{0};
+  std::atomic<int64_t> swaps_{0};
 };
 
 }  // namespace hamlet

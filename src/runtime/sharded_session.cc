@@ -5,14 +5,14 @@
 #include <atomic>
 #include <bit>
 #include <chrono>
-#include <condition_variable>
 #include <limits>
-#include <mutex>
 #include <string>
-#include <thread>
+#include <thread>  // std::this_thread only; threads spawn via common/thread.h
 #include <utility>
 
+#include "src/common/mutex.h"
 #include "src/common/spsc_queue.h"
+#include "src/common/thread.h"
 #include "src/stream/adaptive_batcher.h"
 
 namespace hamlet {
@@ -135,21 +135,24 @@ struct ShardedSession::Shard {
   /// snapshot; the front sums these to sample the concurrent footprint.
   std::atomic<int64_t> current_memory{0};
   /// The unmodified single-threaded machinery; touched only by `worker`
-  /// after the thread starts.
+  /// after the thread starts (a thread-start/join hand-off TSA cannot
+  /// express; the worker is the only caller by construction).
   std::unique_ptr<Session> session;
   std::unique_ptr<BufferingSink> sink;
-  std::thread worker;
+  Thread worker;
 
   /// Idle-parking handshake: the worker sets `parked` (then re-checks the
   /// queue) before a timed wait; the producer notifies when it observes it.
-  std::mutex wake_mu;
-  std::condition_variable wake_cv;
+  /// wake_mu guards no data — it exists to order the notify against the
+  /// parked-store / queue-recheck (see Send and WorkerLoop).
+  Mutex wake_mu;
+  CondVar wake_cv;
   std::atomic<bool> parked{false};
 
   /// Worker-maintained copy of session->MetricsSnapshot(), refreshed when
   /// idle, every kSnapshotEveryEvents events, and at every watermark.
-  mutable std::mutex snapshot_mu;
-  RunMetrics snapshot;
+  mutable Mutex snapshot_mu;
+  RunMetrics snapshot HAMLET_GUARDED_BY(snapshot_mu);
   /// Last watermark the worker has fully applied (after refreshing the
   /// snapshot) — the re-optimizing front's checkpoint acknowledgement.
   std::atomic<Timestamp> watermark_applied{-1};
@@ -157,18 +160,19 @@ struct ShardedSession::Shard {
   /// steal_mu, then acks the fence's sequence number; the front spins on
   /// steal_ack, then takes the payload. One fence is in flight at a time
   /// (the front is synchronous), so one reply slot suffices.
-  std::mutex steal_mu;
-  Session::GroupMigration steal_payload;
+  Mutex steal_mu;
+  Session::GroupMigration steal_payload HAMLET_GUARDED_BY(steal_mu);
   std::atomic<uint64_t> steal_ack{0};
-  /// Written by the worker on stop, read by the front after join().
+  /// Written by the worker on stop, read by the front after Join() — the
+  /// join IS the synchronization, which TSA cannot model; unannotated.
   RunMetrics final_metrics;
 
   /// Emission fan-in hand-off: the worker appends under outbox_mu, the
   /// front swaps the vector out under the same mutex. Contention is
   /// worker-vs-front within one shard only — shards never share a lock —
   /// and both sides take it once per *message*, not per emission.
-  std::mutex outbox_mu;
-  std::vector<Emission> outbox;
+  Mutex outbox_mu;
+  std::vector<Emission> outbox HAMLET_GUARDED_BY(outbox_mu);
   /// Cheap "anything to drain?" hint so the front skips the lock when the
   /// outbox is empty (the common case on the per-push drain).
   std::atomic<bool> outbox_ready{false};
@@ -194,8 +198,8 @@ struct ShardedSession::Shard {
     if (parked.load(std::memory_order_seq_cst)) {
       // Taking wake_mu orders this notify against the worker's parked-store
       // / queue-recheck, so the worker sees either the message or the wake.
-      std::lock_guard<std::mutex> lock(wake_mu);
-      wake_cv.notify_one();
+      MutexLock lock(wake_mu);
+      wake_cv.NotifyOne();
     }
   }
 
@@ -203,7 +207,7 @@ struct ShardedSession::Shard {
   void PublishEmissions() {
     if (sink == nullptr || sink->buffered().empty()) return;
     std::vector<Emission>& local = sink->buffered();
-    std::lock_guard<std::mutex> lock(outbox_mu);
+    MutexLock lock(outbox_mu);
     if (outbox.empty()) {
       outbox.swap(local);
     } else {
@@ -250,6 +254,10 @@ Result<std::unique_ptr<ShardedSession>> ShardedSession::Open(
   Result<ShardRouter> router = RouterFor(plan, config.num_shards);
   if (!router.ok()) return router.status();
   std::unique_ptr<ShardedSession> s(new ShardedSession());
+  // The opening thread is the front until Open returns: workers spawned
+  // below only ever see their own Shard*, and no producer/sequencer can
+  // exist yet, so holding the front role here is sound.
+  ThreadRoleGuard role(s->front_role_);
   s->plan_ = &plan;
   s->config_ = config;
   s->sink_ = sink;
@@ -302,7 +310,7 @@ Result<std::unique_ptr<ShardedSession>> ShardedSession::Open(
     s->shards_.push_back(std::move(shard));
   }
   for (auto& shard : s->shards_) {
-    shard->worker = std::thread(&ShardedSession::WorkerLoop, shard.get());
+    shard->worker = Thread(&ShardedSession::WorkerLoop, shard.get());
   }
   return s;
 }
@@ -315,7 +323,7 @@ ShardedSession::~ShardedSession() {
   // already pushed, then the normal close path runs.
   StopSequencer();
   mp_mode_.store(false, std::memory_order_relaxed);
-  Close();
+  (void)Close();  // metrics discarded by documented contract
 }
 
 void ShardedSession::WorkerLoop(Shard* shard) {
@@ -326,7 +334,7 @@ void ShardedSession::WorkerLoop(Shard* shard) {
     // contend with a monitor thread holding snapshot_mu).
     shard->current_memory.store(m.current_memory_bytes,
                                 std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(shard->snapshot_mu);
+    MutexLock lock(shard->snapshot_mu);
     shard->snapshot = m;
   };
   int since_snapshot = 0;
@@ -345,11 +353,11 @@ void ShardedSession::WorkerLoop(Shard* shard) {
         got = shard->queue.TryPop(&msg);
       }
       if (!got) {
-        std::unique_lock<std::mutex> lock(shard->wake_mu);
+        MutexLock lock(shard->wake_mu);
         shard->parked.store(true, std::memory_order_seq_cst);
         // Re-check after publishing `parked`: a push that raced the store
         // either sees the flag (and notifies) or lands in this poll.
-        if (shard->queue.Empty()) shard->wake_cv.wait_for(lock, kParkInterval);
+        if (shard->queue.Empty()) shard->wake_cv.WaitFor(lock, kParkInterval);
         shard->parked.store(false, std::memory_order_relaxed);
         continue;
       }
@@ -413,7 +421,7 @@ void ShardedSession::WorkerLoop(Shard* shard) {
         Session::GroupMigration m = shard->session->FenceGroup(
             msg.steal_key, msg.steal_boundary, msg.steal_drop_after);
         {
-          std::lock_guard<std::mutex> lock(shard->steal_mu);
+          MutexLock lock(shard->steal_mu);
           shard->steal_payload = std::move(m);
         }
         shard->steal_ack.store(msg.steal_seq, std::memory_order_release);
@@ -433,7 +441,7 @@ void ShardedSession::WorkerLoop(Shard* shard) {
         shard->final_metrics = final.value();
         shard->current_memory.store(final.value().current_memory_bytes,
                                     std::memory_order_relaxed);
-        std::lock_guard<std::mutex> lock(shard->snapshot_mu);
+        MutexLock lock(shard->snapshot_mu);
         shard->snapshot = shard->final_metrics;
         return;
       }
@@ -588,7 +596,7 @@ void ShardedSession::ExecuteSteal(int64_t key, size_t victim, size_t thief,
   adopt.steal_key = key;
   adopt.steal_boundary = boundary;
   {
-    std::lock_guard<std::mutex> lock(v.steal_mu);
+    MutexLock lock(v.steal_mu);
     adopt.migration = std::move(v.steal_payload);
     v.steal_payload = Session::GroupMigration{};
   }
@@ -677,7 +685,7 @@ void ShardedSession::DrainEmissions() {
     if (!shard->outbox_ready.load(std::memory_order_acquire)) continue;
     drain_scratch_.clear();
     {
-      std::lock_guard<std::mutex> lock(shard->outbox_mu);
+      MutexLock lock(shard->outbox_mu);
       drain_scratch_.swap(shard->outbox);
       shard->outbox_ready.store(false, std::memory_order_relaxed);
     }
@@ -698,6 +706,9 @@ Status ShardedSession::Push(const Event& event) {
         "session-level Push on a multi-producer session; push through the "
         "Producer handles (AddProducer)");
   }
+  // Single-producer mode: the calling thread is the front (see the
+  // threading contract in the header).
+  ThreadRoleGuard role(front_role_);
   Status ordered = gate_.CheckEvent(event.time);
   if (!ordered.ok()) return ordered;
   gate_.CommitEvent(event.time);
@@ -717,6 +728,7 @@ Status ShardedSession::PushBatch(std::span<const Event> events) {
         "session-level PushBatch on a multi-producer session; push through "
         "the Producer handles (AddProducer)");
   }
+  ThreadRoleGuard role(front_role_);
   // One clock read per call, not per event: events of one batch arrived
   // together, so they share an arrival instant (their inter-arrival gap is
   // ~0, which is exactly what the burst detector should see).
@@ -754,6 +766,7 @@ Status ShardedSession::PushPrePartitioned(PartitionedBatch batches) {
         "PushPrePartitioned got " + std::to_string(batches.size()) +
         " sub-batches for " + std::to_string(shards_.size()) + " shards");
   }
+  ThreadRoleGuard role(front_role_);
   // Validate everything before committing anything: each sub-batch must be
   // internally strictly increasing and start after the previous call's
   // events and watermark. Cross-shard interleaving inside the chunk is
@@ -840,6 +853,7 @@ Status ShardedSession::AdvanceTo(Timestamp watermark) {
         "Producer::AdvanceTo (the session watermark is the merged "
         "frontier)");
   }
+  ThreadRoleGuard role(front_role_);
   return AdvanceToInternal(watermark);
 }
 
@@ -883,21 +897,26 @@ ShardedSession::AddProducer() {
   if (closed_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("AddProducer on a closed session");
   }
-  std::lock_guard<std::mutex> lock(producer_mu_);
+  MutexLock lock(producer_mu_);
   if (!poison_status_.ok()) return poison_status_;
   if (!mp_mode_.load(std::memory_order_relaxed)) {
     // First producer: the session switches to multi-producer mode for
     // good. The check against gate_ is safe here — the sequencer does not
-    // exist yet, and once mp_mode_ is set this branch never re-runs.
-    if (gate_.any_seen()) {
-      return Status::FailedPrecondition(
-          "AddProducer after session-level Push/AdvanceTo: a session uses "
-          "ONE ingest mode — open the producers first");
+    // exist yet, no session-level push can run concurrently (threading
+    // contract), and once mp_mode_ is set this branch never re-runs — so
+    // the calling thread still IS the front for the duration of the check.
+    {
+      ThreadRoleGuard role(front_role_);
+      if (gate_.any_seen()) {
+        return Status::FailedPrecondition(
+            "AddProducer after session-level Push/AdvanceTo: a session uses "
+            "ONE ingest mode — open the producers first");
+      }
     }
     hub_ = std::make_unique<MpscIngestHub<Event>>(
         static_cast<size_t>(config_.producer_queue_capacity));
     seq_stop_.store(false, std::memory_order_relaxed);
-    sequencer_ = std::thread(&ShardedSession::SequencerLoop, this);
+    sequencer_ = Thread(&ShardedSession::SequencerLoop, this);
     mp_mode_.store(true, std::memory_order_release);
   }
   const int slot = hub_->ClaimSlot();
@@ -919,7 +938,9 @@ ShardedSession::AddProducer() {
 }
 
 ShardedSession::Producer::~Producer() {
-  if (!closed_) Close();
+  // Dtor close is best-effort by documented contract; close explicitly to
+  // observe the status.
+  if (!closed_) (void)Close();
 }
 
 Status ShardedSession::Producer::Push(const Event& event) {
@@ -979,6 +1000,10 @@ Status ShardedSession::Producer::Close() {
 }
 
 void ShardedSession::SequencerLoop() {
+  // In multi-producer mode the sequencer IS the front: it owns the gate,
+  // staging, steal bookkeeping, and emission fan-in until it exits (the
+  // join in StopSequencer hands the role back to the closing thread).
+  ThreadRoleGuard role(front_role_);
   int idle = 0;
   Event event;
   for (;;) {
@@ -1079,21 +1104,21 @@ void ShardedSession::MaybeBroadcastFrontier() {
 }
 
 void ShardedSession::StopSequencer() {
-  if (!sequencer_.joinable()) return;
+  if (!sequencer_.Joinable()) return;
   seq_stop_.store(true, std::memory_order_release);
-  sequencer_.join();
+  sequencer_.Join();
 }
 
 void ShardedSession::Poison(Status status) {
   {
-    std::lock_guard<std::mutex> lock(producer_mu_);
+    MutexLock lock(producer_mu_);
     if (poison_status_.ok()) poison_status_ = std::move(status);
   }
   poisoned_.store(true, std::memory_order_release);
 }
 
 Status ShardedSession::PoisonStatus() {
-  std::lock_guard<std::mutex> lock(producer_mu_);
+  MutexLock lock(producer_mu_);
   return poison_status_;
 }
 
@@ -1108,6 +1133,9 @@ Result<Timestamp> ShardedSession::AddQuery(const Query& query) {
         std::to_string(QueryLifecycle::kMaxLiveEpochs) +
         "); advance the stream before further churn");
   }
+  // ChurnGuard rejected multi-producer mode above, so the caller is the
+  // front.
+  ThreadRoleGuard role(front_role_);
   return BroadcastChurn(ChurnKind::kAddQuery, &query, nullptr, {});
 }
 
@@ -1122,6 +1150,7 @@ Result<Timestamp> ShardedSession::RemoveQuery(const std::string& name) {
         std::to_string(QueryLifecycle::kMaxLiveEpochs) +
         "); advance the stream before further churn");
   }
+  ThreadRoleGuard role(front_role_);
   return BroadcastChurn(ChurnKind::kRemoveQuery, nullptr, &name, {});
 }
 
@@ -1134,6 +1163,7 @@ Result<Timestamp> ShardedSession::ApplySharingOverrides(
   if (Status guard = ChurnGuard("ApplySharingOverrides"); !guard.ok()) {
     return guard;
   }
+  ThreadRoleGuard role(front_role_);
   return BroadcastChurn(ChurnKind::kSwapPlan, nullptr, nullptr,
                         {overrides.begin(), overrides.end()});
 }
@@ -1233,9 +1263,9 @@ void ShardedSession::MaybeReoptimizeFront() {
       reoptimizer_.Check(boundary, MetricsSnapshot().hamlet, collector_);
   if (!out.swap) return;
   // Compilation failure keeps the running plan (never a hard error on the
-  // re-optimization path).
-  BroadcastChurn(ChurnKind::kSwapPlan, nullptr, nullptr,
-                 std::move(out.overrides));
+  // re-optimization path) — hence the discarded result.
+  (void)BroadcastChurn(ChurnKind::kSwapPlan, nullptr, nullptr,
+                       std::move(out.overrides));
 }
 
 void ShardedSession::MaybeDrainRouter() {
@@ -1271,6 +1301,9 @@ Result<RunMetrics> ShardedSession::Close() {
     StopSequencer();
     HAMLET_CHECK(hub_->Quiescent());
   }
+  // The sequencer (if one ever ran) has exited above, so the closing
+  // thread is the front again for the final sweep.
+  ThreadRoleGuard role(front_role_);
   FlushAllShards();
   // Idle-group eviction keys off each session's own max seen event time,
   // and shards each saw only a subset of the stream. Broadcasting the
@@ -1292,7 +1325,7 @@ Result<RunMetrics> ShardedSession::Close() {
   }
   RunMetrics merged;
   for (auto& shard : shards_) {
-    shard->worker.join();
+    shard->worker.Join();
     MergeRunMetrics(merged, shard->final_metrics);
     merged.shard_events.push_back(shard->final_metrics.events);
   }
@@ -1312,7 +1345,7 @@ Result<RunMetrics> ShardedSession::Close() {
     for (auto& shard : shards_) {
       std::vector<Emission> remaining;
       {
-        std::lock_guard<std::mutex> lock(shard->outbox_mu);
+        MutexLock lock(shard->outbox_mu);
         remaining.swap(shard->outbox);
         shard->outbox_ready.store(false, std::memory_order_relaxed);
       }
@@ -1369,7 +1402,7 @@ RunMetrics ShardedSession::MetricsSnapshot() const {
   for (const auto& shard : shards_) {
     RunMetrics m;
     {
-      std::lock_guard<std::mutex> lock(shard->snapshot_mu);
+      MutexLock lock(shard->snapshot_mu);
       m = shard->snapshot;
     }
     MergeRunMetrics(merged, m);

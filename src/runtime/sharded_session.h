@@ -155,6 +155,15 @@
 // concurrently — that is the point of the hub. MetricsSnapshot may be
 // called concurrently with pushes from any mode.
 //
+// The contract is statically checked (Clang Thread Safety Analysis, see
+// src/common/mutex.h and docs/STATIC_ANALYSIS.md): `front_role_` is the
+// capability of "the front thread" — held by the caller in single-producer
+// mode and by the sequencer in multi-producer mode — and every front-state
+// field below is HAMLET_GUARDED_BY it; the per-shard mutexes in Shard guard
+// the worker<->front hand-off state. A build with HAMLET_THREAD_SAFETY=ON
+// rejects any new code path that touches front state without the role or
+// shard hand-off state without its lock.
+//
 // Requirement: all exec queries in the plan must share one group-by
 // attribute (true for every paper workload; Definition 5 gives it per
 // component). Open returns kUnsupported for num_shards > 1 otherwise,
@@ -164,13 +173,13 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <span>
-#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "src/common/mpsc_ingest.h"
+#include "src/common/mutex.h"
+#include "src/common/thread.h"
 #include "src/runtime/session.h"
 #include "src/stream/shard_router.h"
 
@@ -341,19 +350,20 @@ class ShardedSession {
   /// / overrides is meaningful, per `kind`.
   Result<Timestamp> BroadcastChurn(ChurnKind kind, const Query* query,
                                    const std::string* name,
-                                   std::vector<SharingOverride> overrides);
+                                   std::vector<SharingOverride> overrides)
+      HAMLET_REQUIRES(front_role_);
   /// Front-side re-optimization check at the configured pane cadence
   /// (no-op unless RunConfig::reoptimize_every_panes > 0).
-  void MaybeReoptimizeFront();
+  void MaybeReoptimizeFront() HAMLET_REQUIRES(front_role_);
   /// Drains router rebalance-map entries whose diverted groups can no
   /// longer have open windows anywhere (requires evict_idle_groups — the
   /// group's engine state is then also gone from its old shard, so a
   /// re-appearing key may re-route freely).
-  void MaybeDrainRouter();
+  void MaybeDrainRouter() HAMLET_REQUIRES(front_role_);
 
   /// Body of AdvanceTo after the closed/mode checks — shared with the
   /// sequencer's frontier broadcasts, which are ordinary watermarks.
-  Status AdvanceToInternal(Timestamp watermark);
+  Status AdvanceToInternal(Timestamp watermark) HAMLET_REQUIRES(front_role_);
   /// Shared churn rejection for multi-producer mode and work stealing.
   Status ChurnGuard(const char* op) const;
 
@@ -364,43 +374,45 @@ class ShardedSession {
   /// Front-side handling of one merged event: gate (poison on
   /// cross-producer violations), stage, re-optimize, drain — the
   /// sequencer's equivalent of Push's body.
-  void IngestReleased(const Event& event);
+  void IngestReleased(const Event& event) HAMLET_REQUIRES(front_role_);
   /// Broadcasts the hub frontier as a session watermark when it crossed a
   /// pane boundary since the last broadcast (and raises the claim floor so
   /// joiners admit at or above it).
-  void MaybeBroadcastFrontier();
+  void MaybeBroadcastFrontier() HAMLET_REQUIRES(front_role_);
   void StopSequencer();
   /// Sticky cross-producer ordering error (set once, then returned by
   /// every producer call).
-  void Poison(Status status);
-  Status PoisonStatus();
+  void Poison(Status status) HAMLET_EXCLUDES(producer_mu_);
+  Status PoisonStatus() HAMLET_EXCLUDES(producer_mu_);
 
   // --- pane-boundary work stealing (front/sequencer thread) ---
   /// Steal-trigger evaluation at event-time pane boundary `boundary`:
   /// executes up to kMaxStealsPerBoundary migrations while the load
   /// imbalance persists and a candidate key improves it.
-  void MaybeSteal(Timestamp boundary);
+  void MaybeSteal(Timestamp boundary) HAMLET_REQUIRES(front_role_);
   /// One migration: reassign the key, fence the victim (synchronously
   /// collecting the hand-off payload), adopt on the thief, open the
   /// duplication window.
   void ExecuteSteal(int64_t key, size_t victim, size_t thief,
-                    Timestamp boundary);
+                    Timestamp boundary) HAMLET_REQUIRES(front_role_);
   /// Rolls the two-bucket sliding load window (per shard and per key).
-  void RollStealWindow();
+  void RollStealWindow() HAMLET_REQUIRES(front_role_);
 
   /// `now_seconds` feeds the shard's adaptive batch controller; pass 0 when
   /// adaptive batching is off (the value is ignored).
-  void StageEvent(const Event& event, double now_seconds);
+  void StageEvent(const Event& event, double now_seconds)
+      HAMLET_REQUIRES(front_role_);
   /// The single-shard tail of StageEvent: append to `shard`'s staging
   /// buffer and flush at the (adaptive) batch threshold.
-  void StageTo(Shard& shard, const Event& event, double now_seconds);
+  void StageTo(Shard& shard, const Event& event, double now_seconds)
+      HAMLET_REQUIRES(front_role_);
   /// Hands the shard's staged events to its queue as one batch message.
-  void FlushShard(Shard& shard);
-  void FlushAllShards();
+  void FlushShard(Shard& shard) HAMLET_REQUIRES(front_role_);
+  void FlushAllShards() HAMLET_REQUIRES(front_role_);
   /// Samples the sum of worker-published current footprints into
   /// mem_high_water_ (called every kMemSampleEveryFlushes staging flushes —
   /// cheap, amortized even at batch size 1).
-  void SampleConcurrentMemory();
+  void SampleConcurrentMemory() HAMLET_REQUIRES(front_role_);
   /// Reads the ingest clock (RunConfig::clock_override or the monotonic
   /// clock) — only when adaptive batching needs it.
   double IngestNow() const;
@@ -408,40 +420,62 @@ class ShardedSession {
   /// depth, per-shard events, rebalanced keys, concurrent peak).
   void FillIngressMetrics(RunMetrics& merged) const;
   /// Fans shard outboxes in to the user sink (caller thread only).
-  void DrainEmissions();
+  void DrainEmissions() HAMLET_REQUIRES(front_role_);
   static void WorkerLoop(Shard* shard);
 
+  /// THE front capability (see the threading contract above): held by the
+  /// caller thread in single-producer mode, by the sequencer thread in
+  /// multi-producer mode, and by Open until it returns. Public entry points
+  /// acquire it with a ThreadRoleGuard (zero-cost — the capability is
+  /// phantom); private helpers declare HAMLET_REQUIRES(front_role_).
+  /// Mutable so const snapshots of role-guarded state could acquire it if
+  /// ever needed (mirrors the usual mutable-mutex idiom).
+  mutable ThreadRole front_role_;
+
+  /// Set once by Open, read-only afterwards (any thread).
   const WorkloadPlan* plan_ = nullptr;
   RunConfig config_;
   EmissionSink* sink_ = nullptr;
+  /// Front-mutated (Route/Reassign/DrainStale), but deliberately NOT
+  /// role-guarded: MetricsSnapshot reads its counters from monitor threads
+  /// through ShardRouter's internal atomics (rebalanced_keys/map_size).
+  /// TSA cannot split one field by member, so the split lives in
+  /// ShardRouter's own API contract.
   ShardRouter router_;
   /// Front-side query set + compiler (the single source of churn truth —
   /// workers only ever apply pre-validated ops).
-  QueryLifecycle lifecycle_;
+  QueryLifecycle lifecycle_ HAMLET_GUARDED_BY(front_role_);
   /// The front's own compiled copy of the current epoch after the first
   /// churn op (before that, `plan_` is current). Kept alive because the
   /// front re-optimizer is bound to it; workers compile their own copies.
-  QueryLifecycle::CompiledEpoch front_epoch_;
+  QueryLifecycle::CompiledEpoch front_epoch_ HAMLET_GUARDED_BY(front_role_);
+  /// Front-mutated, but NOT role-guarded for the same reason as router_:
+  /// FillIngressMetrics reads the check/swap counters from monitor threads
+  /// (they are atomics inside OnlineReoptimizer), and reopt_log() is a
+  /// post-Close/test accessor. All *mutating* uses sit behind
+  /// HAMLET_REQUIRES(front_role_) helpers.
   OnlineReoptimizer reoptimizer_;
-  BurstStatsCollector collector_;
-  bool reopt_enabled_ = false;
+  BurstStatsCollector collector_ HAMLET_GUARDED_BY(front_role_);
+  bool reopt_enabled_ = false;  ///< set by Open, read-only afterwards
   /// Pane size of the CURRENT front epoch — the grid activation boundaries
   /// and the re-optimization cadence are computed on.
-  Timestamp front_pane_size_ = 1;
+  Timestamp front_pane_size_ HAMLET_GUARDED_BY(front_role_) = 1;
   /// Largest WITHIN across every epoch ever compiled (old epochs' windows
   /// may still be draining) — the router-drain safety margin.
-  Timestamp within_high_water_ = 0;
-  Timestamp last_reopt_pane_ = 0;
-  bool reopt_pane_seen_ = false;
+  Timestamp within_high_water_ HAMLET_GUARDED_BY(front_role_) = 0;
+  Timestamp last_reopt_pane_ HAMLET_GUARDED_BY(front_role_) = 0;
+  bool reopt_pane_seen_ HAMLET_GUARDED_BY(front_role_) = false;
+  /// The vector itself is frozen by Open (workers receive raw Shard*);
+  /// mutable cross-thread state lives INSIDE Shard behind its own locks.
   std::vector<std::unique_ptr<Shard>> shards_;
-  OrderingGate gate_;
+  OrderingGate gate_ HAMLET_GUARDED_BY(front_role_);
   /// Reused scratch for DrainEmissions, so steady-state fan-in allocates
   /// nothing.
-  std::vector<Emission> drain_scratch_;
+  std::vector<Emission> drain_scratch_ HAMLET_GUARDED_BY(front_role_);
   /// Reentrancy guard: a sink that calls Push/AdvanceTo from OnEmission
   /// recurses into DrainEmissions while drain_scratch_ is mid-iteration;
   /// the nested drain must no-op (its emissions leave on the next drain).
-  bool draining_ = false;
+  bool draining_ HAMLET_GUARDED_BY(front_role_) = false;
   /// Set by any worker publishing to its outbox, cleared by the front when
   /// it drains: the per-push "anything to drain?" check is one load
   /// regardless of shard count.
@@ -450,51 +484,62 @@ class ShardedSession {
   /// thread polling MetricsSnapshot during Close sees final_metrics_ fully
   /// written, never a half-merged value.
   std::atomic<bool> closed_{false};
+  /// Published through closed_'s release/acquire pair above — a
+  /// write-once-then-read hand-off TSA has no vocabulary for, so it stays
+  /// unannotated on purpose (the publication comment IS the contract).
   RunMetrics final_metrics_;
   /// Largest observed sum of simultaneous per-shard footprints (see
   /// SampleConcurrentMemory). Atomic so MetricsSnapshot may read it from a
   /// monitor thread while the front samples.
   std::atomic<int64_t> mem_high_water_{0};
   /// Front-thread throttle for SampleConcurrentMemory.
-  int flushes_since_mem_sample_ = 0;
+  int flushes_since_mem_sample_ HAMLET_GUARDED_BY(front_role_) = 0;
 
   // --- multi-producer ingest state ---
-  /// Created on the first AddProducer, together with the sequencer thread;
-  /// null in single-producer mode.
+  /// Created once by the first AddProducer (under producer_mu_, before
+  /// mp_mode_'s release store publishes it); producers and the sequencer
+  /// then read the pointer lock-free. Init-once publication is another
+  /// pattern TSA cannot express — the hub's own API is the thread-safe
+  /// surface, so the pointer stays unannotated.
   std::unique_ptr<MpscIngestHub<Event>> hub_;
-  std::thread sequencer_;
+  /// Spawned with hub_ under producer_mu_; joined only by Close/~ after
+  /// every producer handle closed. NOT guarded by producer_mu_: the
+  /// sequencer itself takes producer_mu_ in Poison(), so a join under the
+  /// lock could deadlock — the join-side exclusivity comes from the
+  /// single-front Close contract instead.
+  Thread sequencer_;
   std::atomic<bool> seq_stop_{false};
   /// Sticky: once true, session-level ingest entry points are rejected.
   std::atomic<bool> mp_mode_{false};
   std::atomic<int> producers_open_{0};
   /// Guards AddProducer's one-time switch and poison_status_.
-  std::mutex producer_mu_;
-  Status poison_status_;                ///< guarded by producer_mu_
+  Mutex producer_mu_;
+  Status poison_status_ HAMLET_GUARDED_BY(producer_mu_);
   std::atomic<bool> poisoned_{false};   ///< lock-free "is poisoned" hint
-  /// Largest pane boundary the sequencer has broadcast the frontier at
-  /// (sequencer thread only).
-  Timestamp last_frontier_pane_ = -1;
+  /// Largest pane boundary the sequencer has broadcast the frontier at.
+  Timestamp last_frontier_pane_ HAMLET_GUARDED_BY(front_role_) = -1;
 
-  // --- work-stealing state (front/sequencer thread only, except the
-  // atomic counter) ---
-  bool stealing_ = false;
+  // --- work-stealing state (front-role state, except the atomic
+  // counters) ---
+  bool stealing_ = false;  ///< set by Open, read-only afterwards
   /// Two-bucket sliding window of per-shard staged-event counts (same
   /// half-window length as the router's rebalancer).
-  std::vector<int64_t> steal_load_cur_;
-  std::vector<int64_t> steal_load_prev_;
+  std::vector<int64_t> steal_load_cur_ HAMLET_GUARDED_BY(front_role_);
+  std::vector<int64_t> steal_load_prev_ HAMLET_GUARDED_BY(front_role_);
   struct KeyLoad {
     int64_t cur = 0;
     int64_t prev = 0;
   };
   /// Per-group-key staged-event counts over the same window; entries idle
   /// for two half-windows drop out, bounding the map by active keys.
-  std::unordered_map<int64_t, KeyLoad> steal_key_load_;
-  int64_t steal_in_window_ = 0;
+  std::unordered_map<int64_t, KeyLoad> steal_key_load_
+      HAMLET_GUARDED_BY(front_role_);
+  int64_t steal_in_window_ HAMLET_GUARDED_BY(front_role_) = 0;
   /// Pane of the last staged event — steal triggers fire exactly when this
   /// advances (event-time pane crossings; never watermark-driven, which
   /// would be nondeterministic across producer counts).
-  Timestamp last_staged_pane_ = 0;
-  bool staged_any_ = false;
+  Timestamp last_staged_pane_ HAMLET_GUARDED_BY(front_role_) = 0;
+  bool staged_any_ HAMLET_GUARDED_BY(front_role_) = false;
   /// One in-flight migration: events of the key with time < dup_until are
   /// staged to the victim too, so its fenced windows finish with full
   /// data. Entries retire at the first pane crossing past dup_until —
@@ -504,11 +549,12 @@ class ShardedSession {
     size_t victim = 0;
     Timestamp dup_until = 0;
   };
-  std::unordered_map<int64_t, ActiveMigration> active_migrations_;
+  std::unordered_map<int64_t, ActiveMigration> active_migrations_
+      HAMLET_GUARDED_BY(front_role_);
   /// Monotone fence-request sequence; each Shard acks the last one it
   /// served (steal_ack), which is what the front's synchronous wait spins
   /// on.
-  uint64_t steal_seq_counter_ = 0;
+  uint64_t steal_seq_counter_ HAMLET_GUARDED_BY(front_role_) = 0;
   /// Executed migrations (RunMetrics::stolen_panes). Atomic so a monitor
   /// thread's MetricsSnapshot may read it while the front steals.
   std::atomic<int64_t> stolen_panes_{0};

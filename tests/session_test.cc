@@ -304,7 +304,7 @@ TEST_F(SessionContractTest, AdvanceToClosesWindowsWithoutEvents) {
   EXPECT_EQ(seen[0].window_end, 100);
   EXPECT_EQ(seen[0].query_name, workload_.query(seen[0].query).name);
   EXPECT_DOUBLE_EQ(seen[0].value, 1.0);
-  session.value()->Close();
+  ASSERT_TRUE(session.value()->Close().ok());
 }
 
 // Everything after Close — a second Close included — fails fast with

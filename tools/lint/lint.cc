@@ -1,0 +1,417 @@
+#include "tools/lint/lint.h"
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hamlet {
+namespace lint {
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+int LineOf(const std::string& text, size_t pos) {
+  int line = 1;
+  for (size_t i = 0; i < pos && i < text.size(); ++i) {
+    if (text[i] == '\n') ++line;
+  }
+  return line;
+}
+
+/// True when the identifier starting at `pos` with length `len` has no
+/// identifier character on either side.
+bool IsWordAt(const std::string& text, size_t pos, size_t len) {
+  if (pos > 0 && IsIdentChar(text[pos - 1])) return false;
+  const size_t end = pos + len;
+  if (end < text.size() && IsIdentChar(text[end])) return false;
+  return true;
+}
+
+/// First non-space position at or after `pos`.
+size_t SkipSpaces(const std::string& text, size_t pos) {
+  while (pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+    ++pos;
+  }
+  return pos;
+}
+
+/// Position just past the brace that matches the '{' at `open`, or npos.
+size_t MatchBrace(const std::string& text, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < text.size(); ++i) {
+    if (text[i] == '{') ++depth;
+    if (text[i] == '}' && --depth == 0) return i + 1;
+  }
+  return std::string::npos;
+}
+
+/// True when `rel_path`'s first component is `dir` (paths are '/'-separated
+/// relative to the scanned root).
+bool UnderDir(const std::string& rel_path, const std::string& dir) {
+  return rel_path.rfind(dir + "/", 0) == 0;
+}
+
+}  // namespace
+
+std::string StripCommentsAndStrings(const std::string& source) {
+  std::string out = source;
+  enum class State { kCode, kLine, kBlock, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_delim;  // the )delim" terminator of a raw string
+  for (size_t i = 0; i < source.size(); ++i) {
+    const char c = source[i];
+    const char next = i + 1 < source.size() ? source[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLine;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlock;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || !IsIdentChar(source[i - 1]))) {
+          // R"delim( ... )delim"
+          size_t p = i + 2;
+          while (p < source.size() && source[p] != '(') ++p;
+          raw_delim = ")" + source.substr(i + 2, p - (i + 2)) + "\"";
+          for (size_t j = i; j <= p && j < source.size(); ++j) out[j] = ' ';
+          i = p;
+          state = State::kRawString;
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLine:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (i + 1 < source.size() && source[i + 1] != '\n') {
+            out[i + 1] = ' ';
+          }
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (i + 1 < source.size() && source[i + 1] != '\n') {
+            out[i + 1] = ' ';
+          }
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kRawString:
+        if (source.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (size_t j = 0; j < raw_delim.size(); ++j) out[i + j] = ' ';
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> ParseRunMetricsFields(const std::string& header) {
+  std::vector<std::string> fields;
+  const std::string stripped = StripCommentsAndStrings(header);
+  const std::string key = "struct RunMetrics";
+  size_t pos = stripped.find(key);
+  if (pos == std::string::npos) return fields;
+  size_t open = stripped.find('{', pos + key.size());
+  if (open == std::string::npos) return fields;
+  const size_t close = MatchBrace(stripped, open);
+  if (close == std::string::npos) return fields;
+
+  // Split the struct body into top-level `;`-terminated declarations and
+  // take the declarator name: the last identifier before `=` (initializer)
+  // or before the `;`. Nested braces/parens (default member initializers
+  // with braces, function declarations) are skipped at depth.
+  size_t stmt_begin = open + 1;
+  int depth = 0;
+  bool has_call = false;
+  for (size_t i = open + 1; i + 1 < close; ++i) {
+    const char c = stripped[i];
+    if (c == '{' || c == '(' || c == '<') ++depth;
+    if (c == '}' || c == ')' || c == '>') --depth;
+    if (c == '(') has_call = true;
+    if (c != ';' || depth != 0) continue;
+
+    std::string stmt = stripped.substr(stmt_begin, i - stmt_begin);
+    const size_t eq = stmt.find('=');
+    if (eq != std::string::npos) stmt.resize(eq);
+    // A parenthesized statement with no initializer is a function
+    // declaration (none inside RunMetrics today) — no field to extract.
+    const bool is_function = has_call && eq == std::string::npos;
+    has_call = false;
+    stmt_begin = i + 1;
+    if (is_function) continue;
+
+    size_t end = stmt.size();
+    while (end > 0 && !IsIdentChar(stmt[end - 1])) --end;
+    size_t begin = end;
+    while (begin > 0 && IsIdentChar(stmt[begin - 1])) --begin;
+    if (begin == end) continue;
+    const std::string name = stmt.substr(begin, end - begin);
+    if (std::isdigit(static_cast<unsigned char>(name[0])) == 0) {
+      fields.push_back(name);
+    }
+  }
+  return fields;
+}
+
+std::vector<Finding> CheckMergeRunMetricsComplete(
+    const std::string& header, const std::string& impl,
+    const std::string& header_path, const std::string& impl_path) {
+  std::vector<Finding> findings;
+  const std::vector<std::string> fields = ParseRunMetricsFields(header);
+  if (fields.empty()) {
+    findings.push_back({header_path, 1, "merge-run-metrics",
+                        "could not locate struct RunMetrics fields"});
+    return findings;
+  }
+
+  const std::string stripped = StripCommentsAndStrings(impl);
+  // Find the DEFINITION: "MergeRunMetrics" whose parameter list is followed
+  // by '{' (the header's declaration ends in ';').
+  size_t body_begin = std::string::npos;
+  size_t body_end = std::string::npos;
+  size_t def_pos = 0;
+  for (size_t pos = stripped.find("MergeRunMetrics"); pos != std::string::npos;
+       pos = stripped.find("MergeRunMetrics", pos + 1)) {
+    if (!IsWordAt(stripped, pos, 15)) continue;
+    size_t p = SkipSpaces(stripped, pos + 15);
+    if (p >= stripped.size() || stripped[p] != '(') continue;
+    int depth = 0;
+    while (p < stripped.size()) {
+      if (stripped[p] == '(') ++depth;
+      if (stripped[p] == ')' && --depth == 0) break;
+      ++p;
+    }
+    p = SkipSpaces(stripped, p + 1);
+    if (p < stripped.size() && stripped[p] == '{') {
+      body_begin = p;
+      body_end = MatchBrace(stripped, p);
+      def_pos = pos;
+      break;
+    }
+  }
+  if (body_begin == std::string::npos || body_end == std::string::npos) {
+    findings.push_back({impl_path, 1, "merge-run-metrics",
+                        "could not locate the MergeRunMetrics definition"});
+    return findings;
+  }
+
+  const std::string body =
+      stripped.substr(body_begin, body_end - body_begin);
+  for (const std::string& field : fields) {
+    // A handled field appears as a member access: `into.events`,
+    // `from.run_len_hist`, `AddStats(into.hamlet, ...)`. Requiring the
+    // leading '.' keeps a local variable that shadows a field name from
+    // counting as coverage.
+    const std::string needle = "." + field;
+    bool handled = false;
+    for (size_t p = body.find(needle); p != std::string::npos;
+         p = body.find(needle, p + 1)) {
+      const size_t end = p + needle.size();
+      if (end < body.size() && IsIdentChar(body[end])) continue;
+      handled = true;
+      break;
+    }
+    if (!handled) {
+      findings.push_back(
+          {impl_path, LineOf(stripped, def_pos), "merge-run-metrics",
+           "RunMetrics field '" + field +
+               "' is never touched in MergeRunMetrics; every field needs an "
+               "explicit merge rule (sum / max / recompute / concat)"});
+    }
+  }
+  return findings;
+}
+
+std::vector<Finding> CheckNoRawThreading(const std::string& rel_path,
+                                         const std::string& source) {
+  std::vector<Finding> findings;
+  // The wrapper layer itself necessarily names the raw types.
+  if (UnderDir(rel_path, "common")) return findings;
+
+  static const char* const kBanned[] = {
+      "std::mutex",
+      "std::recursive_mutex",
+      "std::timed_mutex",
+      "std::recursive_timed_mutex",
+      "std::shared_mutex",
+      "std::shared_timed_mutex",
+      "std::condition_variable",
+      "std::condition_variable_any",
+      "std::lock_guard",
+      "std::unique_lock",
+      "std::scoped_lock",
+      "std::shared_lock",
+      "std::thread",
+      "std::jthread",
+  };
+  const std::string stripped = StripCommentsAndStrings(source);
+  for (const char* token : kBanned) {
+    const std::string t(token);
+    for (size_t p = stripped.find(t); p != std::string::npos;
+         p = stripped.find(t, p + 1)) {
+      // Word boundary on the right rejects std::condition_variable matching
+      // inside std::condition_variable_any (reported once, as the longer
+      // token) and any user identifier with the token as a prefix.
+      const size_t end = p + t.size();
+      if (end < stripped.size() && IsIdentChar(stripped[end])) continue;
+      findings.push_back(
+          {rel_path, LineOf(stripped, p), "raw-threading",
+           t + " outside src/common/; use the annotated wrappers in "
+               "src/common/mutex.h / src/common/thread.h so Clang Thread "
+               "Safety Analysis sees the lock"});
+    }
+  }
+  return findings;
+}
+
+std::vector<Finding> CheckNoWallClock(const std::string& rel_path,
+                                      const std::string& source) {
+  std::vector<Finding> findings;
+  // runtime/session.cc defines MonotonicSeconds() — the single sanctioned
+  // steady_clock read that everything else reaches through ClockNow and
+  // RunConfig::clock_override.
+  if (rel_path == "runtime/session.cc") return findings;
+
+  const std::string stripped = StripCommentsAndStrings(source);
+
+  // Clock types and stdlib RNG state: any mention is a violation.
+  static const char* const kBannedWords[] = {
+      "steady_clock",  "system_clock", "high_resolution_clock",
+      "random_device", "mt19937",      "mt19937_64",
+  };
+  for (const char* token : kBannedWords) {
+    const std::string t(token);
+    for (size_t p = stripped.find(t); p != std::string::npos;
+         p = stripped.find(t, p + 1)) {
+      if (!IsWordAt(stripped, p, t.size())) continue;
+      findings.push_back(
+          {rel_path, LineOf(stripped, p), "nondeterminism",
+           t + " outside the clock/seed plumbing; route time through "
+               "ClockNow/RunConfig::clock_override and randomness through "
+               "hamlet::Rng so runs replay from a seed"});
+    }
+  }
+
+  // Call-shaped bans: the identifier must be a free call (not `.time(` /
+  // `->time(` member calls like EventBatch::time) followed by '('.
+  static const char* const kBannedCalls[] = {"rand", "srand", "time"};
+  for (const char* token : kBannedCalls) {
+    const std::string t(token);
+    for (size_t p = stripped.find(t); p != std::string::npos;
+         p = stripped.find(t, p + 1)) {
+      if (!IsWordAt(stripped, p, t.size())) continue;
+      const char prev = p > 0 ? stripped[p - 1] : '\0';
+      if (prev == '.') continue;  // member access: batch.time(0)
+      if (prev == '>' && p > 1 && stripped[p - 2] == '-') continue;  // ->
+      const size_t after = SkipSpaces(stripped, p + t.size());
+      if (after >= stripped.size() || stripped[after] != '(') continue;
+      if (t == "time") {
+        // Only the wall-clock forms: time(nullptr) / time(NULL) / time(0).
+        const size_t arg = SkipSpaces(stripped, after + 1);
+        const bool wall =
+            stripped.compare(arg, 7, "nullptr") == 0 ||
+            stripped.compare(arg, 4, "NULL") == 0 ||
+            (arg < stripped.size() && stripped[arg] == '0' &&
+             SkipSpaces(stripped, arg + 1) < stripped.size() &&
+             stripped[SkipSpaces(stripped, arg + 1)] == ')');
+        if (!wall) continue;
+      }
+      findings.push_back(
+          {rel_path, LineOf(stripped, p), "nondeterminism",
+           t + "() outside the clock/seed plumbing; route time through "
+               "ClockNow/RunConfig::clock_override and randomness through "
+               "hamlet::Rng so runs replay from a seed"});
+    }
+  }
+  return findings;
+}
+
+std::vector<Finding> CheckTodoHasIssue(const std::string& rel_path,
+                                       const std::string& source) {
+  std::vector<Finding> findings;
+  static const char* const kMarkers[] = {"TODO", "FIXME"};
+  for (const char* marker : kMarkers) {
+    const std::string m(marker);
+    for (size_t p = source.find(m); p != std::string::npos;
+         p = source.find(m, p + 1)) {
+      if (!IsWordAt(source, p, m.size())) continue;
+      // Accepted form: TODO(#123). Anything else — bare TODO, TODO:,
+      // TODO(name) — has no queryable owner.
+      size_t q = p + m.size();
+      bool ok = false;
+      if (q < source.size() && source[q] == '(') {
+        ++q;
+        if (q < source.size() && source[q] == '#') {
+          ++q;
+          size_t digits = 0;
+          while (q < source.size() &&
+                 std::isdigit(static_cast<unsigned char>(source[q])) != 0) {
+            ++q;
+            ++digits;
+          }
+          ok = digits > 0 && q < source.size() && source[q] == ')';
+        }
+      }
+      if (!ok) {
+        findings.push_back({rel_path, LineOf(source, p), "todo-without-issue",
+                            m + " without an issue reference; write " + m +
+                                "(#<issue>) so the debt is queryable"});
+      }
+    }
+  }
+  return findings;
+}
+
+std::vector<Finding> CheckFile(const std::string& rel_path,
+                               const std::string& source) {
+  std::vector<Finding> findings = CheckNoRawThreading(rel_path, source);
+  std::vector<Finding> clock = CheckNoWallClock(rel_path, source);
+  findings.insert(findings.end(), clock.begin(), clock.end());
+  std::vector<Finding> todo = CheckTodoHasIssue(rel_path, source);
+  findings.insert(findings.end(), todo.begin(), todo.end());
+  return findings;
+}
+
+}  // namespace lint
+}  // namespace hamlet

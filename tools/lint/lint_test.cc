@@ -1,0 +1,160 @@
+// Self-test for the project lint: golden BAD fixtures must produce exactly
+// the expected findings, and the clean fixture (all the near-misses) must
+// produce none. The real-tree run is a separate CTest entry (lint_tree)
+// driving the hamlet_lint binary over src/.
+#include "tools/lint/lint.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hamlet {
+namespace lint {
+namespace {
+
+std::string ReadFixture(const std::string& rel) {
+  const std::string path = std::string(HAMLET_LINT_TESTDATA_DIR) + "/" + rel;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture: " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+int CountCheck(const std::vector<Finding>& findings, const std::string& check) {
+  return static_cast<int>(
+      std::count_if(findings.begin(), findings.end(),
+                    [&](const Finding& f) { return f.check == check; }));
+}
+
+TEST(StripCommentsAndStrings, BlanksCommentBodiesAndPreservesLines) {
+  const std::string src =
+      "int a; // std::mutex in a comment\n"
+      "/* block\n"
+      "   std::thread */ int b;\n"
+      "const char* s = \"std::mutex\";\n";
+  const std::string stripped = StripCommentsAndStrings(src);
+  EXPECT_EQ(stripped.find("std::mutex"), std::string::npos);
+  EXPECT_EQ(stripped.find("std::thread"), std::string::npos);
+  EXPECT_NE(stripped.find("int a;"), std::string::npos);
+  EXPECT_NE(stripped.find("int b;"), std::string::npos);
+  // Same byte count and the same newline positions: line numbers survive.
+  ASSERT_EQ(stripped.size(), src.size());
+  for (size_t i = 0; i < src.size(); ++i) {
+    EXPECT_EQ(src[i] == '\n', stripped[i] == '\n') << "at byte " << i;
+  }
+}
+
+TEST(StripCommentsAndStrings, HandlesEscapesAndRawStrings) {
+  const std::string src =
+      "const char* a = \"quote \\\" std::mutex\";\n"
+      "const char* b = R\"(raw std::thread)\";\n"
+      "char c = '\\'';\n"
+      "int after = 1;\n";
+  const std::string stripped = StripCommentsAndStrings(src);
+  EXPECT_EQ(stripped.find("std::mutex"), std::string::npos);
+  EXPECT_EQ(stripped.find("std::thread"), std::string::npos);
+  EXPECT_NE(stripped.find("int after = 1;"), std::string::npos);
+}
+
+TEST(ParseRunMetricsFields, ExtractsEveryFieldOfTheFixtureStruct) {
+  const std::vector<std::string> fields =
+      ParseRunMetricsFields(ReadFixture("bad_metrics/metrics.h"));
+  const std::vector<std::string> expected = {
+      "events", "emissions", "elapsed_seconds", "late_events", "run_len_hist"};
+  EXPECT_EQ(fields, expected);
+}
+
+TEST(MergeRunMetrics, FlagsExactlyTheForgottenField) {
+  const std::vector<Finding> findings = CheckMergeRunMetricsComplete(
+      ReadFixture("bad_metrics/metrics.h"), ReadFixture("bad_metrics/merge.cc"),
+      "bad_metrics/metrics.h", "bad_metrics/merge.cc");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, "merge-run-metrics");
+  EXPECT_EQ(findings[0].path, "bad_metrics/merge.cc");
+  EXPECT_NE(findings[0].message.find("late_events"), std::string::npos);
+  // The local variable named late_events in the fixture must not have
+  // counted as coverage — that is the point of requiring a member access.
+}
+
+TEST(MergeRunMetrics, ReportsWhenTheStructIsMissing) {
+  const std::vector<Finding> findings = CheckMergeRunMetricsComplete(
+      "int x;", "void MergeRunMetrics() {}", "h", "cc");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("RunMetrics"), std::string::npos);
+}
+
+TEST(RawThreading, FlagsEveryPrimitiveInTheFixture) {
+  const std::string src = ReadFixture("stray_mutex.cc");
+  const std::vector<Finding> findings = CheckNoRawThreading("stray_mutex.cc", src);
+  // Two std::mutex (declaration + lock_guard template argument), one
+  // std::lock_guard, one std::thread. The comment and string mentions must
+  // not count.
+  EXPECT_EQ(findings.size(), 4u);
+  EXPECT_EQ(CountCheck(findings, "raw-threading"), 4);
+  int mutexes = 0;
+  for (const Finding& f : findings) {
+    if (f.message.rfind("std::mutex ", 0) == 0) ++mutexes;
+  }
+  EXPECT_EQ(mutexes, 2);
+}
+
+TEST(RawThreading, ExemptsTheWrapperLayer) {
+  const std::string src = ReadFixture("stray_mutex.cc");
+  EXPECT_TRUE(CheckNoRawThreading("common/mutex.h", src).empty());
+  // Only the first path component counts: a nested .../common/ is not the
+  // wrapper layer.
+  EXPECT_FALSE(CheckNoRawThreading("runtime/common/foo.cc", src).empty());
+}
+
+TEST(WallClock, FlagsEachNondeterminismSourceOnce) {
+  const std::string src = ReadFixture("wall_clock.cc");
+  const std::vector<Finding> findings = CheckNoWallClock("wall_clock.cc", src);
+  // time(nullptr), random_device, steady_clock, rand() — and nothing for
+  // the member call batch.time(0) or the identifier `operand`.
+  EXPECT_EQ(findings.size(), 4u);
+  EXPECT_EQ(CountCheck(findings, "nondeterminism"), 4);
+}
+
+TEST(WallClock, ExemptsTheClockPlumbing) {
+  const std::string src = ReadFixture("wall_clock.cc");
+  EXPECT_TRUE(CheckNoWallClock("runtime/session.cc", src).empty());
+}
+
+TEST(WallClock, MemberAndArrowCallsAreNotTheLibcCall) {
+  const std::string src =
+      "long f(Batch& b, Batch* p) { return b.time(0) + p->time(0); }";
+  EXPECT_TRUE(CheckNoWallClock("x.cc", src).empty());
+}
+
+TEST(WallClock, TimeWithARealArgumentIsNotAWallClockRead) {
+  // time(&t) stores through an out-param; only the nullptr/NULL/0 forms
+  // are the "give me now" idiom the ban targets.
+  EXPECT_TRUE(CheckNoWallClock("x.cc", "void f(long* t) { time(t); }").empty());
+  EXPECT_EQ(CheckNoWallClock("x.cc", "long f() { return time(0); }").size(),
+            1u);
+}
+
+TEST(Todo, RequiresAnIssueReference) {
+  const std::string src = ReadFixture("todo_bare.cc");
+  const std::vector<Finding> findings = CheckTodoHasIssue("todo_bare.cc", src);
+  EXPECT_EQ(findings.size(), 2u);
+  EXPECT_EQ(CountCheck(findings, "todo-without-issue"), 2);
+}
+
+TEST(CleanFixture, ProducesNoFindings) {
+  const std::string src = ReadFixture("clean/clean.cc");
+  const std::vector<Finding> findings = CheckFile("clean/clean.cc", src);
+  for (const Finding& f : findings) {
+    ADD_FAILURE() << f.path << ":" << f.line << ": [" << f.check << "] "
+                  << f.message;
+  }
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace hamlet

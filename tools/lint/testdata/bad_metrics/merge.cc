@@ -1,0 +1,20 @@
+// Golden BAD fixture, implementation half: handles every RunMetrics field
+// except `late_events`. A local variable named late_events must NOT count
+// as coverage (the check requires a member access).
+#include "metrics.h"
+
+void MergeRunMetrics(RunMetrics& into, const RunMetrics& from) {
+  int64_t late_events = 0;  // shadows the field name; not a merge
+  (void)late_events;
+  into.events += from.events;
+  into.emissions += from.emissions;
+  if (from.elapsed_seconds > into.elapsed_seconds) {
+    into.elapsed_seconds = from.elapsed_seconds;
+  }
+  if (into.run_len_hist.size() < from.run_len_hist.size()) {
+    into.run_len_hist.resize(from.run_len_hist.size(), 0);
+  }
+  for (unsigned long i = 0; i < from.run_len_hist.size(); ++i) {
+    into.run_len_hist[i] += from.run_len_hist[i];
+  }
+}

@@ -1,0 +1,16 @@
+// Golden BAD fixture: RunMetrics grew a field (`late_events`) that the
+// merge below never touches. Never compiled — lint_test feeds this pair to
+// CheckMergeRunMetricsComplete and expects exactly one finding.
+#include <cstdint>
+#include <vector>
+
+struct RunMetrics {
+  int64_t events = 0;
+  int64_t emissions = 0;
+  double elapsed_seconds = 0.0;
+  /// Dropped-behind-watermark events — the field the merge forgot.
+  int64_t late_events = 0;
+  std::vector<int64_t> run_len_hist;
+};
+
+void MergeRunMetrics(RunMetrics& into, const RunMetrics& from);

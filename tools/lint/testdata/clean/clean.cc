@@ -1,0 +1,26 @@
+// Golden CLEAN fixture: exercises every near-miss the checks must NOT
+// flag — this file passing is as much a part of the contract as the bad
+// fixtures failing.
+//
+// Near-misses covered:
+//   - std::mutex / std::thread mentioned only in comments and strings
+//   - std::this_thread (prefix-shares "std::thread" textually? it must not)
+//   - batch.time(0) and obj->time(0) member calls
+//   - identifiers containing "rand" ("operand", "strand")
+//   - a debt marker with a proper issue reference
+#include <cstdint>
+
+struct Batch {
+  int64_t time(int i) const { return i; }
+};
+
+int64_t UseNearMisses(const Batch& batch, const Batch* ptr) {
+  const char* doc =
+      "std::mutex and std::thread belong in src/common/ wrappers; "
+      "steady_clock belongs behind ClockNow";
+  (void)doc;
+  int64_t operand = batch.time(0);
+  int64_t strand = ptr->time(1);
+  // TODO(#7): fold the two accessors once the batch layout settles
+  return operand + strand;
+}

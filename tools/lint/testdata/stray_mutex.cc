@@ -1,0 +1,19 @@
+// Golden BAD fixture: raw threading primitives outside src/common/. Never
+// compiled — lint_test expects CheckNoRawThreading to flag the std::mutex,
+// the std::lock_guard and the std::thread, and to IGNORE the mention of
+// std::condition_variable in this comment and in the string below.
+#include <mutex>
+#include <thread>
+
+static std::mutex g_mu;
+
+void Touch() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  const char* doc = "docs may say std::condition_variable without tripping";
+  (void)doc;
+}
+
+void Spawn() {
+  std::thread t(Touch);
+  t.join();
+}

@@ -1,0 +1,10 @@
+// Golden BAD fixture: debt markers without issue references. lint_test
+// expects findings for the two bare markers below and none for the
+// well-formed one carrying (#42). (This header deliberately avoids the
+// marker words themselves — the check scans comments, including this one.)
+int Pending() {
+  // TODO: tighten this bound
+  // FIXME(alice): off by one under churn?
+  // TODO(#42): replace with the pane-aligned variant
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Golden BAD fixture: wall-clock reads and nondeterminism sources. Never
+// compiled — lint_test expects findings for time(nullptr), random_device,
+// steady_clock and rand(), and NO finding for the member call
+// batch.time(0) or for srandom-like identifiers that merely contain "rand".
+#include <chrono>
+#include <ctime>
+#include <random>
+
+struct Batch {
+  long time(int i) const { return i; }
+};
+
+long Sample() {
+  long t = time(nullptr);
+  std::random_device rd;
+  t += static_cast<long>(rd());
+  t += std::chrono::steady_clock::now().time_since_epoch().count();
+  t += rand();
+  Batch batch;
+  t += batch.time(0);  // member accessor, not the libc call
+  long operand = 7;    // contains "rand" but is not a call
+  return t + operand;
+}
